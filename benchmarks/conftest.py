@@ -1,0 +1,33 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark test regenerates one paper table/figure: it runs the
+sweep once under pytest-benchmark (``pedantic`` with a single round —
+the interesting numbers are *virtual* microseconds from the machine
+models, not wall time), prints the figure's rows exactly as the paper's
+plot encodes them, and asserts the reproduced *shape* (who wins, rough
+factors, crossovers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print straight to the terminal, bypassing capture, so the
+    reproduced tables appear in benchmark runs."""
+
+    def _show(*renderables) -> None:
+        with capsys.disabled():
+            print()
+            for r in renderables:
+                print(r.render() if hasattr(r, "render") else r)
+                print()
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,289 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Quiet insertion** (paper Section IV-B): cost of restoring CAF's
+   RMA ordering with a ``shmem_quiet`` after every put, vs a relaxed
+   runtime that defers completion to synchronization points.
+2. **Base-dimension policy** (Section IV-C): naive vs the paper's
+   2dim (best of the two fastest dims) vs alldim (best of all dims,
+   which minimizes calls but strides far through memory) vs lastdim
+   (Cray CAF's fixed choice) — on a workload where the *slowest* axis
+   holds the most elements, so the policies genuinely diverge.
+3. **Lock algorithm** (Section IV-D): MCS vs central test-and-set
+   contention time, plus the space argument against emulating per-image
+   locks with OpenSHMEM's global locks (O(N) words per lock vs the MCS
+   tail word + at most M+1 qnodes).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro import caf
+from repro.bench.harness import BenchFigure
+from repro.runtime.context import current
+from repro.util.tables import Table
+
+
+# ---------------------------------------------------------------------------
+# 1. Ordering: caf vs relaxed
+# ---------------------------------------------------------------------------
+
+
+def _ordering_time(ordering: str, nbytes: int, iters: int) -> float:
+    def kernel():
+        me = caf.this_image()
+        a = caf.coarray((nbytes,), np.uint8)
+        caf.sync_all()
+        t0 = current().clock.now
+        if me == 1:
+            data = np.zeros(nbytes, dtype=np.uint8)
+            for _ in range(iters):
+                a.on(18)[:] = data  # image on the second node
+        caf.sync_all()
+        return current().clock.now - t0
+
+    return caf.launch(
+        kernel,
+        num_images=18,
+        machine="stampede",
+        backend="shmem",
+        ordering=ordering,
+        heap_bytes=max(1 << 22, 4 * nbytes),
+    )[0]
+
+
+def ordering_ablation() -> BenchFigure:
+    fig = BenchFigure(
+        title="Ablation: Section IV-B quiet insertion (18 images, Stampede)",
+        x_label="message bytes",
+        y_label="time for 10 puts (us)",
+    )
+    sizes = (256, 4096, 65536)
+    for ordering in ("caf", "relaxed"):
+        fig.add_series(
+            f"ordering={ordering}",
+            list(sizes),
+            [_ordering_time(ordering, n, 10) for n in sizes],
+        )
+    return fig
+
+
+def test_ordering_quiet_cost(benchmark, show):
+    fig = run_once(benchmark, ordering_ablation)
+    show(fig)
+    strict = fig.get("ordering=caf").ys
+    relaxed = fig.get("ordering=relaxed").ys
+    for s, r in zip(strict, relaxed):
+        assert s > r  # ordering always costs something
+    # The penalty is latency-bound, so it matters most for small puts.
+    small_ratio = strict[0] / relaxed[0]
+    large_ratio = strict[-1] / relaxed[-1]
+    assert small_ratio > large_ratio
+
+
+# ---------------------------------------------------------------------------
+# 2. Base-dimension policy
+# ---------------------------------------------------------------------------
+
+_POLICIES = ("naive", "2dim", "alldim", "lastdim")
+_SHAPE = (64, 32, 16)
+_KEY = (slice(0, 64, 2), slice(0, 32, 2), slice(0, 16, 4))  # counts 32, 16, 4
+
+
+def _policy_run(policy: str) -> tuple[float, int]:
+    """(virtual time, library calls) for one strided put under ``policy``."""
+
+    def kernel():
+        rt = caf.current_runtime()
+        a = caf.coarray(_SHAPE, np.int32)
+        a[...] = 0
+        caf.sync_all()
+        me = caf.this_image()
+        if me != 1:
+            caf.sync_all()
+            return None
+        payload = np.ones((32, 16, 4), dtype=np.int32)
+        rt.reset_stats()
+        t0 = current().clock.now
+        for _ in range(3):
+            a.on(18).put(_KEY, payload, algorithm=policy)
+        dt = current().clock.now - t0
+        calls = rt.my_stats["putmem_calls"] + rt.my_stats["iput_calls"]
+        caf.sync_all()
+        return (dt, calls)
+
+    out = caf.launch(
+        kernel,
+        num_images=18,
+        machine="cray-xc30",
+        backend="shmem",
+        profile="cray-shmem",
+        heap_bytes=1 << 22,
+    )
+    return out[0]
+
+
+def base_dim_ablation() -> Table:
+    table = Table(
+        "Ablation: base-dimension policy on section (::2, ::2, ::4) of (64,32,16)",
+        ["policy", "library calls (3 puts)", "virtual time (us)"],
+    )
+    results = {}
+    for policy in _POLICIES:
+        dt, calls = _policy_run(policy)
+        results[policy] = (dt, calls)
+        table.add_row(policy, calls, round(dt, 1))
+    table.results = results  # stash for assertions
+    return table
+
+
+def test_base_dimension_policy(benchmark, show):
+    table = run_once(benchmark, base_dim_ablation)
+    show(table)
+    r = table.results
+    # Call counts: alldim fewest, then 2dim, then naive (per element).
+    assert r["alldim"][1] < r["2dim"][1] < r["naive"][1]
+    # Time: the paper's 2dim wins — alldim's outer-dimension stride
+    # walks far through memory (gather-gap penalty) despite fewer calls,
+    # and naive pays per-element software overhead.
+    assert r["2dim"][0] < r["alldim"][0]
+    assert r["2dim"][0] < r["lastdim"][0]
+    assert r["2dim"][0] < r["naive"][0]
+
+
+# ---------------------------------------------------------------------------
+# 3. Lock algorithm
+# ---------------------------------------------------------------------------
+
+
+def _lock_run(algo: str, num_images: int, acquires: int) -> tuple[float, int]:
+    """(max elapsed us, AMO operations at the lock home's node).
+
+    The AMO count is the measurable core of the MCS claim ("avoid
+    spinning on non-local memory locations"): MCS issues exactly one
+    swap per acquire and one cswap per release at the target; TAS
+    hammers the target's atomic unit with retries under contention.
+    """
+
+    def kernel():
+        ctx = current()
+        lck = caf.lock_type()
+        counter = caf.coarray((1,), np.int64)
+        counter[:] = 0
+        caf.sync_all()
+        t0 = ctx.clock.now
+        import time
+
+        for _ in range(acquires):
+            caf.lock(lck, 1)
+            # a real critical section: remote read-modify-write that is
+            # only safe under the lock; the short wall-clock hold gives
+            # other images' functional attempts a window to collide, so
+            # the test-and-set retry behaviour actually manifests
+            v = int(counter.on(1)[0])
+            time.sleep(0.0005)
+            counter.on(1)[0] = v + 1
+            caf.unlock(lck, 1)
+        caf.sync_all()
+        assert int(counter.on(1)[0]) == num_images * acquires
+        home_node = ctx.job.topology.node_of(0)
+        amo_ops = ctx.job.network.timelines()["amo"][home_node].reservations
+        return (ctx.clock.now - t0, amo_ops)
+
+    out = caf.launch(
+        kernel,
+        num_images=num_images,
+        machine="titan",
+        backend="shmem",
+        profile="cray-shmem",
+        lock_algorithm=algo,
+    )
+    return max(t for t, _ in out), max(a for _, a in out)
+
+
+def lock_ablation() -> Table:
+    table = Table(
+        "Ablation: CAF lock algorithm (40 images x 3 acquires of lck[1], Titan)",
+        ["algorithm", "time (us)", "AMO ops at lock home node"],
+    )
+    results = {}
+    for label, algo in (("MCS (paper)", "mcs"), ("test-and-set", "tas")):
+        t, amo = _lock_run(algo, 40, 3)
+        results[algo] = (t, amo)
+        table.add_row(label, round(t, 1), amo)
+    table.results = results
+    return table
+
+
+def test_lock_algorithm(benchmark, show):
+    table = run_once(benchmark, lock_ablation)
+    show(table)
+    r = table.results
+    # MCS never spins remotely: exactly 2 AMOs per acquire/release pair
+    # reach the lock's home node; TAS retry storms multiply that.
+    mcs_amo, tas_amo = r["mcs"][1], r["tas"][1]
+    assert mcs_amo == 40 * 3 * 2
+    assert tas_amo > 2 * mcs_amo
+    # And MCS costs no more time (this model resolves handoff races in
+    # wall-clock order, so the timing comparison is parity-or-better;
+    # Fig 8's Cray-CAF gap additionally reflects the vendor runtime's
+    # heavier lock path).
+    assert r["mcs"][0] <= r["tas"][0] * 1.10
+
+    # Space argument (paper Section IV-D): emulating per-image locks via
+    # OpenSHMEM's global lock needs an N-word symmetric array per lock;
+    # MCS needs 1 tail word per lock plus <= M+1 transient qnodes.
+    n_images, m_held = 1024, 4
+    global_lock_words = n_images  # per declared lock
+    mcs_words = 1 + 2 * (m_held + 1)  # tail + (M+1) two-word qnodes
+    assert mcs_words < global_lock_words / 50
+
+
+# ---------------------------------------------------------------------------
+# 4. shmem_ptr intra-node fast path (paper Section VII future work)
+# ---------------------------------------------------------------------------
+
+
+def _intranode_strided_time(use_ptr: bool) -> float:
+    def kernel():
+        me = caf.this_image()
+        a = caf.coarray((512, 64), np.float64)
+        caf.sync_all()
+        t0 = current().clock.now
+        if me == 1:
+            block = np.ones((256, 32))
+            for _ in range(5):
+                # image 2 shares my node on every Table III machine
+                a.on(2)[0:512:2, 0:64:2] = block
+        caf.sync_all()
+        return current().clock.now - t0
+
+    return caf.launch(
+        kernel,
+        num_images=4,
+        machine="stampede",
+        backend="shmem",
+        use_shmem_ptr=use_ptr,
+        heap_bytes=1 << 22,
+    )[0]
+
+
+def shmem_ptr_ablation() -> Table:
+    table = Table(
+        "Ablation: shmem_ptr fast path (intra-node 2-D strided puts)",
+        ["configuration", "virtual time (us)"],
+    )
+    results = {}
+    for label, flag in (("NIC RMA path", False), ("shmem_ptr load/store", True)):
+        t = _intranode_strided_time(flag)
+        results[flag] = t
+        table.add_row(label, round(t, 2))
+    table.results = results
+    return table
+
+
+def test_shmem_ptr_fast_path(benchmark, show):
+    table = run_once(benchmark, shmem_ptr_ablation)
+    show(table)
+    # Direct load/store collapses the strided decomposition into one
+    # memcpy-priced access: a large win for intra-node sections.
+    assert table.results[True] < table.results[False] / 2

@@ -1,0 +1,28 @@
+"""Figure 10: the CAF Himeno benchmark on Stampede.
+
+Jacobi/Poisson with matrix-oriented strided halo exchange.  Paper
+result: UHCAF over MVAPICH2-X SHMEM beats UHCAF over GASNet once the
+job spans nodes (>= 16 images), ~6% on average and up to ~22%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+
+
+def test_fig10_himeno(benchmark, show):
+    fig = run_once(benchmark, figures.fig10, quick=True)
+    show(fig)
+    gasnet = fig.get("UHCAF-GASNet")
+    shmem = fig.get("UHCAF-MVAPICH2-X-SHMEM")
+
+    # Strong scaling: MFLOPS grows with images for both runtimes.
+    assert shmem.ys == sorted(shmem.ys)
+    assert gasnet.ys == sorted(gasnet.ys)
+
+    # SHMEM wins at every multi-node point, and its advantage grows
+    # with scale (the halo fraction grows).
+    gains = [s / g for s, g in zip(shmem.ys, gasnet.ys)]
+    multi_node = [g for x, g in zip(shmem.xs, gains) if x >= 16]
+    assert all(g > 1.0 for g in multi_node)
+    assert gains[-1] >= gains[0]
+    assert 1.0 < gains[-1] < 1.35  # paper's max gain was 22%

@@ -1,0 +1,21 @@
+"""Figure 2: put latency — SHMEM vs GASNet vs MPI-3.0, two nodes."""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+
+
+def test_fig2_put_latency(benchmark, show):
+    figs = run_once(benchmark, figures.fig2, quick=True)
+    show(*figs)
+    for fig in figs:
+        shmem = fig.series[0].ys  # SHMEM is always the first series
+        labels = [s.label for s in fig.series]
+        gasnet = fig.get("GASNet").ys
+        mpi = next(s for s in fig.series if "MPI" in s.label or "MPICH" in s.label).ys
+        # Paper: without contention, SHMEM and GASNet beat MPI-3.0,
+        # and SHMEM tracks at or below GASNet at every size.
+        for s, g, m in zip(shmem, gasnet, mpi):
+            assert s <= g * 1.02, (labels, s, g)
+            assert s < m, (labels, s, m)
+        # Latency grows with message size within each panel.
+        assert shmem[-1] > shmem[0]

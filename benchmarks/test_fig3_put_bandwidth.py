@@ -1,0 +1,22 @@
+"""Figure 3: put bandwidth — SHMEM vs GASNet vs MPI-3.0, 1 and 16 pairs."""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+
+
+def test_fig3_put_bandwidth(benchmark, show):
+    figs = run_once(benchmark, figures.fig3, quick=True)
+    show(*figs)
+    one_pair = figs[0]
+    sixteen_pairs = figs[1]
+    shmem_1 = one_pair.series[0].ys
+    gasnet_1 = one_pair.get("GASNet").ys
+    mpi_1 = next(s for s in one_pair.series if "MPI" in s.label).ys
+    # Paper: "the bandwidth of SHMEM is better than GASNet and MPI-3.0".
+    assert shmem_1[-1] > gasnet_1[-1]
+    assert shmem_1[-1] > mpi_1[-1]
+    # Contention: 16 pairs share the NIC, so per-pair bandwidth drops
+    # by roughly the pair count at the largest size.
+    shmem_16 = sixteen_pairs.series[0].ys
+    ratio = shmem_1[-1] / shmem_16[-1]
+    assert 8 < ratio < 24

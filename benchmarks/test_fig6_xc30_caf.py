@@ -1,0 +1,32 @@
+"""Figure 6: CAF put + strided put bandwidth on the Cray XC30.
+
+Cray-CAF (the vendor compiler) vs UHCAF over Cray SHMEM, including the
+naive and 2dim_strided multi-dimensional algorithms.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+from repro.util.stats import geomean
+
+
+def test_fig6_xc30(benchmark, show):
+    figs = run_once(benchmark, figures.fig6, quick=True)
+    show(*figs)
+    contiguous = figs[0]
+    strided = figs[1]
+
+    # (a/b) Contiguous: UHCAF-Cray-SHMEM beats Cray-CAF by ~8% average.
+    cray = contiguous.get("Cray-CAF").ys
+    uhcaf = contiguous.get("UHCAF-Cray-SHMEM").ys
+    gains = [u / c for u, c in zip(uhcaf, cray)]
+    assert all(g > 1.0 for g in gains)
+    assert 1.03 < geomean(gains) < 1.20  # paper: average ~8%
+
+    # (c/d) Strided: 2dim ~9x over naive, ~3x over Cray-CAF.
+    naive = strided.get("UHCAF-Cray-SHMEM-naive").ys
+    twodim = strided.get("UHCAF-Cray-SHMEM-2dim").ys
+    craycaf = strided.get("Cray-CAF").ys
+    vs_naive = geomean(t / n for t, n in zip(twodim, naive))
+    vs_cray = geomean(t / c for t, c in zip(twodim, craycaf))
+    assert 5 < vs_naive < 20, vs_naive  # paper: ~9x
+    assert 2 < vs_cray < 5, vs_cray  # paper: ~3x

@@ -1,0 +1,36 @@
+"""Figure 7: CAF put + strided put bandwidth on Stampede.
+
+UHCAF over GASNet vs UHCAF over MVAPICH2-X SHMEM; the strided panels
+show the paper's key negative result — MVAPICH2-X implements
+``shmem_iput`` as a series of contiguous puts, so naive == 2dim there.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+from repro.util.stats import geomean
+
+
+def test_fig7_stampede(benchmark, show):
+    figs = run_once(benchmark, figures.fig7, quick=True)
+    show(*figs)
+    contiguous = figs[0]
+    strided = figs[1]
+
+    # (a/b) Contiguous: UHCAF-MVAPICH2-X-SHMEM above UHCAF-GASNet.
+    gasnet = contiguous.get("UHCAF-GASNet").ys
+    shmem = contiguous.get("UHCAF-MVAPICH2-X-SHMEM").ys
+    gains = [s / g for s, g in zip(shmem, gasnet)]
+    assert all(g > 1.0 for g in gains)
+    assert geomean(gains) < 1.25
+
+    # (c/d) Strided: naive == 2dim on MVAPICH2-X (iput loops over
+    # putmem underneath); both beat the GASNet naive implementation.
+    naive = strided.get("UHCAF-MVAPICH2-X-SHMEM-naive").ys
+    twodim = strided.get("UHCAF-MVAPICH2-X-SHMEM-2dim").ys
+    gas = strided.get("UHCAF-GASNet").ys
+    for n, t in zip(naive, twodim):
+        assert n == pytest.approx(t, rel=0.05)
+    for n, g in zip(naive, gas):
+        assert n > g

@@ -1,0 +1,34 @@
+"""Figure 8: lock microbenchmark on Titan.
+
+All images repeatedly acquire and release a lock on image 1.
+Paper result: UHCAF over Cray SHMEM (MCS over NIC atomics) is ~22%
+faster than Cray CAF and ~10% faster than UHCAF over GASNet.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+from repro.util.stats import geomean
+
+
+def test_fig8_lock_microbenchmark(benchmark, show):
+    fig = run_once(benchmark, figures.fig8, quick=True)
+    show(fig)
+    cray = fig.get("Cray-CAF").ys
+    gasnet = fig.get("UHCAF-GASNet").ys
+    shmem = fig.get("UHCAF-Cray-SHMEM").ys
+
+    # Contention cost grows with image count for every implementation.
+    for ys in (cray, gasnet, shmem):
+        assert ys == sorted(ys)
+
+    # UHCAF-Cray-SHMEM is fastest at every contended point.
+    contended = slice(1, None)  # skip the 2-image point (noise regime)
+    for c, g, s in zip(cray[contended], gasnet[contended], shmem[contended]):
+        assert s <= c and s <= g
+
+    # Average advantages in the paper's neighbourhood:
+    # ~22% over Cray CAF, ~10% over GASNet (we accept 5-60%).
+    vs_cray = geomean(c / s for c, s in zip(cray[contended], shmem[contended]))
+    vs_gasnet = geomean(g / s for g, s in zip(gasnet[contended], shmem[contended]))
+    assert 1.05 < vs_cray < 1.6, vs_cray
+    assert 1.05 < vs_gasnet < 1.6, vs_gasnet

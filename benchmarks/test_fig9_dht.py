@@ -1,0 +1,31 @@
+"""Figure 9: distributed hash table on Titan.
+
+Random DHT updates guarded by coarray locks.  Paper result: UHCAF over
+Cray SHMEM ~28% faster than Cray CAF and ~18% faster than UHCAF-GASNet.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import figures
+from repro.util.stats import geomean
+
+
+def test_fig9_dht(benchmark, show):
+    fig = run_once(benchmark, figures.fig9, quick=True)
+    show(fig)
+    cray = fig.get("Cray-CAF").ys
+    gasnet = fig.get("UHCAF-GASNet").ys
+    shmem = fig.get("UHCAF-Cray-SHMEM").ys
+
+    # Time grows with image count (more contention, more remote work).
+    for ys in (cray, gasnet, shmem):
+        assert ys == sorted(ys)
+
+    # UHCAF-Cray-SHMEM is the fastest configuration throughout.
+    for c, g, s in zip(cray, gasnet, shmem):
+        assert s <= c and s <= g
+
+    vs_cray = geomean(c / s for c, s in zip(cray, shmem))
+    vs_gasnet = geomean(g / s for g, s in zip(gasnet, shmem))
+    # Paper: 28% and 18%; accept a generous band around those.
+    assert 1.05 < vs_cray < 1.6, vs_cray
+    assert 1.03 < vs_gasnet < 1.5, vs_gasnet

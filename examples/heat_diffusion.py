@@ -1,0 +1,92 @@
+"""2-D heat diffusion with strided coarray halo exchange.
+
+The introductory workload the paper motivates: a stencil code whose
+halo exchange is exactly the multi-dimensional strided communication of
+Section IV-C.  The grid is **column-decomposed** across images, so each
+halo is a grid *column* — a strided section (one element per row) that
+the runtime must decompose into OpenSHMEM calls:
+
+* ``naive``  — one ``putmem`` per element (``NX`` calls per halo);
+* ``2dim``   — one ``iput`` line along the row dimension (1 call).
+
+Both produce identical physics; the call counters show the
+communication difference (the paper's Fig 6c in miniature).
+
+Run:  python examples/heat_diffusion.py
+"""
+
+import numpy as np
+
+from repro import caf
+
+NX = 48  # rows
+NY_GLOBAL = 64  # columns (decomposed)
+IMAGES = 4
+ITERATIONS = 40
+ALPHA = 0.1
+
+
+def solve(strided_algorithm):
+    me, n = caf.this_image(), caf.num_images()
+    cols = NY_GLOBAL // n
+    # local slab + one halo column on each side
+    grid = caf.coarray((NX, cols + 2), np.float64)
+    grid[:] = 0.0
+    # hot boundary along the left edge of the global domain
+    if me == 1:
+        grid[:, 0] = 100.0
+    caf.sync_all()
+
+    left = me - 1 if me > 1 else None
+    right = me + 1 if me < n else None
+
+    residual = np.array([0.0])
+    for _ in range(ITERATIONS):
+        g = grid.local
+        interior = g[1:-1, 1:-1]
+        new = interior + ALPHA * (
+            g[:-2, 1:-1] + g[2:, 1:-1] + g[1:-1, :-2] + g[1:-1, 2:] - 4 * interior
+        )
+        delta = float(np.max(np.abs(new - interior)))
+        g[1:-1, 1:-1] = new
+        # Everyone finishes computing from the old halos before anyone
+        # overwrites them (a put may not land in a halo still being read).
+        caf.sync_all()
+        # halo exchange: my first/last interior columns -> neighbour halos
+        if left is not None:
+            grid.on(left).put(
+                (slice(None), cols + 1), g[:, 1], algorithm=strided_algorithm
+            )
+        if right is not None:
+            grid.on(right).put(
+                (slice(None), 0), g[:, cols], algorithm=strided_algorithm
+            )
+        caf.sync_all()
+        residual = np.array([delta])
+        caf.co_max(residual)
+    stats = caf.current_runtime().stats if me == 1 else None
+    return grid.local[:, 1:-1].copy(), float(residual[0]), stats
+
+
+def main():
+    results = {}
+    for algo in ("naive", "2dim"):
+        out = caf.launch(
+            solve, num_images=IMAGES, backend="shmem", profile="cray-shmem",
+            args=(algo,),
+        )
+        field = np.hstack([slab for slab, _, _ in out])
+        residual = out[0][1]
+        stats = out[0][2]
+        results[algo] = field
+        print(
+            f"policy={algo:6s}  final residual={residual:.6f}  "
+            f"putmem calls={stats['putmem_calls']}  iput calls={stats['iput_calls']}"
+        )
+    assert np.allclose(results["naive"], results["2dim"])
+    peak = results["2dim"].max()
+    print(f"fields identical across policies; peak interior temperature {peak:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Hybrid CAF + OpenSHMEM programming (paper Section I).
+
+One of the paper's motivations for putting CAF on OpenSHMEM: "such an
+implementation allows us to incorporate OpenSHMEM calls directly into
+CAF applications ... and explore the ramifications of such a hybrid
+model."  Because the CAF runtime here *is* an OpenSHMEM client, a CAF
+kernel launched with the ``shmem`` backend can mix both APIs on the
+same job:
+
+* high-level phases use coarrays and ``sync all``;
+* a performance-critical phase drops to raw ``shmem`` puts and
+  NIC-offloaded atomics;
+* ``shmem_ptr`` (the paper's future-work item) turns intra-node
+  co-memory into plain NumPy views.
+
+Run:  python examples/hybrid_caf_shmem.py
+"""
+
+import numpy as np
+
+from repro import caf, shmem
+
+IMAGES = 8  # spans one Stampede node? no: 16/node — all intra-node
+
+
+def kernel():
+    me, n = caf.this_image(), caf.num_images()
+
+    # --- CAF phase: build a distributed vector -----------------------
+    x = caf.coarray((16,), np.float64)
+    x[:] = np.arange(16) * me
+    caf.sync_all()
+
+    # --- raw OpenSHMEM phase: ring rotation with explicit puts -------
+    buf = shmem.shmalloc_array((16,), np.float64)
+    right = me % n  # PE index of image me+1
+    shmem.put(buf, x.local, pe=right)
+    shmem.barrier_all()
+    received_from = (me - 2) % n + 1
+
+    # --- NIC atomics from SHMEM inside a CAF program ------------------
+    counter = shmem.shmalloc_array((1,), np.int64)
+    shmem.barrier_all()
+    shmem.atomic_add(counter, int(buf.local.sum()), pe=0)
+    shmem.barrier_all()
+
+    # --- shmem_ptr fast path for a same-node neighbour ----------------
+    ptr_view = shmem.shmem_ptr(buf, right)
+    direct = ptr_view is not None  # all 8 PEs share one 16-core node
+
+    caf.sync_all()
+    if me == 1:
+        total = int(counter.local[0])
+        expect = sum(int(np.arange(16).sum()) * img for img in range(1, n + 1))
+        assert total == expect, (total, expect)
+        return {"ring ok": True, "atomic total": total, "shmem_ptr direct": direct}
+    assert buf.local[1] == received_from * 1.0
+    return None
+
+
+def main():
+    out = caf.launch(kernel, num_images=IMAGES, backend="shmem")
+    print("hybrid CAF + OpenSHMEM kernel results (image 1):")
+    for k, v in out[0].items():
+        print(f"  {k}: {v}")
+
+
+if __name__ == "__main__":
+    main()

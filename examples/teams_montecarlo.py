@@ -1,0 +1,68 @@
+"""Ensemble Monte Carlo with Fortran 2018 teams.
+
+Two independent Monte Carlo estimations of pi run side by side, each in
+its own team: inside ``change team``, images see team-relative
+identities, team-scoped coarrays, and team collectives, so the two
+ensembles never synchronize with each other.  Afterwards the initial
+team combines both estimates with a global ``co_sum``.
+
+Run:  python examples/teams_montecarlo.py
+"""
+
+import numpy as np
+
+from repro import caf
+
+IMAGES = 8
+SAMPLES_PER_IMAGE = 20_000
+
+
+def kernel():
+    me, n = caf.this_image(), caf.num_images()
+    ensemble = 1 + (me - 1) % 2  # odds -> ensemble 1, evens -> ensemble 2
+    team = caf.form_team(ensemble)
+
+    with caf.change_team(team):
+        tme, tn = caf.this_image(), caf.num_images()
+        # distinct, reproducible stream per (ensemble, team image)
+        rng = np.random.default_rng(1000 * ensemble + tme)
+        xy = rng.random((SAMPLES_PER_IMAGE, 2))
+        hits = np.array([float(np.count_nonzero((xy**2).sum(axis=1) <= 1.0))])
+        caf.co_sum(hits)  # team reduction only
+        estimate = 4.0 * hits[0] / (SAMPLES_PER_IMAGE * tn)
+        # team image 1 records the ensemble's result in a team coarray
+        result = caf.coarray((1,), np.float64)
+        result[:] = estimate
+        caf.sync_all()  # team barrier
+
+    # back in the initial team: average the two ensemble estimates
+    estimates = np.array([estimate / 2.0])
+    caf.co_sum(estimates, result_image=1)
+    if me == 1:
+        # each estimate was contributed by every image of its team, so
+        # the sum counts each ensemble tn times; normalize
+        combined = estimates[0] / (IMAGES // 2)
+        return (ensemble, estimate, combined)
+    return (ensemble, estimate, None)
+
+
+def main():
+    out = caf.launch(kernel, num_images=IMAGES)
+    by_ensemble = {}
+    for ensemble, estimate, _ in out:
+        by_ensemble.setdefault(ensemble, set()).add(round(estimate, 12))
+    # all members of a team agree on their team's estimate
+    assert all(len(v) == 1 for v in by_ensemble.values())
+    e1 = by_ensemble[1].pop()
+    e2 = by_ensemble[2].pop()
+    combined = out[0][2]
+    print(f"ensemble 1 (images 1,3,5,7): pi ~= {e1:.5f}")
+    print(f"ensemble 2 (images 2,4,6,8): pi ~= {e2:.5f}")
+    print(f"combined:                    pi ~= {combined:.5f}")
+    assert abs(e1 - np.pi) < 0.05 and abs(e2 - np.pi) < 0.05
+    assert abs(combined - (e1 + e2) / 2) < 1e-9
+    print("team ensembles ran independently and combined correctly.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables legacy editable installs (``pip install -e .``)
+in offline environments that lack the ``wheel`` package needed for
+PEP 660 editable wheels.  All metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""The paper's evaluation, reproduced.
+
+One module per benchmark family, mirroring Section V:
+
+* :mod:`repro.bench.motivation` — raw one-sided library comparison
+  (SHMEM vs GASNet vs MPI-3.0 put latency/bandwidth; Figs 2-3).
+* :mod:`repro.bench.microbench` — the PGAS Microbenchmark suite in CAF:
+  contiguous put bandwidth, multi-dimensional strided put bandwidth,
+  and the lock contention test (Figs 6-8).
+* :mod:`repro.bench.dht` — the distributed hash table benchmark and the
+  reusable :class:`~repro.bench.dht.DistributedHashTable` it exercises
+  (Fig 9).
+* :mod:`repro.bench.himeno` — the CAF Himeno (Jacobi/Poisson) benchmark
+  (Fig 10).
+* :mod:`repro.bench.figures` — one driver per paper table/figure that
+  runs the sweep and renders the same rows/series the paper plots.
+
+All results are in *virtual* time from the machine models; shapes (who
+wins, by what factor, where crossovers fall) are the reproduction
+target, not absolute numbers.
+"""
+
+from repro.bench.harness import BenchFigure, CafConfig
+from repro.bench.dht import DistributedHashTable
+
+__all__ = ["BenchFigure", "CafConfig", "DistributedHashTable"]

@@ -1,0 +1,290 @@
+"""One driver per paper table/figure.
+
+Each ``figN()`` runs the sweep behind that figure and returns a
+:class:`~repro.bench.harness.BenchFigure` (or list of them) whose
+series carry the same labels the paper's legends use.  ``quick=True``
+(the default) runs a reduced sweep sized for CI; ``quick=False``
+approaches the paper's ranges (minutes of wall time).
+
+The per-figure parameter choices and how measured shapes compare to the
+paper are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench import dht as dht_bench
+from repro.bench import himeno as himeno_bench
+from repro.bench import microbench, motivation
+from repro.bench.harness import (
+    BenchFigure,
+    CRAY_CAF,
+    UHCAF_CRAY_SHMEM,
+    UHCAF_CRAY_SHMEM_2DIM,
+    UHCAF_CRAY_SHMEM_NAIVE,
+    UHCAF_GASNET,
+    UHCAF_MV2X_SHMEM,
+    UHCAF_MV2X_SHMEM_2DIM,
+    UHCAF_MV2X_SHMEM_NAIVE,
+)
+from repro.util.tables import format_bytes
+
+SMALL_SIZES_QUICK = (8, 64, 512, 4096)
+SMALL_SIZES_FULL = tuple(2**k for k in range(3, 14))
+LARGE_SIZES_QUICK = (16384, 262144, 1048576)
+LARGE_SIZES_FULL = tuple(2**k for k in range(14, 23))
+
+
+def _machines(quick: bool) -> tuple[str, ...]:
+    return ("stampede",) if quick else ("stampede", "titan")
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: put latency, SHMEM vs MPI-3.0 vs GASNet
+# ---------------------------------------------------------------------------
+
+
+def fig2(quick: bool = True) -> list[BenchFigure]:
+    """Put latency comparison using two nodes (paper Fig 2)."""
+    figures = []
+    iters = 10 if quick else 30
+    small = SMALL_SIZES_QUICK if quick else SMALL_SIZES_FULL
+    large = LARGE_SIZES_QUICK if quick else LARGE_SIZES_FULL
+    for machine in _machines(quick):
+        for label, sizes in (("Small Datasizes", small), ("Large Datasizes", large)):
+            fig = BenchFigure(
+                title=f"Fig 2 ({machine}): Put 1-pair latency, {label}",
+                x_label="size",
+                y_label="latency (us)",
+            )
+            for lib in motivation.LIBRARIES:
+                ys = [
+                    motivation.put_latency(machine, lib, n, pairs=1, iters=iters)
+                    for n in sizes
+                ]
+                fig.add_series(
+                    motivation.library_label(lib, machine),
+                    [format_bytes(n) for n in sizes],
+                    ys,
+                )
+            figures.append(fig)
+    return figures
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: put bandwidth, 1 and 16 pairs
+# ---------------------------------------------------------------------------
+
+
+def fig3(quick: bool = True) -> list[BenchFigure]:
+    """Put bandwidth comparison using two nodes (paper Fig 3)."""
+    figures = []
+    iters = 5 if quick else 20
+    sizes = (
+        (4096, 65536, 1048576) if quick else tuple(2**k for k in range(10, 23))
+    )
+    for machine in _machines(quick):
+        for pairs in (1, 16):
+            fig = BenchFigure(
+                title=f"Fig 3 ({machine}): Put bandwidth, {pairs} pair(s)",
+                x_label="size",
+                y_label="bandwidth (MB/s)",
+            )
+            for lib in motivation.LIBRARIES:
+                ys = [
+                    motivation.put_bandwidth(machine, lib, n, pairs=pairs, iters=iters)
+                    for n in sizes
+                ]
+                fig.add_series(
+                    motivation.library_label(lib, machine),
+                    [format_bytes(n) for n in sizes],
+                    ys,
+                )
+            figures.append(fig)
+    return figures
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7: CAF contiguous + strided put bandwidth
+# ---------------------------------------------------------------------------
+
+
+def _caf_bandwidth_figure(
+    machine: str, configs, pairs: int, sizes, iters: int
+) -> BenchFigure:
+    fig = BenchFigure(
+        title=f"CAF contiguous put bandwidth ({machine}), {pairs} pair(s)",
+        x_label="size",
+        y_label="bandwidth (MB/s)",
+    )
+    for cfg in configs:
+        ys = [
+            microbench.caf_put_bandwidth(machine, cfg, n, pairs=pairs, iters=iters)
+            for n in sizes
+        ]
+        fig.add_series(cfg.label, [format_bytes(n) for n in sizes], ys)
+    return fig
+
+
+def _caf_strided_figure(
+    machine: str, configs, pairs: int, strides, iters: int
+) -> BenchFigure:
+    fig = BenchFigure(
+        title=f"CAF 2-D strided put bandwidth ({machine}), {pairs} pair(s)",
+        x_label="stride (# of integers)",
+        y_label="bandwidth (MB/s)",
+    )
+    for cfg in configs:
+        ys = [
+            microbench.caf_strided_put_bandwidth(
+                machine, cfg, s, pairs=pairs, iters=iters
+            )
+            for s in strides
+        ]
+        fig.add_series(cfg.label, list(strides), ys)
+    return fig
+
+
+def fig6(quick: bool = True) -> list[BenchFigure]:
+    """PGAS microbenchmarks on Cray XC30 (paper Fig 6): Cray-CAF vs
+    UHCAF-Cray-SHMEM (contiguous); + naive/2dim (strided)."""
+    sizes = (64, 4096, 262144) if quick else tuple(2**k for k in range(3, 21))
+    strides = (2, 8, 32) if quick else (2, 4, 8, 16, 32, 64)
+    iters = 5 if quick else 20
+    pair_list = (1,) if quick else (1, 16)
+    figures = []
+    for pairs in pair_list:
+        figures.append(
+            _caf_bandwidth_figure(
+                "cray-xc30", (CRAY_CAF, UHCAF_CRAY_SHMEM), pairs, sizes, iters
+            )
+        )
+    for pairs in pair_list:
+        figures.append(
+            _caf_strided_figure(
+                "cray-xc30",
+                (CRAY_CAF, UHCAF_CRAY_SHMEM_NAIVE, UHCAF_CRAY_SHMEM_2DIM),
+                pairs,
+                strides,
+                iters,
+            )
+        )
+    return figures
+
+
+def fig7(quick: bool = True) -> list[BenchFigure]:
+    """PGAS microbenchmarks on Stampede (paper Fig 7): UHCAF-GASNet vs
+    UHCAF-MVAPICH2-X-SHMEM (contiguous); + naive/2dim (strided)."""
+    sizes = (64, 4096, 262144) if quick else tuple(2**k for k in range(3, 21))
+    strides = (2, 8, 32) if quick else (2, 4, 8, 16, 32, 64)
+    iters = 5 if quick else 20
+    pair_list = (1,) if quick else (1, 16)
+    figures = []
+    for pairs in pair_list:
+        figures.append(
+            _caf_bandwidth_figure(
+                "stampede", (UHCAF_GASNET, UHCAF_MV2X_SHMEM), pairs, sizes, iters
+            )
+        )
+    for pairs in pair_list:
+        figures.append(
+            _caf_strided_figure(
+                "stampede",
+                (UHCAF_GASNET, UHCAF_MV2X_SHMEM_NAIVE, UHCAF_MV2X_SHMEM_2DIM),
+                pairs,
+                strides,
+                iters,
+            )
+        )
+    return figures
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: lock microbenchmark on Titan
+# ---------------------------------------------------------------------------
+
+
+def fig8(quick: bool = True) -> BenchFigure:
+    """All images repeatedly acquire/release a lock on image 1
+    (paper Fig 8; paper sweeps 2..1024 images over 64 nodes)."""
+    image_counts = (2, 8, 24, 48) if quick else (2, 4, 8, 16, 32, 64, 128, 256)
+    acquires = 3 if quick else 8
+    fig = BenchFigure(
+        title="Fig 8: lock microbenchmark (Titan), lock on image 1",
+        x_label="images",
+        y_label="time (us)",
+    )
+    for cfg in (CRAY_CAF, UHCAF_GASNET, UHCAF_CRAY_SHMEM):
+        ys = [
+            microbench.lock_contention_time("titan", cfg, n, acquires=acquires)
+            for n in image_counts
+        ]
+        fig.add_series(cfg.label, list(image_counts), ys)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: distributed hash table on Titan
+# ---------------------------------------------------------------------------
+
+
+def fig9(quick: bool = True) -> BenchFigure:
+    """Random DHT updates under coarray locks (paper Fig 9)."""
+    image_counts = (2, 8, 24) if quick else (2, 4, 8, 16, 32, 64, 128)
+    updates = 8 if quick else 32
+    fig = BenchFigure(
+        title="Fig 9: distributed hash table (Titan)",
+        x_label="images",
+        y_label="time (us)",
+    )
+    for cfg in (CRAY_CAF, UHCAF_GASNET, UHCAF_CRAY_SHMEM):
+        ys = [
+            dht_bench.dht_benchmark(
+                "titan", cfg, n, updates_per_image=updates, slots_per_image=64
+            )
+            for n in image_counts
+        ]
+        fig.add_series(cfg.label, list(image_counts), ys)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: Himeno on Stampede
+# ---------------------------------------------------------------------------
+
+
+def fig10(quick: bool = True) -> BenchFigure:
+    """CAF Himeno MFLOPS (paper Fig 10; paper sweeps to 2048 cores)."""
+    if quick:
+        image_counts = (4, 16, 30)
+        grid = "XS"
+        iterations = 3
+    else:
+        image_counts = (4, 8, 16, 32, 62)
+        grid = "S"
+        iterations = 6
+    fig = BenchFigure(
+        title=f"Fig 10: CAF Himeno ({grid} grid, Stampede)",
+        x_label="images",
+        y_label="MFLOPS",
+    )
+    for cfg in (UHCAF_GASNET, UHCAF_MV2X_SHMEM):
+        ys = [
+            himeno_bench.himeno_caf(
+                "stampede", cfg, n, grid=grid, iterations=iterations
+            ).mflops
+            for n in image_counts
+        ]
+        fig.add_series(cfg.label, list(image_counts), ys)
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def tables() -> list:
+    """Tables I-III as renderable objects."""
+    from repro.caf import registry
+
+    return [registry.table1(), registry.table2(), registry.table3()]

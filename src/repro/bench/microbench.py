@@ -1,0 +1,224 @@
+"""The PGAS Microbenchmark suite in CAF (paper Section V-B, Figs 6-8).
+
+Three tests, each parameterized by a :class:`~repro.bench.harness.CafConfig`:
+
+* **Contiguous put bandwidth** — co-indexed whole-slice assignment
+  between pairs on two different nodes (Figs 6/7 plots a, b).
+* **Multi-dimensional strided put bandwidth** — a 2-D strided section
+  ``a(0:R:2, 0:C:stride)[partner]`` whose stride length is the x-axis
+  (Figs 6/7 plots c, d).  The row dimension deliberately has more
+  selected elements than the column dimension at large strides, so the
+  base-dimension choice (``2dim``) pays off exactly as in the paper.
+* **Lock contention** — every image repeatedly acquires and releases a
+  lock on image 1 (Fig 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import caf
+from repro.bench.harness import (
+    CafConfig,
+    bandwidth_MBps,
+    pair_partner,
+    pair_world_size,
+)
+from repro.runtime.context import current
+
+INT_SIZE = 4  # the suite's "# of integers" x-axes count 4-byte integers
+
+
+def caf_put_bandwidth(
+    machine: str,
+    config: CafConfig,
+    nbytes: int,
+    pairs: int = 1,
+    iters: int = 10,
+) -> float:
+    """Contiguous co-indexed put bandwidth in MB/s (Figs 6/7 a-b).
+
+    CAF ordering holds: every assignment statement completes remotely
+    before the next (the runtime's Section IV-B quiet insertion), so
+    bandwidth is statement bandwidth, not pipelined NIC bandwidth.
+    """
+    num_pes = pair_world_size(pairs)
+    nelems = max(1, nbytes // INT_SIZE)
+    heap = max(1 << 22, 4 * nelems * INT_SIZE + (1 << 18))
+
+    def kernel() -> float | None:
+        ctx = current()
+        me = ctx.pe
+        a = caf.coarray((nelems,), np.int32)
+        a[:] = me
+        caf.sync_all()
+        partner = pair_partner(me, pairs)
+        if partner is None:
+            caf.sync_all()
+            return None
+        partner_image = partner + 1
+        payload = np.full(nelems, me, dtype=np.int32)
+        t0 = ctx.clock.now
+        for _ in range(iters):
+            a.on(partner_image)[:] = payload
+        elapsed = ctx.clock.now - t0
+        caf.sync_all()
+        return bandwidth_MBps(nelems * INT_SIZE * iters, elapsed)
+
+    results = caf.launch(
+        kernel, num_pes, machine, heap_bytes=heap, **config.launch_kwargs()
+    )
+    return min(r for r in results if r is not None)
+
+
+def caf_get_bandwidth(
+    machine: str,
+    config: CafConfig,
+    nbytes: int,
+    pairs: int = 1,
+    iters: int = 10,
+) -> float:
+    """Contiguous co-indexed *get* bandwidth in MB/s (the suite's get
+    test; gets are blocking round trips, so no quiet is involved)."""
+    num_pes = pair_world_size(pairs)
+    nelems = max(1, nbytes // INT_SIZE)
+    heap = max(1 << 22, 4 * nelems * INT_SIZE + (1 << 18))
+
+    def kernel() -> float | None:
+        ctx = current()
+        me = ctx.pe
+        a = caf.coarray((nelems,), np.int32)
+        a[:] = me
+        caf.sync_all()
+        partner = pair_partner(me, pairs)
+        if partner is None:
+            caf.sync_all()
+            return None
+        partner_image = partner + 1
+        t0 = ctx.clock.now
+        for _ in range(iters):
+            a.on(partner_image)[...]
+        elapsed = ctx.clock.now - t0
+        caf.sync_all()
+        return bandwidth_MBps(nelems * INT_SIZE * iters, elapsed)
+
+    results = caf.launch(
+        kernel, num_pes, machine, heap_bytes=heap, **config.launch_kwargs()
+    )
+    return min(r for r in results if r is not None)
+
+
+def caf_strided_get_bandwidth(
+    machine: str,
+    config: CafConfig,
+    stride: int,
+    pairs: int = 1,
+    iters: int = 5,
+    rows: int = 128,
+    cols: int = 1024,
+) -> float:
+    """2-D strided co-indexed get bandwidth in MB/s (suite get test)."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    num_pes = pair_world_size(pairs)
+    heap = max(1 << 22, 4 * rows * cols * INT_SIZE + (1 << 18))
+    n_rows = rows // 2
+    n_cols = max(1, -(-cols // stride))
+    payload_elems = n_rows * n_cols
+
+    def kernel() -> float | None:
+        ctx = current()
+        me = ctx.pe
+        a = caf.coarray((rows, cols), np.int32)
+        a[:] = me
+        caf.sync_all()
+        partner = pair_partner(me, pairs)
+        if partner is None:
+            caf.sync_all()
+            return None
+        partner_image = partner + 1
+        t0 = ctx.clock.now
+        for _ in range(iters):
+            a.on(partner_image)[0:rows:2, 0:cols:stride]
+        elapsed = ctx.clock.now - t0
+        caf.sync_all()
+        return bandwidth_MBps(payload_elems * INT_SIZE * iters, elapsed)
+
+    results = caf.launch(
+        kernel, num_pes, machine, heap_bytes=heap, **config.launch_kwargs()
+    )
+    return min(r for r in results if r is not None)
+
+
+def caf_strided_put_bandwidth(
+    machine: str,
+    config: CafConfig,
+    stride: int,
+    pairs: int = 1,
+    iters: int = 5,
+    rows: int = 128,
+    cols: int = 1024,
+) -> float:
+    """2-D strided co-indexed put bandwidth in MB/s (Figs 6/7 c-d).
+
+    Section: ``a(0:rows:2, 0:cols:stride)`` — ``rows/2`` selected rows,
+    ``cols/stride`` selected columns.  Bandwidth counts payload bytes
+    (the selected elements), as the suite does.
+    """
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    num_pes = pair_world_size(pairs)
+    heap = max(1 << 22, 4 * rows * cols * INT_SIZE + (1 << 18))
+    n_rows = rows // 2
+    n_cols = max(1, -(-cols // stride))
+    payload_elems = n_rows * n_cols
+
+    def kernel() -> float | None:
+        ctx = current()
+        me = ctx.pe
+        a = caf.coarray((rows, cols), np.int32)
+        a[:] = 0
+        caf.sync_all()
+        partner = pair_partner(me, pairs)
+        if partner is None:
+            caf.sync_all()
+            return None
+        partner_image = partner + 1
+        payload = np.full((n_rows, n_cols), me + 1, dtype=np.int32)
+        t0 = ctx.clock.now
+        for _ in range(iters):
+            a.on(partner_image)[0:rows:2, 0:cols:stride] = payload
+        elapsed = ctx.clock.now - t0
+        caf.sync_all()
+        return bandwidth_MBps(payload_elems * INT_SIZE * iters, elapsed)
+
+    results = caf.launch(
+        kernel, num_pes, machine, heap_bytes=heap, **config.launch_kwargs()
+    )
+    return min(r for r in results if r is not None)
+
+
+def lock_contention_time(
+    machine: str,
+    config: CafConfig,
+    num_images: int,
+    acquires: int = 4,
+) -> float:
+    """Fig 8 cell: every image acquires+releases ``lck[1]`` ``acquires``
+    times; returns total elapsed virtual microseconds (max over images)."""
+    if num_images < 1:
+        raise ValueError("num_images must be >= 1")
+
+    def kernel() -> float:
+        ctx = current()
+        lck = caf.lock_type()
+        caf.sync_all()
+        t0 = ctx.clock.now
+        for _ in range(acquires):
+            caf.lock(lck, 1)
+            caf.unlock(lck, 1)
+        caf.sync_all()
+        return ctx.clock.now - t0
+
+    results = caf.launch(kernel, num_images, machine, **config.launch_kwargs())
+    return max(results)

@@ -1,0 +1,158 @@
+"""The "Why OpenSHMEM?" library comparison (paper Section III, Figs 2-3).
+
+Raw put latency and bandwidth of the three candidate one-sided
+libraries — OpenSHMEM, GASNet, and MPI-3.0 — between PE pairs placed on
+two different nodes, with 1 pair (no contention) and 16 pairs (full
+inter-node contention).
+
+Per machine, the libraries are the ones the paper used:
+
+* Stampede: MVAPICH2-X SHMEM, GASNet (IBV conduit), MVAPICH2-X MPI-3.0;
+* Titan / Cray XC30: Cray SHMEM, GASNet (Gemini/Aries conduit),
+  Cray MPICH.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import gasnet as gasnet_mod
+from repro import mpirma as mpirma_mod
+from repro import shmem as shmem_mod
+from repro.bench.harness import bandwidth_MBps, pair_partner, pair_world_size
+from repro.runtime.context import current
+from repro.runtime.launcher import Job
+
+#: library name -> (attach function, conduit per machine kind)
+LIBRARIES = ("shmem", "gasnet", "mpi3")
+
+
+def library_label(lib: str, machine: str) -> str:
+    """The name the paper's legend uses for ``lib`` on ``machine``."""
+    cray = machine.lower() != "stampede"
+    return {
+        "shmem": "Cray SHMEM" if cray else "MVAPICH2-X SHMEM",
+        "gasnet": "GASNet",
+        "mpi3": "Cray MPICH" if cray else "MVAPICH2-X MPI-3.0",
+    }[lib]
+
+
+def _profile_for(lib: str, machine: str) -> str:
+    cray = machine.lower() != "stampede"
+    return {
+        "shmem": "cray-shmem" if cray else "mvapich2x-shmem",
+        "gasnet": "gasnet",
+        "mpi3": "cray-mpich" if cray else "mpi3",
+    }[lib]
+
+
+def _attach(job: Job, lib: str, machine: str):
+    profile = _profile_for(lib, machine)
+    if lib == "shmem":
+        return shmem_mod.attach(job, profile)
+    if lib == "gasnet":
+        return gasnet_mod.attach(job, profile)
+    if lib == "mpi3":
+        return mpirma_mod.attach(job, profile)
+    raise ValueError(f"unknown library {lib!r}; expected {LIBRARIES}")
+
+
+def _run_put_test(
+    machine: str,
+    lib: str,
+    nbytes: int,
+    pairs: int,
+    iters: int,
+    mode: str,
+) -> float:
+    """One cell of Fig 2/3.
+
+    ``mode="latency"``: each iteration is put + wait-for-remote-
+    completion; returns mean microseconds per operation (max over
+    pairs).  ``mode="bandwidth"``: back-to-back puts with one final
+    completion wait; returns per-pair MB/s (min over pairs, i.e. the
+    contended rate).
+    """
+    if mode not in ("latency", "bandwidth"):
+        raise ValueError("mode must be latency or bandwidth")
+    num_pes = pair_world_size(pairs)
+    heap = max(1 << 20, 2 * nbytes + (1 << 16))
+    job = Job(num_pes, machine, heap_bytes=heap)
+    layer = _attach(job, lib, machine)
+
+    def kernel() -> float | None:
+        ctx = current()
+        me = ctx.pe
+        nelems = max(1, nbytes)
+        buf = layer.alloc_array((nelems,), np.uint8)
+        data = np.full(nelems, me % 251, dtype=np.uint8)
+        partner = pair_partner(me, pairs)
+        layer.barrier_all()
+        if partner is None:
+            layer.barrier_all()
+            return None
+        t0 = ctx.clock.now
+        if mode == "latency":
+            for _ in range(iters):
+                layer.put(buf, data, partner)
+                layer.quiet()
+            elapsed = ctx.clock.now - t0
+            result = elapsed / iters
+        else:
+            for _ in range(iters):
+                layer.put(buf, data, partner)
+            layer.quiet()
+            elapsed = ctx.clock.now - t0
+            result = bandwidth_MBps(nbytes * iters, elapsed)
+        layer.barrier_all()
+        return result
+
+    results = [r for r in job.run(kernel) if r is not None]
+    # Latency: report the slowest pair (contention tail); bandwidth:
+    # the per-pair achieved rate under contention.
+    return max(results) if mode == "latency" else min(results)
+
+
+def put_latency(
+    machine: str, lib: str, nbytes: int, pairs: int = 1, iters: int = 20
+) -> float:
+    """Mean put latency in microseconds (Fig 2 cell)."""
+    return _run_put_test(machine, lib, nbytes, pairs, iters, "latency")
+
+
+def put_bandwidth(
+    machine: str, lib: str, nbytes: int, pairs: int = 1, iters: int = 20
+) -> float:
+    """Per-pair put bandwidth in MB/s (Fig 3 cell)."""
+    return _run_put_test(machine, lib, nbytes, pairs, iters, "bandwidth")
+
+
+def atomic_latency(machine: str, lib: str, pairs: int = 1, iters: int = 20) -> float:
+    """Mean fetch-add round-trip latency in microseconds.
+
+    The suite's atomics test; the property behind the paper's Section
+    III remark that "availability of certain features like remote
+    atomics in OpenSHMEM also provides an edge over GASNet".
+    """
+    num_pes = pair_world_size(pairs)
+    job = Job(num_pes, machine)
+    layer = _attach(job, lib, machine)
+
+    def kernel() -> float | None:
+        ctx = current()
+        me = ctx.pe
+        word = layer.alloc_array((1,), np.int64)
+        partner = pair_partner(me, pairs)
+        layer.barrier_all()
+        if partner is None:
+            layer.barrier_all()
+            return None
+        t0 = ctx.clock.now
+        for _ in range(iters):
+            layer.atomic(word, partner, 0, "fadd", 1)
+        elapsed = ctx.clock.now - t0
+        layer.barrier_all()
+        return elapsed / iters
+
+    results = [r for r in job.run(kernel) if r is not None]
+    return max(results)

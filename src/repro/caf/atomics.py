@@ -1,0 +1,102 @@
+"""CAF atomic subroutines (Table II's atomic rows).
+
+Fortran's ``atomic_int_kind`` maps to 8-byte integers here, matching
+OpenSHMEM's 8-byte AMO support the translation relies on:
+
+=====================  =====================
+CAF                    OpenSHMEM
+=====================  =====================
+``atomic_define``      ``shmem_set``
+``atomic_ref``         ``shmem_fetch``
+``atomic_cas``         ``shmem_cswap``
+``atomic_fetch_add``   ``shmem_fadd``
+``atomic_fetch_and``   ``shmem_and``
+``atomic_fetch_or``    ``shmem_or``
+``atomic_fetch_xor``   ``shmem_xor``
+``atomic_swap``        ``shmem_swap``
+=====================  =====================
+
+All functions take a coarray, the image to operate *at* (1-based), and
+a flat element index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caf.coarray import Coarray
+from repro.caf.runtime import CafError, CafRuntime
+
+
+def _check_atom(coarray: Coarray) -> None:
+    if coarray.dtype.itemsize != 8 or not np.issubdtype(coarray.dtype, np.integer):
+        raise CafError(
+            f"CAF atomics require an 8-byte integer coarray (atomic_int_kind); "
+            f"got dtype {coarray.dtype}"
+        )
+
+
+def atomic_define(rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0) -> None:
+    """``call atomic_define(atom[image], value)``."""
+    _check_atom(coarray)
+    rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "set", value)
+
+
+def atomic_ref(rt: CafRuntime, coarray: Coarray, image: int, index: int = 0) -> int:
+    """``call atomic_ref(value, atom[image])``; returns the value."""
+    _check_atom(coarray)
+    return int(rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "fetch"))
+
+
+def atomic_cas(
+    rt: CafRuntime, coarray: Coarray, image: int, compare, new, index: int = 0
+) -> int:
+    """``call atomic_cas(atom[image], old, compare, new)``; returns old."""
+    _check_atom(coarray)
+    return int(
+        rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "cswap", new, compare)
+    )
+
+
+def atomic_fetch_add(
+    rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0
+) -> int:
+    """``call atomic_fetch_add(atom[image], value, old)``; returns old."""
+    _check_atom(coarray)
+    return int(rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "fadd", value))
+
+
+def atomic_add(rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0) -> None:
+    """``call atomic_add(atom[image], value)``."""
+    _check_atom(coarray)
+    rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "fadd", value)
+
+
+def atomic_fetch_and(
+    rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0
+) -> int:
+    """``call atomic_fetch_and(atom[image], value, old)``; returns old."""
+    _check_atom(coarray)
+    return int(rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "and", value))
+
+
+def atomic_fetch_or(
+    rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0
+) -> int:
+    """``call atomic_fetch_or(atom[image], value, old)``; returns old."""
+    _check_atom(coarray)
+    return int(rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "or", value))
+
+
+def atomic_fetch_xor(
+    rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0
+) -> int:
+    """``call atomic_fetch_xor(atom[image], value, old)``; returns old."""
+    _check_atom(coarray)
+    return int(rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "xor", value))
+
+
+def atomic_swap(rt: CafRuntime, coarray: Coarray, image: int, value, index: int = 0) -> int:
+    """Fetch-and-store (``shmem_swap``); returns the old value."""
+    _check_atom(coarray)
+    return int(rt.layer.atomic(coarray.handle, rt.image_to_pe(image), index, "swap", value))

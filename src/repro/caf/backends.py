@@ -1,0 +1,96 @@
+"""CAF runtime backends — the communication layers UHCAF can target.
+
+The paper's point is that the CAF runtime is *retargetable*: the same
+translation runs over OpenSHMEM, GASNet (the original UHCAF transport),
+or MPI-3.0 RMA.  A backend bundles:
+
+* the underlying one-sided layer (with its conduit profile),
+* which lock algorithm the runtime uses on it (``mcs`` — the paper's
+  contribution — needs remote fetch-and-store/compare-and-swap, which
+  every layer here exposes; the Cray CAF reference backend uses a
+  central test-and-set, modeling the less scalable vendor locks that
+  the paper's Fig 8 baseline exhibits),
+* the default multi-dimensional strided policy.
+
+``craycaf`` is not a UHCAF target but the *reference model of the Cray
+Fortran compiler's own runtime* used as the Fig 6/8/9 baseline: DMAPP
+transfers with slightly higher per-call overhead, strided transfers
+always along the fastest dimension (no base-dimension choice), and
+test-and-set locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import gasnet as gasnet_mod
+from repro import mpirma as mpirma_mod
+from repro import shmem as shmem_mod
+from repro.comm.base import OneSidedLayer
+from repro.runtime.launcher import Job
+from repro.sim.netmodel import ConduitProfile
+
+BACKENDS = ("shmem", "gasnet", "mpi", "craycaf")
+LOCK_ALGORITHMS = ("mcs", "tas")
+
+
+@dataclass(frozen=True, slots=True)
+class CafBackend:
+    """One retarget of the CAF runtime."""
+
+    name: str
+    layer: OneSidedLayer
+    lock_algorithm: str
+    strided_default: str
+
+    def __post_init__(self) -> None:
+        if self.lock_algorithm not in LOCK_ALGORITHMS:
+            raise ValueError(
+                f"unknown lock algorithm {self.lock_algorithm!r}; expected {LOCK_ALGORITHMS}"
+            )
+
+
+class _DmappLayer(OneSidedLayer):
+    """The Cray CAF runtime's DMAPP transport (reference baseline)."""
+
+    LAYER_NAME = "dmapp"
+
+
+def make_backend(
+    job: Job,
+    name: str,
+    *,
+    profile: ConduitProfile | str | None = None,
+    lock_algorithm: str | None = None,
+    strided: str | None = None,
+) -> CafBackend:
+    """Construct (and attach to ``job``) the named backend.
+
+    ``profile`` overrides the conduit (e.g. force MVAPICH2-X SHMEM on a
+    Cray machine for what-if runs); ``lock_algorithm`` and ``strided``
+    override the backend defaults (used by the ablation benchmarks).
+    """
+    if name == "shmem":
+        layer: OneSidedLayer = shmem_mod.attach(job, profile)
+        defaults = ("mcs", "auto")
+    elif name == "gasnet":
+        layer = gasnet_mod.attach(job, profile or "gasnet")
+        defaults = ("mcs", "auto")
+    elif name == "mpi":
+        layer = mpirma_mod.attach(job, profile or "mpi3")
+        defaults = ("mcs", "auto")
+    elif name == "craycaf":
+        if _DmappLayer.LAYER_NAME in job.layers:
+            layer = job.layers[_DmappLayer.LAYER_NAME]
+        else:
+            layer = _DmappLayer(job, profile or "dmapp-caf")
+            job.layers[_DmappLayer.LAYER_NAME] = layer
+        defaults = ("tas", "lastdim")
+    else:
+        raise ValueError(f"unknown CAF backend {name!r}; expected one of {BACKENDS}")
+    return CafBackend(
+        name=name,
+        layer=layer,
+        lock_algorithm=lock_algorithm or defaults[0],
+        strided_default=strided or defaults[1],
+    )

@@ -1,0 +1,180 @@
+"""Coarrays and co-indexed references.
+
+A :class:`Coarray` is the Python rendering of ``real :: x(n,m)[*]``:
+an array with one instance per image, remotely accessible by all.
+Local access uses normal NumPy indexing on the coarray itself; remote
+access goes through :meth:`Coarray.on`, the analogue of the square
+bracket co-subscript::
+
+    x = caf.coarray((4,), np.int64)      # integer :: x(4)[*]
+    x[:] = caf.this_image()              # x = this_image()
+    caf.sync_all()                       # sync all
+    v = x.on(4)[2]                       # v = x(3)[4]   (0-based here)
+    x.on(4)[0] = v                       # x(1)[4] = v
+
+Co-indexed slice assignments and reads are planned by the runtime's
+strided engine and executed over the backend layer; each access accepts
+an ``algorithm`` override through :meth:`CoindexedRef.get` /
+:meth:`CoindexedRef.put` for benchmarking.
+"""
+
+from __future__ import annotations
+
+import typing
+
+import numpy as np
+
+from repro.runtime.context import current
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.caf.runtime import CafRuntime
+    from repro.comm.heap import SymmetricArray
+
+
+class Coarray:
+    """A symmetric, remotely-accessible array (one instance per image).
+
+    ``codim`` optionally attaches a corank>1 codimension spec
+    (:class:`repro.caf.codimension.Codimensions`, e.g. ``[2,3,*]``);
+    the :meth:`image_index` / :meth:`this_image_subs` intrinsics and
+    cosubscript co-indexing (``x.at(1, 2, 1)``) then work on it.
+    """
+
+    def __init__(self, runtime: "CafRuntime", shape, dtype, codim=None) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.runtime = runtime
+        self.codim = codim
+        alloc_shape = self.shape if self.shape else (1,)
+        self.handle: "SymmetricArray" = runtime.alloc_symmetric(alloc_shape, self.dtype)
+        self._allocated = True
+
+    # -- local access ---------------------------------------------------
+    @property
+    def local(self) -> np.ndarray:
+        """This image's instance (zero-copy NumPy view)."""
+        self._check()
+        view = self.handle.local
+        return view.reshape(self.shape) if self.shape else view.reshape(())
+
+    def __getitem__(self, key):
+        return self.local[key]
+
+    def __setitem__(self, key, value) -> None:
+        self.local[key] = value
+
+    def __array__(self, dtype=None, copy=None):
+        arr = self.local
+        if dtype is not None:
+            arr = arr.astype(dtype)
+        return np.array(arr, copy=True) if copy else arr
+
+    # -- codimension intrinsics ------------------------------------------
+    def image_index(self, *cosubscripts: int) -> int:
+        """``image_index(coarray, sub)``: image holding the cosubscripts,
+        or 0 if none (requires a ``codim`` spec)."""
+        if self.codim is None:
+            raise ValueError("coarray has no codimension spec (corank 1)")
+        return self.codim.image_index(tuple(cosubscripts), self.runtime.num_images())
+
+    def this_image_subs(self) -> tuple[int, ...]:
+        """``this_image(coarray)``: the calling image's cosubscripts."""
+        if self.codim is None:
+            raise ValueError("coarray has no codimension spec (corank 1)")
+        return self.codim.this_image(
+            self.runtime.this_image(), self.runtime.num_images()
+        )
+
+    def at(self, *cosubscripts: int) -> "CoindexedRef":
+        """Co-index by cosubscripts: ``x.at(2, 1)`` is ``x[2, 1]`` in
+        Fortran's multi-codimension bracket notation."""
+        image = self.image_index(*cosubscripts)
+        if image == 0:
+            raise IndexError(
+                f"cosubscripts {cosubscripts} name no existing image "
+                f"({self.runtime.num_images()} images)"
+            )
+        return self.on(image)
+
+    # -- remote access ----------------------------------------------------
+    def on(self, image: int) -> "CoindexedRef":
+        """Co-index this coarray on ``image`` (1-based), like ``[image]``."""
+        self._check()
+        self.runtime.image_to_pe(image)  # validate early
+        return CoindexedRef(self, image)
+
+    # -- lifecycle ----------------------------------------------------------
+    def deallocate(self) -> None:
+        """Collective deallocation (``deallocate`` -> ``shfree``)."""
+        self._check()
+        self.runtime.free_symmetric(self.handle)
+        self._allocated = False
+
+    def _check(self) -> None:
+        if not self._allocated:
+            raise ValueError("coarray used after deallocate")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "" if self._allocated else ", deallocated"
+        return f"Coarray(shape={self.shape}, dtype={self.dtype}{state})"
+
+
+class CoindexedRef:
+    """``coarray ... [image]`` — a co-indexed view for one remote image."""
+
+    __slots__ = ("coarray", "image")
+
+    def __init__(self, coarray: Coarray, image: int) -> None:
+        self.coarray = coarray
+        self.image = image
+
+    @property
+    def is_local(self) -> bool:
+        return self.image - 1 == current().pe
+
+    def __getitem__(self, key):
+        return self.get(key)
+
+    def __setitem__(self, key, value) -> None:
+        self.put(key, value)
+
+    def get(self, key=..., *, algorithm: str | None = None):
+        """Read a section from the remote image."""
+        ca = self.coarray
+        ca._check()
+        shape = ca.shape if ca.shape else (1,)
+        result = ca.runtime.get_section(
+            ca.handle, shape, self.image, key, algorithm=algorithm
+        )
+        if not ca.shape:  # scalar coarray
+            return result[0] if isinstance(result, np.ndarray) else result
+        return result
+
+    def put(self, key, value, *, algorithm: str | None = None) -> None:
+        """Write a section on the remote image."""
+        ca = self.coarray
+        ca._check()
+        shape = ca.shape if ca.shape else (1,)
+        ca.runtime.put_section(
+            ca.handle, shape, self.image, key, value, algorithm=algorithm
+        )
+
+    # Scalar-coarray sugar: x.on(j).value / x.on(j).set(v)
+    @property
+    def value(self):
+        return self.get(...)
+
+    def set(self, value) -> None:
+        self.put(..., value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CoindexedRef({self.coarray!r}, image={self.image})"

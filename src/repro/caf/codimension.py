@@ -1,0 +1,100 @@
+"""Codimension arithmetic: multi-corank coarrays.
+
+Fortran coarrays may have corank > 1 — ``real :: x(10)[2,3,*]`` lays
+images out on a 2x3x* grid — and the intrinsics ``image_index`` and
+``this_image`` convert between image indices and cosubscripts.  The
+paper's examples use corank 1 (``[*]``), but the runtime mapping is
+pure index arithmetic, provided here as the natural extension (it is
+what the OpenUH front-end computes before emitting runtime calls).
+
+Semantics follow Fortran 2008:
+
+* cosubscripts run from a per-codimension lower bound (default 1);
+* the last codimension is unbounded (``*``); its extent is determined
+  by ``num_images()``;
+* images map to cosubscripts in column-major order (the first
+  codimension varies fastest);
+* ``image_index`` returns 0 for cosubscripts that name no existing
+  image (valid bounds but beyond ``num_images()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Codimensions:
+    """A coarray's codimension spec, e.g. ``[2, 3, *]``.
+
+    ``extents`` lists the fixed codimension extents (all but the last);
+    ``lower_bounds`` gives each codimension's lower bound (defaults to
+    all ones, like Fortran).  Corank == ``len(extents) + 1``.
+    """
+
+    extents: tuple[int, ...] = ()
+    lower_bounds: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if any(e < 1 for e in self.extents):
+            raise ValueError(f"codimension extents must be >= 1, got {self.extents}")
+        if self.lower_bounds is not None and len(self.lower_bounds) != self.corank:
+            raise ValueError(
+                f"need {self.corank} lower bounds, got {len(self.lower_bounds)}"
+            )
+
+    @property
+    def corank(self) -> int:
+        return len(self.extents) + 1
+
+    def bounds(self) -> tuple[int, ...]:
+        return self.lower_bounds if self.lower_bounds is not None else (1,) * self.corank
+
+    # ------------------------------------------------------------------
+    def image_index(self, cosubscripts: tuple[int, ...], num_images: int) -> int:
+        """``image_index(coarray, sub)``: the 1-based image holding the
+        given cosubscripts, or 0 if they name no existing image."""
+        if len(cosubscripts) != self.corank:
+            raise ValueError(
+                f"need {self.corank} cosubscripts, got {len(cosubscripts)}"
+            )
+        if num_images < 1:
+            raise ValueError("num_images must be >= 1")
+        lows = self.bounds()
+        index = 0
+        stride = 1
+        for sub, low, extent in zip(cosubscripts, lows, self.extents + (None,)):
+            off = sub - low
+            if off < 0:
+                return 0
+            if extent is not None and off >= extent:
+                return 0
+            index += off * stride
+            stride *= extent if extent is not None else 1
+        image = index + 1
+        return image if image <= num_images else 0
+
+    def this_image(self, image: int, num_images: int) -> tuple[int, ...]:
+        """``this_image(coarray)``: the cosubscripts of ``image``."""
+        if not 1 <= image <= num_images:
+            raise ValueError(f"image {image} out of range [1, {num_images}]")
+        lows = self.bounds()
+        rem = image - 1
+        subs = []
+        for low, extent in zip(lows, self.extents):
+            subs.append(low + rem % extent)
+            rem //= extent
+        subs.append(lows[-1] + rem)
+        return tuple(subs)
+
+    def max_last_cosubscript(self, num_images: int) -> int:
+        """Upper cosubscript of the ``*`` codimension (``ucobound``)."""
+        fixed = 1
+        for e in self.extents:
+            fixed *= e
+        lows = self.bounds()
+        return lows[-1] + (num_images - 1) // fixed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [str(e) for e in self.extents] + ["*"]
+        return f"Codimensions[{', '.join(parts)}]"

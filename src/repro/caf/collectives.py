@@ -1,0 +1,139 @@
+"""CAF collectives (``co_sum``, ``co_broadcast``, ...).
+
+Fortran 2018 collectives operate on an ordinary (non-coarray) array
+argument, combining corresponding elements across the images of the
+*current team* in place.  Following the paper's footnote — *"In UHCAF,
+we implement CAF reductions and broadcasts using 1-sided communication
+and remote atomics available in OpenSHMEM"* — these are built from
+scratch coarray buffers plus one-sided get/put in a binomial tree, not
+from the layer's native collectives, so they work identically over
+every backend (GASNet has no reduction primitive) and inside teams.
+
+``co_sum(a)`` leaves the result on every image; ``co_sum(a,
+result_image=j)`` only guarantees it on image ``j`` (other images'
+arrays become undefined per the standard — here they keep the partial
+tree values, which tests treat as unspecified).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.caf.runtime import CafRuntime
+from repro.runtime.context import current
+
+_NAMED_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def _tree_reduce(
+    rt: CafRuntime,
+    arr: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    result_image: int | None,
+) -> None:
+    """In-place binomial-tree reduction of ``arr`` across the current
+    team's images (ranks are positions within the team)."""
+    if not isinstance(arr, np.ndarray):
+        raise TypeError("CAF collectives operate on NumPy arrays in place")
+    ctx = current()
+    pes = rt.team_pes()
+    n = len(pes)
+    rank = pes.index(ctx.pe)
+    scratch = rt.alloc_symmetric((max(arr.size, 1),), arr.dtype)
+    try:
+        scratch.local.reshape(-1)[: arr.size] = arr.reshape(-1)
+        rt.barrier()
+        # Reduce toward rank 0: at round k, ranks aligned to 2^(k+1)
+        # pull from their partner 2^k away (1-sided gets).
+        step = 1
+        while step < n:
+            if rank % (2 * step) == 0 and rank + step < n:
+                data = rt.layer.get(scratch, arr.size, pes[rank + step])
+                combined = op(scratch.local.reshape(-1)[: arr.size], data)
+                scratch.local.reshape(-1)[: arr.size] = combined
+            rt.barrier()
+            step *= 2
+        # Distribute the result.
+        if result_image is None:
+            step = 1 << max(0, (n - 1).bit_length() - 1)
+            while step >= 1:
+                if rank % (2 * step) == 0 and rank + step < n:
+                    rt.layer.put(
+                        scratch, scratch.local.reshape(-1)[: arr.size], pes[rank + step]
+                    )
+                rt.barrier()
+                step //= 2
+            arr.reshape(-1)[:] = scratch.local.reshape(-1)[: arr.size]
+        else:
+            root_pe = rt.image_to_pe(result_image)
+            root_rank = pes.index(root_pe)
+            if root_rank != 0 and rank == 0:
+                rt.layer.put(scratch, scratch.local.reshape(-1)[: arr.size], root_pe)
+            rt.barrier()
+            # Standard: the argument becomes undefined on non-result
+            # images; we leave partial tree values in place.
+            arr.reshape(-1)[:] = scratch.local.reshape(-1)[: arr.size]
+        rt.barrier()
+    finally:
+        rt.free_symmetric(scratch)
+
+
+def co_reduce(
+    rt: CafRuntime,
+    arr: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    result_image: int | None = None,
+) -> None:
+    """``co_reduce``: reduce with a user binary operation (elementwise,
+    must be associative and commutative)."""
+    _tree_reduce(rt, arr, op, result_image)
+
+
+def co_named(
+    rt: CafRuntime, arr: np.ndarray, name: str, result_image: int | None = None
+) -> None:
+    """``co_sum``/``co_min``/``co_max``/``co_prod`` by name."""
+    try:
+        op = _NAMED_OPS[name]
+    except KeyError:
+        raise ValueError(f"unknown collective {name!r}; expected {sorted(_NAMED_OPS)}") from None
+    _tree_reduce(rt, arr, op, result_image)
+
+
+def co_broadcast(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
+    """``co_broadcast``: replace ``arr`` on every team image with
+    ``source_image``'s value (binomial tree of 1-sided puts)."""
+    if not isinstance(arr, np.ndarray):
+        raise TypeError("CAF collectives operate on NumPy arrays in place")
+    ctx = current()
+    pes = rt.team_pes()
+    n = len(pes)
+    rank = pes.index(ctx.pe)
+    root_rank = pes.index(rt.image_to_pe(source_image))
+    scratch = rt.alloc_symmetric((max(arr.size, 1),), arr.dtype)
+    try:
+        if rank == root_rank:
+            scratch.local.reshape(-1)[: arr.size] = arr.reshape(-1)
+        rt.barrier()
+        # Rotate ranks so the root acts as rank 0 of the tree.
+        vrank = (rank - root_rank) % n
+        step = 1 << max(0, (n - 1).bit_length() - 1)
+        while step >= 1:
+            if vrank % (2 * step) == 0 and vrank + step < n:
+                dest_rank = (vrank + step + root_rank) % n
+                rt.layer.put(
+                    scratch, scratch.local.reshape(-1)[: arr.size], pes[dest_rank]
+                )
+            rt.barrier()
+            step //= 2
+        arr.reshape(-1)[:] = scratch.local.reshape(-1)[: arr.size]
+        rt.barrier()
+    finally:
+        rt.free_symmetric(scratch)

@@ -1,0 +1,78 @@
+"""CAF events (``event_type`` — TS 18508 / Fortran 2018).
+
+Events are counting semaphores with image affinity: ``event post
+(ev[j])`` atomically increments the count at image ``j``; ``event wait
+(ev)`` blocks on the *local* event until the count reaches the
+threshold, then atomically consumes it.  They are listed among the
+"additional features ... available in the CAF implementation in
+OpenUH" (paper Section II-A) and map onto the same OpenSHMEM atomics
+and ``wait_until`` the rest of the translation uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.caf.runtime import CafError, CafRuntime
+from repro.comm.constants import CMP_GE
+from repro.runtime.context import current
+
+
+class CafEvent:
+    """A coarray of event variables (one counter per image per index)."""
+
+    def __init__(self, runtime: CafRuntime, shape=()) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        self.shape = tuple(int(s) for s in shape)
+        self.runtime = runtime
+        n = 1
+        for s in self.shape:
+            n *= s
+        self.size = n
+        self.handle = runtime.alloc_symmetric((max(n, 1),), np.int64)
+
+    def _flat(self, index) -> int:
+        if isinstance(index, (int, np.integer)):
+            idx = (int(index),) if self.shape else ()
+        else:
+            idx = tuple(index)
+        if len(idx) != len(self.shape):
+            raise IndexError(f"event index {index!r} does not match shape {self.shape}")
+        flat = 0
+        for i, extent in zip(idx, self.shape):
+            if not 0 <= i < extent:
+                raise IndexError(f"event index {index!r} out of bounds for {self.shape}")
+            flat = flat * extent + i
+        return flat
+
+    # ------------------------------------------------------------------
+    def post(self, image: int, index=()) -> None:
+        """``event post (ev[image])``.
+
+        Completes this image's outstanding puts first (posts carry a
+        release semantic: data written before the post is visible to a
+        waiter that sees the post).
+        """
+        rt = self.runtime
+        rt.layer.quiet()
+        rt.layer.atomic(self.handle, rt.image_to_pe(image), self._flat(index), "fadd", 1)
+
+    def wait(self, index=(), until_count: int = 1) -> None:
+        """``event wait (ev, until_count=n)`` on the *local* event."""
+        if until_count < 1:
+            raise CafError("until_count must be >= 1")
+        rt = self.runtime
+        flat = self._flat(index)
+        rt.layer.wait_until(self.handle, CMP_GE, until_count, offset=flat)
+        # Consume the posts we waited for (local atomic keeps posters safe).
+        rt.layer.atomic(self.handle, current().pe, flat, "fadd", -until_count)
+
+    def query(self, index=()) -> int:
+        """``call event_query(ev, count)`` — local count, no blocking."""
+        rt = self.runtime
+        flat = self._flat(index)
+        return int(rt.layer.atomic(self.handle, current().pe, flat, "fetch"))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CafEvent(shape={self.shape})"

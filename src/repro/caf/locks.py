@@ -1,0 +1,275 @@
+"""CAF locks over one-sided communication (paper Section IV-D).
+
+CAF locks are coarrays of ``lock_type``: an image may acquire/release
+the lock *at any specific image* (``lock(lck[j])``).  OpenSHMEM's own
+locks are a single logically-global entity, so the paper adapts the
+MCS queue lock [Mellor-Crummey & Scott 1991] instead:
+
+* Each lock variable is one 8-byte word — the queue **tail** — holding
+  a packed remote pointer (20-bit image, 36-bit managed-heap offset,
+  8 flag bits; :mod:`repro.util.bitpack`).
+* A contender allocates a **qnode** (two 8-byte words: ``locked``,
+  ``next``) from the managed non-symmetric heap, swings the tail to it
+  with an atomic *fetch-and-store* (``shmem_swap``), links behind the
+  previous tail by writing its ``next`` word, and spins **locally** on
+  its own ``locked`` word.
+* Release *compare-and-swaps* the tail back to nil (``shmem_cswap``);
+  on failure a successor exists — wait for its link, then reset its
+  ``locked`` word with a single put.
+* A per-image hash table keyed ``(lock, image, index)`` maps held locks
+  to their qnodes; an image holds at most M+1 qnodes for M held locks.
+
+The module also provides the **test-and-set** baseline used by the
+``craycaf`` reference backend (central word, exponential backoff): it
+hammers the target image's atomic unit under contention, which is what
+the MCS adaptation beats in the paper's Fig 8.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import numpy as np
+
+from repro.caf.runtime import CafError, CafRuntime
+from repro.comm.constants import CMP_EQ, CMP_NE
+from repro.runtime.context import current
+from repro.runtime.launcher import JobAborted
+from repro.util.bitpack import NIL, pack_remote_pointer, unpack_remote_pointer
+
+#: qnode layout in the managed heap: two 8-byte words.
+QNODE_BYTES = 16
+_LOCKED_WORD = 0  # word index within the qnode
+_NEXT_WORD = 1
+
+_TAS_BACKOFF_START_US = 0.4
+_TAS_BACKOFF_MAX_US = 204.8
+
+
+class LockError(CafError):
+    """Misuse of CAF locks (double acquire, unlock of unheld lock, ...)."""
+
+
+class CafLock:
+    """A coarray of ``lock_type`` variables.
+
+    ``shape=()`` gives the common single lock per image
+    (``type(lock_type) :: lck[*]``); a non-empty shape gives an array of
+    locks per image (e.g. one per hash bucket in the DHT benchmark).
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, runtime: CafRuntime, shape=()) -> None:
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        self.shape = tuple(int(s) for s in shape)
+        self.runtime = runtime
+        n = 1
+        for s in self.shape:
+            n *= s
+        self.size = n
+        # Lock words start zeroed = NIL tail = unlocked.
+        self.handle = runtime.alloc_symmetric((max(n, 1),), np.uint64)
+        # A collectively-agreed identity for the held-locks hash table.
+        self.lock_id = runtime.agree(
+            f"caflock:{self.handle.byte_offset}", lambda: next(CafLock._ids)
+        )
+
+    # ------------------------------------------------------------------
+    def _flat_index(self, index) -> int:
+        if isinstance(index, (int, np.integer)):
+            idx = (int(index),) if self.shape else ()
+        else:
+            idx = tuple(index)
+        if len(idx) != len(self.shape):
+            raise IndexError(f"lock index {index!r} does not match shape {self.shape}")
+        flat = 0
+        for i, extent in zip(idx, self.shape):
+            if not 0 <= i < extent:
+                raise IndexError(f"lock index {index!r} out of bounds for {self.shape}")
+            flat = flat * extent + i
+        return flat
+
+    def acquire(self, image: int, index=()) -> None:
+        """``lock(lck[image])`` — acquire this lock *at* ``image``."""
+        rt = self.runtime
+        flat = self._flat_index(index)
+        if rt.backend.lock_algorithm == "mcs":
+            _mcs_acquire(rt, self, image, flat)
+        else:
+            _tas_acquire(rt, self, image, flat)
+
+    def release(self, image: int, index=()) -> None:
+        """``unlock(lck[image])``."""
+        rt = self.runtime
+        flat = self._flat_index(index)
+        if rt.backend.lock_algorithm == "mcs":
+            _mcs_release(rt, self, image, flat)
+        else:
+            _tas_release(rt, self, image, flat)
+
+    def holding(self, image: int, index=()) -> bool:
+        """Does *this image* currently hold the lock at ``image``?"""
+        rt = self.runtime
+        key = (self.lock_id, image, self._flat_index(index))
+        return key in rt._held[current().pe]
+
+    class _Guard:
+        __slots__ = ("lock", "image", "index")
+
+        def __init__(self, lock: "CafLock", image: int, index) -> None:
+            self.lock = lock
+            self.image = image
+            self.index = index
+
+        def __enter__(self) -> "CafLock._Guard":
+            self.lock.acquire(self.image, self.index)
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.lock.release(self.image, self.index)
+
+    def guard(self, image: int, index=()) -> "CafLock._Guard":
+        """Context manager: ``with lck.guard(j): ...``."""
+        return self._Guard(self, image, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CafLock(id={self.lock_id}, shape={self.shape})"
+
+
+# ---------------------------------------------------------------------------
+# MCS queue lock (the paper's algorithm)
+# ---------------------------------------------------------------------------
+
+
+def _held_key(lck: CafLock, image: int, flat: int) -> tuple[int, int, int]:
+    return (lck.lock_id, image, flat)
+
+
+def _mcs_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
+    ctx = current()
+    me_pe = ctx.pe
+    me_image = me_pe + 1
+    target_pe = rt.image_to_pe(image)
+    key = _held_key(lck, image, flat)
+    held = rt._held[me_pe]
+    if key in held:
+        raise LockError(
+            f"image {me_image} already holds lock {lck.lock_id}[{flat}] at image {image}"
+        )
+    # Allocate and initialize my qnode (locked=1, next=NIL).  The init
+    # goes through the notifying write path because remote PEs will
+    # later read/overwrite these words.
+    qoff = rt.managed_alloc(me_pe, QNODE_BYTES)
+    mem = rt.job.memories[me_pe]
+    mem.write(
+        rt.managed_byte_offset(qoff),
+        np.array([1, NIL], dtype=np.uint64),
+        timestamp=ctx.clock.now,
+    )
+    my_ptr = pack_remote_pointer(me_image, qoff)
+    # Swing the tail to me (atomic fetch-and-store = shmem_swap).
+    pred = int(rt.layer.atomic(lck.handle, target_pe, flat, "swap", my_ptr))
+    if pred != NIL:
+        p = unpack_remote_pointer(pred)
+        # Link behind the predecessor: write my pointer into its next word.
+        rt.layer.put(
+            rt.managed_u64,
+            np.array([my_ptr], dtype=np.uint64),
+            p.image - 1,
+            offset=(p.offset // 8) + _NEXT_WORD,
+        )
+        rt.layer.quiet()
+        # Spin locally on my qnode's locked word (the MCS property:
+        # no remote polling while waiting).
+        rt.layer.wait_until(rt.managed_u64, CMP_EQ, 0, offset=qoff // 8 + _LOCKED_WORD)
+    held[key] = qoff
+    rt.my_stats["lock_acquires"] += 1
+
+
+def _mcs_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
+    ctx = current()
+    me_pe = ctx.pe
+    me_image = me_pe + 1
+    target_pe = rt.image_to_pe(image)
+    key = _held_key(lck, image, flat)
+    held = rt._held[me_pe]
+    qoff = held.pop(key, None)
+    if qoff is None:
+        raise LockError(
+            f"image {me_image} does not hold lock {lck.lock_id}[{flat}] at image {image}"
+        )
+    my_ptr = pack_remote_pointer(me_image, qoff)
+    # Writes from the critical section must be remotely complete before
+    # the lock is visibly released.
+    rt.layer.quiet()
+    old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", NIL, my_ptr))
+    if old != my_ptr:
+        # A successor swung the tail past me; wait for it to link itself.
+        rt.layer.wait_until(rt.managed_u64, CMP_NE, NIL, offset=qoff // 8 + _NEXT_WORD)
+        nxt_word = int(
+            rt.job.memories[me_pe].read_scalar(
+                rt.managed_byte_offset(qoff) + 8 * _NEXT_WORD, np.uint64
+            )
+        )
+        nxt = unpack_remote_pointer(nxt_word)
+        # Hand the lock over: reset the successor's locked word.
+        rt.layer.put(
+            rt.managed_u64,
+            np.array([0], dtype=np.uint64),
+            nxt.image - 1,
+            offset=(nxt.offset // 8) + _LOCKED_WORD,
+        )
+        rt.layer.quiet()
+    rt.managed_free(me_pe, qoff)
+    rt.my_stats["lock_releases"] += 1
+
+
+# ---------------------------------------------------------------------------
+# Test-and-set baseline (Cray CAF reference model)
+# ---------------------------------------------------------------------------
+
+
+def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
+    ctx = current()
+    me_image = ctx.pe + 1
+    target_pe = rt.image_to_pe(image)
+    key = _held_key(lck, image, flat)
+    held = rt._held[ctx.pe]
+    if key in held:
+        raise LockError(
+            f"image {me_image} already holds lock {lck.lock_id}[{flat}] at image {image}"
+        )
+    backoff = _TAS_BACKOFF_START_US
+    while True:
+        old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", me_image, NIL))
+        if old == NIL:
+            break
+        ctx.clock.advance(backoff)
+        backoff = min(backoff * 2, _TAS_BACKOFF_MAX_US)
+        if rt.job.aborted():
+            raise JobAborted("job aborted while acquiring CAF lock")
+        time.sleep(0.0002)  # wall-clock yield; the delay cost is virtual
+    held[key] = -1  # no qnode for TAS
+    rt.my_stats["lock_acquires"] += 1
+
+
+def _tas_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
+    ctx = current()
+    me_image = ctx.pe + 1
+    target_pe = rt.image_to_pe(image)
+    key = _held_key(lck, image, flat)
+    held = rt._held[ctx.pe]
+    if held.pop(key, None) is None:
+        raise LockError(
+            f"image {me_image} does not hold lock {lck.lock_id}[{flat}] at image {image}"
+        )
+    rt.layer.quiet()
+    old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", NIL, me_image))
+    if old != me_image:
+        raise LockError(
+            f"lock word corrupted: expected holder {me_image}, found {old}"
+        )
+    rt.my_stats["lock_releases"] += 1

@@ -1,0 +1,477 @@
+"""The CAF runtime (the paper's UHCAF retargeted onto OpenSHMEM et al.).
+
+One :class:`CafRuntime` per job implements the translation of paper
+Section IV on top of a pluggable :class:`~repro.caf.backends.CafBackend`:
+
+* **Symmetric data** (Section IV-A): coarrays allocate collectively
+  through the backend layer (``allocate`` -> ``shmalloc``).
+* **Non-symmetric remotely-accessible data** (Section IV-A): one big
+  symmetric buffer is reserved at startup (the *managed heap*); each
+  image sub-allocates from its own copy independently, and remote
+  references are the packed 20/36/8-bit pointers of Section IV-D.
+* **RMA ordering** (Section IV-B): CAF guarantees same-image
+  same-location ordering; OpenSHMEM does not.  With
+  ``ordering="caf"`` (default) the runtime inserts ``quiet`` after
+  every put and before every get, exactly as the paper describes.
+  ``ordering="relaxed"`` drops the implicit quiets (ablation).
+* **Strided sections** (Section IV-C): co-indexed slices are planned by
+  :mod:`repro.caf.strided` under the runtime's (or per-call) policy.
+* **Locks** (Section IV-D): :mod:`repro.caf.locks` implements the MCS
+  adaptation on this runtime's managed heap and atomics.
+
+Images are 1-based (Fortran); the runtime converts to 0-based PEs at
+the backend boundary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.caf import rma
+from repro.caf.backends import CafBackend, make_backend
+from repro.caf.strided import make_plan, normalize_selection
+from repro.comm.constants import CMP_GE
+from repro.comm.heap import SymmetricArray
+from repro.runtime.context import PEContext, current
+from repro.runtime.launcher import Job
+from repro.sim.netmodel import ConduitProfile
+from repro.util.allocator import FreeListAllocator
+from repro.util.bitpack import MAX_OFFSET
+
+LAYER_NAME = "caf"
+
+DEFAULT_MANAGED_HEAP_BYTES = 1 << 20
+
+#: Implicit-lock slots backing the `critical` construct (see startup()).
+CRITICAL_SLOTS = 64
+
+ORDERINGS = ("caf", "relaxed")
+
+
+class CafError(RuntimeError):
+    """Errors in CAF semantics (bad image index, misuse of locks, ...)."""
+
+
+class CafRuntime:
+    """Runtime state shared by all images of one CAF program."""
+
+    def __init__(
+        self,
+        job: Job,
+        backend: str | CafBackend = "shmem",
+        *,
+        profile: ConduitProfile | str | None = None,
+        strided: str | None = None,
+        ordering: str = "caf",
+        managed_heap_bytes: int | None = None,
+        lock_algorithm: str | None = None,
+        use_shmem_ptr: bool = False,
+    ) -> None:
+        if ordering not in ORDERINGS:
+            raise ValueError(f"ordering must be one of {ORDERINGS}")
+        if managed_heap_bytes is None:
+            # Reserve a quarter of the symmetric heap (capped) for
+            # non-symmetric data, leaving the rest for coarrays.
+            managed_heap_bytes = min(DEFAULT_MANAGED_HEAP_BYTES, job.heap_bytes // 4)
+        if not 0 < managed_heap_bytes <= MAX_OFFSET:
+            raise ValueError(
+                f"managed heap must fit the 36-bit remote-pointer offset "
+                f"(max {MAX_OFFSET} bytes)"
+            )
+        self.job = job
+        if isinstance(backend, str):
+            backend = make_backend(
+                job, backend, profile=profile, lock_algorithm=lock_algorithm, strided=strided
+            )
+        self.backend = backend
+        self.layer = backend.layer
+        self.ordering = ordering
+        self.strided_policy = strided or backend.strided_default
+        # Future-work extension (paper Sec. VII): convert intra-node
+        # co-indexed accesses into direct load/store via shmem_ptr.
+        self.use_shmem_ptr = use_shmem_ptr
+        self.managed_heap_bytes = managed_heap_bytes
+        # Per-image private allocator over the managed heap: allocations
+        # are non-symmetric (different offsets on different images).
+        self._managed_alloc = [
+            FreeListAllocator(managed_heap_bytes, alignment=16) for _ in range(job.num_pes)
+        ]
+        # Filled by startup() (collective allocations).
+        self.managed_u8: SymmetricArray | None = None
+        self.managed_u64: SymmetricArray | None = None
+        self._sync_counters: SymmetricArray | None = None
+        # Per-image held-lock hash table: (lock id, image, index) -> qnode offset
+        # (the paper's (lck, j) hash table).
+        self._held: list[dict[tuple[int, int, int], int]] = [
+            {} for _ in range(job.num_pes)
+        ]
+        # Per-image sync_images bookkeeping: how many syncs I have posted
+        # to image j / consumed from image j.
+        self._sync_expected: list[dict[int, int]] = [{} for _ in range(job.num_pes)]
+        # Per-image current team (None = the initial team of all images).
+        self._team: list = [None] * job.num_pes
+        # Call-count instrumentation, kept per image (threads must not
+        # share a Counter: += is a racy read-modify-write).
+        self._stats = [Counter() for _ in range(job.num_pes)]
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    @property
+    def my_stats(self) -> Counter:
+        """The calling image's call counters (putmem/iput/lock/... counts)."""
+        return self._stats[current().pe]
+
+    @property
+    def stats(self) -> Counter:
+        """Merged counters across all images (read outside hot paths)."""
+        total = Counter()
+        for c in self._stats:
+            total.update(c)
+        return total
+
+    def reset_stats(self) -> None:
+        for c in self._stats:
+            c.clear()
+
+    # ------------------------------------------------------------------
+    # Startup (collective; run by every image before user code)
+    # ------------------------------------------------------------------
+    def startup(self) -> None:
+        """Allocate the managed heap and runtime coarrays (collective)."""
+        region = self.layer.alloc_array((self.managed_heap_bytes,), np.uint8)
+        # Two dtype aliases over the same bytes: uint8 for data, uint64
+        # for the 8-byte atomics that MCS locks require.
+        self.managed_u8 = region
+        self.managed_u64 = SymmetricArray(
+            self.layer, region.byte_offset, (self.managed_heap_bytes // 8,), np.uint64
+        )
+        self._sync_counters = self.layer.alloc_array((self.job.num_pes,), np.int64)
+        # Implicit locks backing the F2008 `critical` construct.  A
+        # compiler declares one lock per statically-visible construct at
+        # program start; lacking static knowledge, we pre-allocate a
+        # slot array and hash construct names onto it (collisions only
+        # cost false exclusion between same-slot criticals).
+        from repro.caf.locks import CafLock
+
+        self.critical_slots = CRITICAL_SLOTS
+        self._critical_locks = CafLock(self, (CRITICAL_SLOTS,))
+        self._started = True
+
+    def _check_started(self) -> None:
+        if not self._started:
+            raise CafError("CAF runtime not started; use caf.launch()")
+
+    # ------------------------------------------------------------------
+    # Image identity (1-based, Fortran style; team-relative inside a
+    # change team construct)
+    # ------------------------------------------------------------------
+    def current_team(self):
+        """The calling image's active team, or None (initial team)."""
+        return self._team[current().pe]
+
+    def team_pes(self) -> tuple[int, ...]:
+        """Absolute PEs of the calling image's current team."""
+        team = self._team[current().pe]
+        if team is None:
+            return tuple(range(self.job.num_pes))
+        return team.member_pes
+
+    def this_image(self) -> int:
+        team = self._team[current().pe]
+        if team is None:
+            return current().pe + 1
+        return team.team_image_of(current().pe)
+
+    def num_images(self) -> int:
+        team = self._team[current().pe]
+        if team is None:
+            return self.job.num_pes
+        return team.num_images
+
+    def image_to_pe(self, image: int) -> int:
+        team = self._team[current().pe]
+        if team is not None:
+            return team.pe_of(image)
+        if not 1 <= image <= self.job.num_pes:
+            raise CafError(
+                f"image {image} out of range [1, {self.job.num_pes}] "
+                f"(CAF images are 1-based)"
+            )
+        return image - 1
+
+    # ------------------------------------------------------------------
+    # Team-aware collective building blocks
+    # ------------------------------------------------------------------
+    def agree(self, fingerprint: str, compute):
+        """Collective agreement over the current team."""
+        ctx = current()
+        team = self._team[ctx.pe]
+        if team is None:
+            return self.job.collectives.agree(ctx, fingerprint, compute)
+        return team.group.collectives.agree(
+            ctx, fingerprint, compute, seq=team.group.next_seq(ctx.pe)
+        )
+
+    def barrier(self) -> None:
+        """Quiet + barrier over the current team (``sync all``)."""
+        ctx = current()
+        t_start = ctx.clock.now
+        team = self._team[ctx.pe]
+        self.layer.quiet()
+        if team is None:
+            cost = self.job.network.barrier_cost(self.job.num_pes, self.layer.profile)
+            self.job.barrier.wait(ctx, cost)
+        else:
+            cost = self.job.network.barrier_cost(team.num_images, self.layer.profile)
+            team.group.barrier.wait(ctx, cost)
+        if self.job.tracer is not None:
+            self.job.tracer.record(ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now)
+
+    def alloc_symmetric(self, shape, dtype) -> SymmetricArray:
+        """Collective symmetric allocation over the current team.
+
+        In the initial team this is the layer's ``shmalloc`` path; in a
+        subteam, agreement and the synchronizing barrier run over the
+        team only — the shared allocator still guarantees globally
+        disjoint offsets.
+        """
+        team = self._team[current().pe]
+        if team is None:
+            return self.layer.alloc_array(shape, dtype)
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(x) for x in shape)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
+        offset = self.agree(
+            f"team{team.team_number}.alloc:{shape}:{dt.str}",
+            lambda: self.job.symmetric_allocator.malloc(max(nbytes, 1)),
+        )
+        self.barrier()
+        return SymmetricArray(self.layer, offset, shape, dt)
+
+    def free_symmetric(self, array: SymmetricArray) -> None:
+        """Collective release over the current team."""
+        team = self._team[current().pe]
+        if team is None:
+            self.layer.free_array(array)
+            return
+        self.barrier()
+        self.agree(
+            f"team{team.team_number}.free:{array.byte_offset}",
+            lambda: self.job.symmetric_allocator.free(array.byte_offset),
+        )
+        array._freed = True
+
+    # ------------------------------------------------------------------
+    # Managed (non-symmetric, remotely accessible) heap
+    # ------------------------------------------------------------------
+    def managed_alloc(self, pe: int, nbytes: int) -> int:
+        """Allocate from image ``pe+1``'s managed heap; returns the byte
+        offset *within the managed region* (what remote pointers pack)."""
+        self._check_started()
+        return self._managed_alloc[pe].malloc(nbytes)
+
+    def managed_free(self, pe: int, offset: int) -> None:
+        self._managed_alloc[pe].free(offset)
+
+    def managed_byte_offset(self, offset: int) -> int:
+        """Heap-absolute byte offset of a managed-region offset."""
+        self._check_started()
+        return self.managed_u8.byte_offset + offset
+
+    # ------------------------------------------------------------------
+    # Co-indexed section transfers (Sections IV-B and IV-C)
+    # ------------------------------------------------------------------
+    def _model_params(self, handle: SymmetricArray) -> dict:
+        """Cost inputs for the 'model' planner (paper future work)."""
+        from repro.sim.netmodel import NetworkModel
+
+        conduit = self.layer.profile
+        return {
+            "elem_size": handle.itemsize,
+            "o_call_us": conduit.o_put_us,
+            "bandwidth_Bpus": self.job.machine.link_bandwidth_Bpus
+            * conduit.bw_efficiency,
+            "gap_fn": lambda es, sb: NetworkModel._gather_gap(conduit, es, sb),
+        }
+
+    def _ptr_view(self, handle: SymmetricArray, pe: int) -> np.ndarray | None:
+        """Direct load/store view of a same-node target, if enabled and
+        the backend exposes ``shmem_ptr`` (future-work fast path)."""
+        if not self.use_shmem_ptr:
+            return None
+        shmem_ptr = getattr(self.layer, "shmem_ptr", None)
+        if shmem_ptr is None:
+            return None
+        return shmem_ptr(handle, pe)
+
+    def _ptr_cost(self, nbytes: int) -> float:
+        m = self.job.machine
+        return (
+            0.5 * self.layer.profile.o_put_us
+            + m.intra_latency_us
+            + nbytes / m.intra_bandwidth_Bpus
+        )
+
+    def put_section(
+        self,
+        handle: SymmetricArray,
+        shape: tuple[int, ...],
+        image: int,
+        key,
+        value,
+        *,
+        algorithm: str | None = None,
+    ) -> None:
+        """``coarray(section)[image] = value``."""
+        self._check_started()
+        pe = self.image_to_pe(image)
+        sels, rshape = normalize_selection(shape, key)
+        view = self._ptr_view(handle, pe)
+        if view is not None:
+            # Intra-node direct store: one memcpy, no NIC, immediately
+            # remotely complete (so no quiet needed).  Stores through
+            # the pointer do not wake wait_until sleepers — same caveat
+            # as hardware shmem_ptr.
+            target = view.reshape(shape)
+            data = np.broadcast_to(np.asarray(value, dtype=handle.dtype), rshape)
+            target[key] = data.reshape(target[key].shape)
+            ctx = current()
+            ctx.clock.advance(self._ptr_cost(int(np.prod(rshape, dtype=np.int64)) * handle.itemsize if rshape else handle.itemsize))
+            self.my_stats["ptr_put_calls"] += 1
+            return
+        algo = algorithm or self.strided_policy
+        plan = make_plan(
+            sels,
+            shape,
+            algo,
+            iput_native=self.layer.profile.iput_native,
+            model_params=self._model_params(handle) if algo == "model" else None,
+        )
+        data = np.asarray(value, dtype=handle.dtype)
+        if data.shape not in (rshape, tuple(s.count for s in sels)):
+            try:
+                data = np.broadcast_to(data, rshape)
+            except ValueError:
+                raise ValueError(
+                    f"cannot broadcast value of shape {data.shape} to section {rshape}"
+                ) from None
+        data = data.reshape(tuple(s.count for s in sels))
+        rma.execute_put(self.layer, handle, pe, plan, sels, data, self.my_stats)
+        if self.ordering == "caf":
+            # Paper Section IV-B: quiet after each put restores CAF's
+            # ordered-RMA guarantee on OpenSHMEM's weaker model.
+            self.layer.quiet()
+
+    def get_section(
+        self,
+        handle: SymmetricArray,
+        shape: tuple[int, ...],
+        image: int,
+        key,
+        *,
+        algorithm: str | None = None,
+    ):
+        """``value = coarray(section)[image]``."""
+        self._check_started()
+        pe = self.image_to_pe(image)
+        sels, rshape = normalize_selection(shape, key)
+        view = self._ptr_view(handle, pe)
+        if view is not None:
+            result = np.array(view.reshape(shape)[key], copy=True)
+            ctx = current()
+            ctx.clock.advance(self._ptr_cost(result.size * handle.itemsize))
+            self.my_stats["ptr_get_calls"] += 1
+            return result[()] if rshape == () else result.reshape(rshape)
+        algo = algorithm or self.strided_policy
+        plan = make_plan(
+            sels,
+            shape,
+            algo,
+            iput_native=self.layer.profile.iput_native,
+            model_params=self._model_params(handle) if algo == "model" else None,
+        )
+        if self.ordering == "caf":
+            # Paper Section IV-B: quiet before each get so a prior put to
+            # the same location is remotely complete first.
+            self.layer.quiet()
+        result = rma.execute_get(self.layer, handle, pe, plan, sels, self.my_stats)
+        result = result.reshape(rshape)
+        if rshape == ():
+            return result[()]
+        return result
+
+    # ------------------------------------------------------------------
+    # Synchronization (Section IV's direct mappings)
+    # ------------------------------------------------------------------
+    def sync_all(self) -> None:
+        """``sync all`` -> quiet + barrier over the current team."""
+        self._check_started()
+        self.barrier()
+
+    def sync_images(self, images) -> None:
+        """``sync images(list)``: pairwise synchronization.
+
+        Each named image must also execute a ``sync images`` naming this
+        image.  Implemented with remote atomic increments on a counter
+        coarray plus local waits — 1-sided, as UHCAF does it.
+        """
+        self._check_started()
+        ctx = current()
+        me = ctx.pe
+        if images == "*":
+            targets = [p for p in self.team_pes() if p != me]
+        else:
+            targets = sorted({self.image_to_pe(i) for i in images})
+        expected = self._sync_expected[me]
+        # Post my arrival to every partner (their slot index = my pe).
+        self.layer.quiet()  # my prior puts are visible before I signal
+        for p in targets:
+            if p == me:
+                continue
+            self.layer.atomic(self._sync_counters, p, me, "fadd", 1)
+        # Wait for every partner's matching arrival.
+        for p in targets:
+            if p == me:
+                continue
+            expected[p] = expected.get(p, 0) + 1
+            self.layer.wait_until(self._sync_counters, CMP_GE, expected[p], offset=p)
+
+    def sync_memory(self) -> None:
+        """``sync memory`` — the F2008 memory fence: completes this
+        image's outstanding RMA (segment ordering without a barrier)."""
+        self._check_started()
+        self.layer.quiet()
+        self.layer.fence()
+
+    # ------------------------------------------------------------------
+    def context(self) -> PEContext:
+        return current()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CafRuntime(backend={self.backend.name!r}, "
+            f"strided={self.strided_policy!r}, ordering={self.ordering!r})"
+        )
+
+
+def attach(job: Job, **kwargs: Any) -> CafRuntime:
+    """Attach a CAF runtime to a job (idempotent; kwargs only on first)."""
+    if LAYER_NAME in job.layers:
+        if kwargs:
+            raise ValueError("CAF runtime already attached; cannot re-configure")
+        return job.layers[LAYER_NAME]
+    rt = CafRuntime(job, **kwargs)
+    job.layers[LAYER_NAME] = rt
+    return rt
+
+
+def current_runtime() -> CafRuntime:
+    """The CAF runtime of the calling image's job."""
+    return current().job.get_layer(LAYER_NAME)

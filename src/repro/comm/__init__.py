@@ -1,0 +1,19 @@
+"""Shared machinery of the one-sided communication libraries.
+
+:mod:`repro.shmem`, :mod:`repro.gasnet` and :mod:`repro.mpirma` model
+three different *software* libraries running over the same simulated
+fabric.  Their data paths (contiguous put/get, strided transfers,
+atomics, completion tracking) are mechanically identical — what differs
+is the cost profile (per-call overheads, native strided support,
+NIC-offloaded vs AM-emulated atomics) and the API surface each exposes.
+This package holds the common mechanics:
+
+* :class:`~repro.comm.heap.SymmetricArray` — a handle naming the same
+  offset in every PE's registered segment;
+* :class:`~repro.comm.base.OneSidedLayer` — the shared engine.
+"""
+
+from repro.comm.base import OneSidedLayer
+from repro.comm.heap import SymmetricArray
+
+__all__ = ["OneSidedLayer", "SymmetricArray"]

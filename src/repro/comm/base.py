@@ -1,0 +1,378 @@
+"""The shared one-sided communication engine.
+
+:class:`OneSidedLayer` implements the mechanics every modeled library
+shares: registered-segment allocation, contiguous and 1-D-strided RMA,
+8-byte atomics, completion tracking (``quiet``), and a barrier.  The
+behaviour differences between libraries come from the
+:class:`~repro.sim.netmodel.ConduitProfile` each subclass installs:
+
+* per-call software overheads (MPI-3.0's higher ``o_put_us`` produces
+  Fig 2's latency gap);
+* ``iput_native`` — Cray SHMEM offloads 1-D strided transfers to the
+  NIC, MVAPICH2-X SHMEM and GASNet-based runtimes loop over contiguous
+  puts (Fig 7's naive == 2dim result);
+* ``amo_offload`` — SHMEM atomics run on the NIC atomic unit, GASNet
+  atomics are active-message round trips through the target CPU
+  (Fig 8's lock gap).
+
+Completion semantics follow the OpenSHMEM/GASNet non-blocking model:
+``put`` returns after *local* completion; remote completion is only
+observable through :meth:`quiet` (or a barrier, which includes one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.heap import SymmetricArray
+from repro.runtime.context import current
+from repro.runtime.launcher import Job
+from repro.comm.constants import comparator
+from repro.sim.netmodel import ConduitProfile, get_conduit
+
+
+class OneSidedLayer:
+    """Common engine under :mod:`repro.shmem`, :mod:`repro.gasnet`,
+    and :mod:`repro.mpirma`."""
+
+    #: Key under which the layer registers itself on the job.
+    LAYER_NAME = "onesided"
+
+    #: Virtual cost of a fence (ordering only; the simulated NIC already
+    #: delivers same-initiator traffic in order).
+    FENCE_COST_US = 0.02
+
+    def __init__(self, job: Job, profile: ConduitProfile | str) -> None:
+        if isinstance(profile, str):
+            profile = get_conduit(profile)
+        self.job = job
+        self.profile = profile
+        # Max outstanding remote-completion time of each PE's puts.
+        self._pending = [0.0] * job.num_pes
+
+    # ------------------------------------------------------------------
+    # Registered-segment ("symmetric") memory
+    # ------------------------------------------------------------------
+    def alloc_array(
+        self, shape: int | tuple[int, ...], dtype: np.dtype
+    ) -> SymmetricArray:
+        """Collectively allocate an array at the same offset on every PE."""
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"negative dimension in shape {shape}")
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
+        ctx = current()
+        offset = self.job.collectives.agree(
+            ctx,
+            f"{self.LAYER_NAME}.alloc:{shape}:{dt.str}",
+            lambda: self.job.symmetric_allocator.malloc(max(nbytes, 1)),
+        )
+        # Allocation is synchronizing: no PE may target the region on a
+        # PE that has not allocated it yet.
+        self.barrier_all()
+        return SymmetricArray(self, offset, shape, dt)
+
+    def free_array(self, array: SymmetricArray) -> None:
+        """Collectively release an allocation (synchronizes first)."""
+        if array.layer is not self:
+            raise ValueError("array belongs to a different job/layer")
+        array._check_live()
+        ctx = current()
+        self.barrier_all()
+        self.job.collectives.agree(
+            ctx,
+            f"{self.LAYER_NAME}.free:{array.byte_offset}",
+            lambda: self.job.symmetric_allocator.free(array.byte_offset),
+        )
+        array._freed = True
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def _check_pe(self, pe: int) -> None:
+        if not 0 <= pe < self.job.num_pes:
+            raise ValueError(f"PE {pe} out of range [0, {self.job.num_pes})")
+
+    def _coerce(
+        self, array: SymmetricArray, value, nelems: int | None = None
+    ) -> np.ndarray:
+        data = np.ascontiguousarray(value, dtype=array.dtype).reshape(-1)
+        if nelems is not None and data.size != nelems:
+            raise ValueError(f"expected {nelems} elements, got {data.size}")
+        return data
+
+    # ------------------------------------------------------------------
+    # Contiguous RMA
+    # ------------------------------------------------------------------
+    def put(self, dest: SymmetricArray, value, pe: int, offset: int = 0) -> None:
+        """Contiguous put; returns after local completion."""
+        self._check_pe(pe)
+        data = self._coerce(dest, value)
+        dest.check_span(offset, data.size)
+        ctx = current()
+        t_start = ctx.clock.now
+        timing = self.job.network.put(ctx.pe, pe, data.nbytes, self.profile, t_start)
+        self.job.memories[pe].write(
+            dest.element_offset(offset) if data.size else dest.byte_offset,
+            data,
+            timestamp=timing.remote_complete,
+        )
+        ctx.clock.merge(timing.local_complete)
+        if timing.remote_complete > self._pending[ctx.pe]:
+            self._pending[ctx.pe] = timing.remote_complete
+        if self.job.tracer is not None:
+            self.job.tracer.record(ctx.pe, "put", pe, data.nbytes, t_start, ctx.clock.now)
+
+    def get(self, src: SymmetricArray, nelems: int, pe: int, offset: int = 0) -> np.ndarray:
+        """Blocking contiguous get; returns the fetched elements."""
+        self._check_pe(pe)
+        src.check_span(offset, nelems)
+        ctx = current()
+        nbytes = nelems * src.itemsize
+        t_start = ctx.clock.now
+        done = self.job.network.get(ctx.pe, pe, nbytes, self.profile, t_start)
+        raw = self.job.memories[pe].read(
+            src.element_offset(offset) if nelems else src.byte_offset, nbytes
+        )
+        ctx.clock.merge(done)
+        if self.job.tracer is not None:
+            self.job.tracer.record(ctx.pe, "get", pe, nbytes, t_start, ctx.clock.now)
+        return raw.view(src.dtype).copy()
+
+    # ------------------------------------------------------------------
+    # 1-D strided RMA
+    # ------------------------------------------------------------------
+    def iput(
+        self,
+        dest: SymmetricArray,
+        value,
+        tst: int,
+        sst: int,
+        nelems: int,
+        pe: int,
+        offset: int = 0,
+    ) -> None:
+        """1-D strided put (strides in elements, must be >= 1).
+
+        Native conduits issue one NIC descriptor; others loop over
+        contiguous single-element puts (the paper's observation about
+        MVAPICH2-X's ``shmem_iput``).
+        """
+        self._check_pe(pe)
+        if nelems < 0:
+            raise ValueError("nelems must be non-negative")
+        source = np.ascontiguousarray(value, dtype=dest.dtype).reshape(-1)
+        if nelems and (sst < 1 or tst < 1):
+            raise ValueError("strides must be >= 1")
+        if nelems:
+            needed = (nelems - 1) * sst + 1
+            if source.size < needed:
+                raise ValueError(
+                    f"source has {source.size} elements; stride {sst} x {nelems} needs {needed}"
+                )
+        dest.check_span(offset, nelems, tst)
+        if nelems == 0:
+            return
+        gathered = source[::sst][:nelems]
+        ctx = current()
+        t_start = ctx.clock.now
+        itemsize = dest.itemsize
+        if self.profile.iput_native:
+            timing = self.job.network.iput(
+                ctx.pe,
+                pe,
+                nelems,
+                itemsize,
+                self.profile,
+                ctx.clock.now,
+                stride_bytes=tst * itemsize,
+            )
+            self.job.memories[pe].write_strided(
+                dest.element_offset(offset),
+                tst * itemsize,
+                itemsize,
+                gathered,
+                timestamp=timing.remote_complete,
+            )
+            ctx.clock.merge(timing.local_complete)
+            if timing.remote_complete > self._pending[ctx.pe]:
+                self._pending[ctx.pe] = timing.remote_complete
+            if self.job.tracer is not None:
+                self.job.tracer.record(
+                    ctx.pe, "iput", pe, nelems * itemsize, t_start, ctx.clock.now
+                )
+        else:
+            for i in range(nelems):
+                self.put(dest, gathered[i : i + 1], pe, offset + i * tst)
+
+    def iget(
+        self, src: SymmetricArray, tst: int, sst: int, nelems: int, pe: int, offset: int = 0
+    ) -> np.ndarray:
+        """1-D strided get; returns ``nelems`` gathered (contiguous)
+        elements.  ``sst`` strides the remote source."""
+        self._check_pe(pe)
+        if nelems < 0:
+            raise ValueError("nelems must be non-negative")
+        if nelems and (sst < 1 or tst < 1):
+            raise ValueError("strides must be >= 1")
+        src.check_span(offset, nelems, sst)
+        if nelems == 0:
+            return np.empty(0, dtype=src.dtype)
+        ctx = current()
+        t_start = ctx.clock.now
+        itemsize = src.itemsize
+        if self.profile.iput_native:
+            done = self.job.network.iget(
+                ctx.pe,
+                pe,
+                nelems,
+                itemsize,
+                self.profile,
+                ctx.clock.now,
+                stride_bytes=sst * itemsize,
+            )
+            raw = self.job.memories[pe].read_strided(
+                src.element_offset(offset), sst * itemsize, itemsize, nelems
+            )
+            ctx.clock.merge(done)
+            if self.job.tracer is not None:
+                self.job.tracer.record(
+                    ctx.pe, "iget", pe, nelems * itemsize, t_start, ctx.clock.now
+                )
+            return raw.view(src.dtype).copy()
+        out = np.empty(nelems, dtype=src.dtype)
+        for i in range(nelems):
+            out[i] = self.get(src, 1, pe, offset + i * sst)[0]
+        return out
+
+    # ------------------------------------------------------------------
+    # Ordering / completion
+    # ------------------------------------------------------------------
+    def quiet(self) -> None:
+        """Block until all of this PE's outstanding puts are remotely
+        complete."""
+        ctx = current()
+        t_start = ctx.clock.now
+        ctx.clock.merge(self._pending[ctx.pe])
+        self._pending[ctx.pe] = 0.0
+        if self.job.tracer is not None and ctx.clock.now > t_start:
+            self.job.tracer.record(ctx.pe, "quiet", -1, 0, t_start, ctx.clock.now)
+
+    def fence(self) -> None:
+        """Order (but do not complete) outstanding puts per target."""
+        current().clock.advance(self.FENCE_COST_US)
+
+    def barrier_all(self) -> None:
+        """Quiet + dissemination barrier over all PEs."""
+        ctx = current()
+        t_start = ctx.clock.now
+        self.quiet()
+        cost = self.job.network.barrier_cost(self.job.num_pes, self.profile)
+        self.job.barrier.wait(ctx, cost)
+        if self.job.tracer is not None:
+            self.job.tracer.record(ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now)
+
+    # ------------------------------------------------------------------
+    # 8-byte atomics
+    # ------------------------------------------------------------------
+    def atomic(
+        self, target: SymmetricArray, pe: int, offset: int, op: str, *operands
+    ) -> np.generic | None:
+        """Execute an 8-byte atomic on ``target[offset]`` at ``pe``.
+
+        ``op`` is one of ``swap``, ``cswap``, ``fadd``, ``fetch``,
+        ``set``, ``and``, ``or``, ``xor``; returns the old value.
+        Pricing depends on the profile: NIC atomic unit when offloaded,
+        active-message round trip through the target CPU otherwise.
+        """
+        self._check_pe(pe)
+        target.check_span(offset, 1)
+        if target.itemsize != 8:
+            raise TypeError(
+                f"remote atomics require an 8-byte dtype, got {target.dtype} "
+                f"(the paper packs MCS pointers into 64 bits for this reason)"
+            )
+        dtype = target.dtype
+        ctx = current()
+        t_start = ctx.clock.now
+        done = self.job.network.amo(ctx.pe, pe, self.profile, t_start)
+        fn = self._amo_fn(op, dtype, operands)
+        old, prev_time = self.job.memories[pe].atomic_rmw_timed(
+            target.element_offset(offset), dtype, fn, timestamp=done
+        )
+        if prev_time > 0.0:
+            # Causality: we observed a value deposited at prev_time, so
+            # our operation was serviced after it — no earlier than
+            # prev_time plus the target-side processing (NIC atomic unit,
+            # or CPU attentiveness + handler for AM-emulated atomics)
+            # plus the return leg.  This is what gives lock handoff
+            # chains their cost.
+            m = self.job.machine
+            if self.job.topology.same_node(ctx.pe, pe):
+                back = m.intra_latency_us
+                proc = m.amo_process_us
+            else:
+                back = m.link_latency_us
+                proc = (
+                    m.amo_process_us
+                    if self.profile.amo_offload
+                    else m.am_attentiveness_us + m.cpu_am_process_us
+                )
+            done = max(done, prev_time + proc + back)
+        ctx.clock.merge(done)
+        if self.job.tracer is not None:
+            self.job.tracer.record(ctx.pe, "atomic", pe, 8, t_start, ctx.clock.now)
+        return old
+
+    @staticmethod
+    def _amo_fn(op: str, dtype: np.dtype, operands: tuple):
+        if op == "swap":
+            (value,) = operands
+            v = dtype.type(value)
+            return lambda old: v
+        if op == "cswap":
+            value, cond = operands
+            v, c = dtype.type(value), dtype.type(cond)
+            return lambda old: v if old == c else old
+        if op == "fadd":
+            (value,) = operands
+            v = dtype.type(value)
+            return lambda old: dtype.type(old + v)
+        if op == "fetch":
+            if operands:
+                raise ValueError("fetch takes no operand")
+            return lambda old: old
+        if op == "set":
+            (value,) = operands
+            v = dtype.type(value)
+            return lambda old: v
+        if op in ("and", "or", "xor"):
+            if not np.issubdtype(dtype, np.integer):
+                raise TypeError(f"bitwise atomic {op!r} requires an integer dtype")
+            (value,) = operands
+            v = dtype.type(value)
+            bitop = {"and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor}[op]
+            return lambda old: dtype.type(bitop(old, v))
+        raise ValueError(f"unknown atomic op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Point-to-point synchronization
+    # ------------------------------------------------------------------
+    def wait_until(self, ivar: SymmetricArray, cmp: str, value, offset: int = 0) -> None:
+        """Block until local ``ivar[offset] <cmp> value`` holds; merges
+        the satisfying write's virtual timestamp into the clock."""
+        ivar.check_span(offset, 1)
+        op = comparator(cmp)
+        ctx = current()
+        mem = self.job.memories[ctx.pe]
+        elem_offset = ivar.element_offset(offset)
+        target_value = ivar.dtype.type(value)
+
+        def predicate() -> bool:
+            return bool(op(mem.read_scalar(elem_offset, ivar.dtype), target_value))
+
+        ts = mem.wait_until(predicate, aborted=self.job.aborted)
+        ctx.clock.merge(ts)

@@ -1,0 +1,32 @@
+"""OpenSHMEM comparison constants for ``shmem_wait_until``."""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+CMP_EQ = "eq"
+CMP_NE = "ne"
+CMP_GT = "gt"
+CMP_GE = "ge"
+CMP_LT = "lt"
+CMP_LE = "le"
+
+COMPARATORS: dict[str, Callable] = {
+    CMP_EQ: operator.eq,
+    CMP_NE: operator.ne,
+    CMP_GT: operator.gt,
+    CMP_GE: operator.ge,
+    CMP_LT: operator.lt,
+    CMP_LE: operator.le,
+}
+
+
+def comparator(cmp: str) -> Callable:
+    """Resolve a comparison name to its operator; raises on unknown."""
+    try:
+        return COMPARATORS[cmp]
+    except KeyError:
+        raise ValueError(
+            f"unknown comparison {cmp!r}; expected one of {sorted(COMPARATORS)}"
+        ) from None

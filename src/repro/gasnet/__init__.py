@@ -1,0 +1,154 @@
+"""A GASNet-like communication layer.
+
+Models the GASNet library the paper compares against (and the
+UHCAF-over-GASNet baseline runtime):
+
+* **Core API** — active messages (:func:`am_request`, replies through
+  the handler token), priced through the target CPU: the message waits
+  for the target's attentiveness and its AM-servicing pipeline.
+* **Extended API** — one-sided :func:`put` / :func:`get` into the
+  registered segment (:func:`alloc_array` / :func:`free_array`).
+* **No native remote atomics** — :func:`atomic` exists for runtime
+  layering, but the GASNet conduit profile prices it as an AM round
+  trip through the target CPU (``amo_offload=False``).  This is the
+  property that costs GASNet-backed CAF locks their performance in the
+  paper's Fig 8.
+* **No native strided transfers** — ``iput``/``iget`` loop over
+  contiguous puts/gets, like a GASNet-based PGAS runtime without VIS.
+
+API shape mirrors :mod:`repro.shmem` (module functions resolving the
+calling PE's context) so runtimes can target either interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.heap import SymmetricArray
+from repro.gasnet.core import GasnetLayer, Token, LAYER_NAME
+from repro.runtime.context import current
+from repro.runtime.launcher import Job
+
+__all__ = [
+    "GasnetLayer",
+    "Token",
+    "launch",
+    "attach",
+    "mynode",
+    "nodes",
+    "alloc_array",
+    "free_array",
+    "put",
+    "get",
+    "iput",
+    "iget",
+    "quiet",
+    "barrier_all",
+    "atomic",
+    "wait_until",
+    "register_handler",
+    "am_request",
+]
+
+
+def _layer() -> GasnetLayer:
+    return current().job.get_layer(LAYER_NAME)
+
+
+def attach(job: Job, profile: str = "gasnet") -> GasnetLayer:
+    """Attach a GASNet layer to an existing job (idempotent per job)."""
+    if LAYER_NAME in job.layers:
+        return job.layers[LAYER_NAME]
+    layer = GasnetLayer(job, profile)
+    job.layers[LAYER_NAME] = layer
+    return layer
+
+
+def launch(
+    fn: Callable[..., Any],
+    num_pes: int,
+    machine: str = "stampede",
+    *,
+    heap_bytes: int | None = None,
+    args: Sequence[Any] = (),
+    kwargs: dict[str, Any] | None = None,
+) -> list[Any]:
+    """Run ``fn`` as an SPMD program over the GASNet layer."""
+    job_kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+    job = Job(num_pes, machine, **job_kwargs)
+    attach(job)
+    return job.run(fn, args=args, kwargs=kwargs or {})
+
+
+def mynode() -> int:
+    """This PE's index (``gasnet_mynode``)."""
+    return current().pe
+
+
+def nodes() -> int:
+    """Total PE count (``gasnet_nodes``)."""
+    return current().job.num_pes
+
+
+def alloc_array(shape: int | tuple[int, ...], dtype: Any = np.int64) -> SymmetricArray:
+    """Collectively allocate segment space at a common offset."""
+    return _layer().alloc_array(shape, dtype)
+
+
+def free_array(array: SymmetricArray) -> None:
+    """Collectively release a segment allocation."""
+    _layer().free_array(array)
+
+
+def put(dest: SymmetricArray, value: Any, pe: int, offset: int = 0) -> None:
+    """Extended-API put (``gasnet_put_nbi``-like: local completion)."""
+    _layer().put(dest, value, pe, offset)
+
+
+def get(src: SymmetricArray, nelems: int, pe: int, offset: int = 0) -> np.ndarray:
+    """Extended-API blocking get (``gasnet_get``)."""
+    return _layer().get(src, nelems, pe, offset)
+
+
+def iput(dest: SymmetricArray, value: Any, tst: int, sst: int, nelems: int, pe: int, offset: int = 0) -> None:
+    """Strided put — a loop of contiguous puts (no VIS extension)."""
+    _layer().iput(dest, value, tst, sst, nelems, pe, offset)
+
+
+def iget(src: SymmetricArray, tst: int, sst: int, nelems: int, pe: int, offset: int = 0) -> np.ndarray:
+    """Strided get — a loop of contiguous gets (no VIS extension)."""
+    return _layer().iget(src, tst, sst, nelems, pe, offset)
+
+
+def quiet() -> None:
+    """Wait for remote completion of outstanding puts
+    (``gasnet_wait_syncnbi_puts``)."""
+    _layer().quiet()
+
+
+def barrier_all() -> None:
+    """Anonymous barrier (``gasnet_barrier_notify`` + ``wait``)."""
+    _layer().barrier_all()
+
+
+def atomic(target: SymmetricArray, pe: int, offset: int, op: str, *operands) -> Any:
+    """Remote atomic, AM-emulated through the target CPU."""
+    return _layer().atomic(target, pe, offset, op, *operands)
+
+
+def wait_until(ivar: SymmetricArray, cmp: str, value: Any, offset: int = 0) -> None:
+    """Block until a local segment word satisfies the comparison."""
+    _layer().wait_until(ivar, cmp, value, offset)
+
+
+def register_handler(name: str, fn: Callable[..., Any]) -> None:
+    """Register an active-message handler (must be identical on all PEs)."""
+    _layer().register_handler(name, fn)
+
+
+def am_request(pe: int, handler: str, *args: Any, payload: np.ndarray | None = None) -> None:
+    """Send an active message; the handler runs at the target with a
+    :class:`Token` as first argument."""
+    _layer().am_request(pe, handler, *args, payload=payload)

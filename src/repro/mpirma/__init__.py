@@ -1,0 +1,110 @@
+"""An MPI-3.0 one-sided (RMA) communication layer.
+
+Models the MPI-3.0 RMA implementations the paper compares against
+(MVAPICH2-X MPI on Stampede, Cray MPICH on the Cray machines): window
+creation, passive-target epochs (``lock_all``/``unlock_all``), ``put``,
+``get``, ``accumulate``, ``fetch_and_op``, ``compare_and_swap``, and
+``flush``.  The MPI conduit profile carries the higher per-message
+software overhead that produces MPI's latency disadvantage in the
+paper's Figs 2-3.
+
+Usage mirrors mpi4py's ``Win`` object::
+
+    win = mpirma.win_create(array)
+    win.lock_all()
+    win.put(values, rank)
+    win.flush(rank)
+    win.unlock_all()
+    mpirma.win_free(win)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.comm.heap import SymmetricArray
+from repro.mpirma.window import LAYER_NAME, MpiRmaLayer, Window
+from repro.runtime.context import current
+from repro.runtime.launcher import Job
+
+__all__ = [
+    "MpiRmaLayer",
+    "Window",
+    "launch",
+    "attach",
+    "comm_rank",
+    "comm_size",
+    "alloc_array",
+    "free_array",
+    "win_create",
+    "win_free",
+    "barrier",
+]
+
+
+def _layer() -> MpiRmaLayer:
+    return current().job.get_layer(LAYER_NAME)
+
+
+def attach(job: Job, profile: str = "mpi3") -> MpiRmaLayer:
+    """Attach an MPI-RMA layer to an existing job (idempotent per job)."""
+    if LAYER_NAME in job.layers:
+        return job.layers[LAYER_NAME]
+    layer = MpiRmaLayer(job, profile)
+    job.layers[LAYER_NAME] = layer
+    return layer
+
+
+def launch(
+    fn: Callable[..., Any],
+    num_pes: int,
+    machine: str = "stampede",
+    *,
+    profile: str = "mpi3",
+    heap_bytes: int | None = None,
+    args: Sequence[Any] = (),
+    kwargs: dict[str, Any] | None = None,
+) -> list[Any]:
+    """Run ``fn`` as an SPMD program over the MPI-RMA layer."""
+    job_kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+    job = Job(num_pes, machine, **job_kwargs)
+    attach(job, profile)
+    return job.run(fn, args=args, kwargs=kwargs or {})
+
+
+def comm_rank() -> int:
+    """This process's rank in COMM_WORLD."""
+    return current().pe
+
+
+def comm_size() -> int:
+    """Size of COMM_WORLD."""
+    return current().job.num_pes
+
+
+def alloc_array(shape: int | tuple[int, ...], dtype: Any = np.float64) -> SymmetricArray:
+    """Collectively allocate window-backing memory
+    (``MPI_Win_allocate``-style: same offset everywhere)."""
+    return _layer().alloc_array(shape, dtype)
+
+
+def free_array(array: SymmetricArray) -> None:
+    """Collectively release window-backing memory."""
+    _layer().free_array(array)
+
+
+def win_create(array: SymmetricArray) -> Window:
+    """Collectively create a window over an allocated array."""
+    return _layer().win_create(array)
+
+
+def win_free(win: Window) -> None:
+    """Collectively free a window (synchronizes)."""
+    _layer().win_free(win)
+
+
+def barrier() -> None:
+    """``MPI_Barrier`` over COMM_WORLD."""
+    _layer().barrier_all()

@@ -1,0 +1,33 @@
+"""SPMD execution runtime.
+
+Images/PEs are Python threads; each owns a virtual clock and a slab of
+remotely-accessible memory.  This package provides:
+
+* :mod:`repro.runtime.context` — the per-thread PE context;
+* :mod:`repro.runtime.memory` — a PE's remotely-accessible memory with
+  write notification (backing ``shmem_wait_until`` and the MCS lock's
+  local spin);
+* :mod:`repro.runtime.sync` — virtual-time barriers and the collective
+  agreement helper (symmetric allocation requires all PEs to observe
+  identical offsets);
+* :mod:`repro.runtime.launcher` — the :class:`Job` object and the
+  thread-per-PE SPMD launcher.
+"""
+
+from repro.runtime.context import PEContext, current, current_or_none
+from repro.runtime.memory import PEMemory
+from repro.runtime.sync import VirtualBarrier, CollectiveState, CollectiveMismatch
+from repro.runtime.launcher import Job, JobAborted, run_spmd
+
+__all__ = [
+    "PEContext",
+    "current",
+    "current_or_none",
+    "PEMemory",
+    "VirtualBarrier",
+    "CollectiveState",
+    "CollectiveMismatch",
+    "Job",
+    "JobAborted",
+    "run_spmd",
+]

@@ -1,0 +1,68 @@
+"""Per-thread PE context.
+
+Each SPMD thread carries exactly one :class:`PEContext` identifying
+which PE it is, which job it belongs to, and its virtual clock.  The
+module-level APIs of :mod:`repro.shmem` and :mod:`repro.caf` resolve
+the current context through :func:`current`, which is what makes user
+code read like real SPMD programs.
+"""
+
+from __future__ import annotations
+
+import threading
+import typing
+
+from repro.sim.clock import VirtualClock
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.launcher import Job
+
+_tls = threading.local()
+
+
+class NotInSpmdRegion(RuntimeError):
+    """Raised when a PGAS API is called outside a launched SPMD function."""
+
+
+class PEContext:
+    """Identity and virtual clock of one PE thread."""
+
+    __slots__ = ("job", "pe", "clock", "_collective_seq")
+
+    def __init__(self, job: "Job", pe: int) -> None:
+        self.job = job
+        self.pe = pe
+        self.clock = VirtualClock()
+        self._collective_seq = 0
+
+    def next_collective_seq(self) -> int:
+        """Sequence number of this PE's next collective call.
+
+        SPMD semantics require every PE to execute the same sequence of
+        collectives; the sequence number is the agreement key.
+        """
+        seq = self._collective_seq
+        self._collective_seq += 1
+        return seq
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PEContext(pe={self.pe}, t={self.clock.now:.3f}us)"
+
+
+def set_current(ctx: PEContext | None) -> None:
+    _tls.ctx = ctx
+
+
+def current() -> PEContext:
+    """The calling thread's PE context; raises outside SPMD regions."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is None:
+        raise NotInSpmdRegion(
+            "this API must be called from inside a function launched with "
+            "shmem.launch()/caf.launch()/run_spmd()"
+        )
+    return ctx
+
+
+def current_or_none() -> PEContext | None:
+    return getattr(_tls, "ctx", None)

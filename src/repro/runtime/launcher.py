@@ -1,0 +1,145 @@
+"""The :class:`Job` object and the SPMD launcher.
+
+A job is one SPMD run: ``num_pes`` threads executing the same function
+on a simulated machine.  The job owns everything the PEs share — the
+topology and network cost model, each PE's remotely-accessible memory,
+the collectively-managed symmetric heap allocator, the job-wide barrier,
+and the communication-layer instances (:mod:`repro.shmem`,
+:mod:`repro.gasnet`, ...) registered on it.
+
+Failure handling: if any PE raises, the job aborts — every blocking
+primitive polls the abort flag — and the launcher re-raises the first
+failure after joining all threads, so a crash in one image can never
+deadlock the run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Sequence
+
+from repro.runtime.context import PEContext, set_current
+from repro.runtime.memory import PEMemory
+from repro.runtime.sync import CollectiveState, VirtualBarrier
+from repro.sim.machines import get_machine
+from repro.sim.netmodel import NetworkModel
+from repro.sim.topology import Machine, Topology
+from repro.util.allocator import FreeListAllocator
+
+DEFAULT_HEAP_BYTES = 4 * 1024 * 1024
+MAX_PES = 4096
+
+
+class JobAborted(RuntimeError):
+    """Raised inside surviving PEs when a sibling PE has failed."""
+
+
+class Job:
+    """Shared state of one SPMD run."""
+
+    def __init__(
+        self,
+        num_pes: int,
+        machine: Machine | str = "stampede",
+        *,
+        heap_bytes: int = DEFAULT_HEAP_BYTES,
+    ) -> None:
+        if not 1 <= num_pes <= MAX_PES:
+            raise ValueError(f"num_pes must be in [1, {MAX_PES}]")
+        if isinstance(machine, str):
+            machine = get_machine(machine)
+        self.num_pes = num_pes
+        self.machine = machine
+        self.topology = Topology(machine, num_pes)
+        self.network = NetworkModel(self.topology)
+        self.heap_bytes = heap_bytes
+        self.memories = [PEMemory(heap_bytes) for _ in range(num_pes)]
+        # One shared allocator: symmetric allocation means every PE gets
+        # the same offset, which a single metadata instance guarantees.
+        self.symmetric_allocator = FreeListAllocator(heap_bytes)
+        self._abort = threading.Event()
+        self.barrier = VirtualBarrier(num_pes, aborted=self.aborted)
+        self.collectives = CollectiveState(num_pes, aborted=self.aborted)
+        # Subset synchronization (OpenSHMEM active sets, CAF teams).
+        from repro.runtime.groups import GroupRegistry
+
+        self.groups = GroupRegistry(self)
+        self.layers: dict[str, Any] = {}
+        # Optional communication tracer (repro.trace.attach installs one).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    def aborted(self) -> bool:
+        return self._abort.is_set()
+
+    def abort(self) -> None:
+        self._abort.set()
+
+    def get_layer(self, name: str) -> Any:
+        try:
+            return self.layers[name]
+        except KeyError:
+            raise RuntimeError(
+                f"communication layer {name!r} is not attached to this job; "
+                f"attached: {sorted(self.layers)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> list[Any]:
+        """Run ``fn(*args, **kwargs)`` on every PE; return per-PE results.
+
+        The function executes with a :class:`PEContext` installed so the
+        module-level PGAS APIs resolve to this job.  The first PE
+        failure is re-raised after all threads have exited.
+        """
+        kwargs = kwargs or {}
+        results: list[Any] = [None] * self.num_pes
+        failures: list[tuple[int, BaseException]] = []
+        failures_lock = threading.Lock()
+
+        def pe_main(pe: int) -> None:
+            ctx = PEContext(self, pe)
+            set_current(ctx)
+            try:
+                results[pe] = fn(*args, **kwargs)
+            except JobAborted:
+                pass  # secondary failure; the root cause is recorded
+            except BaseException as exc:  # noqa: BLE001 - must not leak threads
+                with failures_lock:
+                    failures.append((pe, exc))
+                self.abort()
+            finally:
+                set_current(None)
+
+        threads = [
+            threading.Thread(target=pe_main, args=(pe,), name=f"pe-{pe}", daemon=True)
+            for pe in range(self.num_pes)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            failures.sort(key=lambda f: f[0])
+            pe, exc = failures[0]
+            raise RuntimeError(f"PE {pe} failed: {exc!r}") from exc
+        return results
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    num_pes: int,
+    machine: Machine | str = "stampede",
+    *,
+    heap_bytes: int = DEFAULT_HEAP_BYTES,
+    args: Sequence[Any] = (),
+    kwargs: dict[str, Any] | None = None,
+) -> list[Any]:
+    """One-shot convenience: build a :class:`Job` and run ``fn`` on it."""
+    job = Job(num_pes, machine, heap_bytes=heap_bytes)
+    return job.run(fn, args=args, kwargs=kwargs)

@@ -1,0 +1,223 @@
+"""A PE's remotely-accessible memory.
+
+One :class:`PEMemory` per PE backs its symmetric heap.  Remote writers
+deposit bytes with :meth:`write` (our stand-in for RDMA into a
+registered segment); local and remote readers copy out with
+:meth:`read`.  Every write publishes a virtual timestamp and notifies a
+condition variable, which is how blocking primitives
+(``shmem_wait_until``, the MCS lock's local spin on its qnode's
+``locked`` field) sleep without busy-waiting and how the waiter's
+virtual clock learns *when* the awaited value arrived.
+
+Atomic read-modify-write operations take the same lock as plain
+accesses, so atomics are atomic with respect to everything — a stronger
+guarantee than hardware gives, but the paper's algorithms only require
+atomicity among AMOs on the same 8-byte word.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+
+class PEMemory:
+    """Byte-addressable, notification-capable memory of one PE."""
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("memory size must be positive")
+        self.nbytes = nbytes
+        self._buf = np.zeros(nbytes, dtype=np.uint8)
+        self._cond = threading.Condition()
+        self._last_write_time = 0.0
+        # Virtual timestamps of the last atomic update per word offset:
+        # an atomic that *observes* a value cannot logically complete
+        # before the write that produced it (lock handoff causality).
+        self._word_times: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.nbytes:
+            raise IndexError(
+                f"access [{offset}, {offset + length}) outside heap of {self.nbytes} bytes"
+            )
+
+    # ------------------------------------------------------------------
+    def write(self, offset: int, data: np.ndarray | bytes, timestamp: float) -> None:
+        """Deposit ``data`` at ``offset`` and wake any waiters.
+
+        ``timestamp`` is the virtual remote-completion time of the
+        transfer; waiters whose predicate becomes true merge it into
+        their clocks.
+        """
+        raw = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        self._check_range(offset, raw.size)
+        with self._cond:
+            self._buf[offset : offset + raw.size] = raw
+            if timestamp > self._last_write_time:
+                self._last_write_time = timestamp
+            self._cond.notify_all()
+
+    def write_strided(
+        self,
+        offset: int,
+        stride_bytes: int,
+        elem_size: int,
+        data: np.ndarray | bytes,
+        timestamp: float,
+    ) -> None:
+        """Scatter ``nelems`` elements of ``elem_size`` bytes starting at
+        ``offset`` with a byte stride, under one lock acquisition — the
+        functional half of a native ``shmem_iput``."""
+        raw = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        )
+        if elem_size <= 0 or raw.size % elem_size:
+            raise ValueError("data length must be a multiple of elem_size")
+        nelems = raw.size // elem_size
+        if nelems == 0:
+            return
+        idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
+        if idx.min() < 0 or idx.max() >= self.nbytes:
+            raise IndexError("strided write escapes the heap")
+        with self._cond:
+            self._buf[idx.ravel()] = raw
+            if timestamp > self._last_write_time:
+                self._last_write_time = timestamp
+            self._cond.notify_all()
+
+    def read_strided(
+        self, offset: int, stride_bytes: int, elem_size: int, nelems: int
+    ) -> np.ndarray:
+        """Gather ``nelems`` strided elements into a contiguous copy —
+        the functional half of a native ``shmem_iget``."""
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        if nelems == 0:
+            return np.empty(0, dtype=np.uint8)
+        idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
+        if idx.min() < 0 or idx.max() >= self.nbytes:
+            raise IndexError("strided read escapes the heap")
+        with self._cond:
+            return self._buf[idx.ravel()].copy()
+
+    def read(self, offset: int, nbytes: int) -> np.ndarray:
+        """Copy ``nbytes`` starting at ``offset`` out of the heap."""
+        self._check_range(offset, nbytes)
+        with self._cond:
+            return self._buf[offset : offset + nbytes].copy()
+
+    def read_scalar(self, offset: int, dtype: np.dtype) -> np.generic:
+        """Read one scalar of ``dtype`` at ``offset`` (atomic snapshot)."""
+        dt = np.dtype(dtype)
+        self._check_range(offset, dt.itemsize)
+        with self._cond:
+            return self._buf[offset : offset + dt.itemsize].view(dt)[0]
+
+    def local_view(self, offset: int, nbytes: int) -> np.ndarray:
+        """A zero-copy view for the *owning* PE's local accesses.
+
+        Mutating the view does not notify waiters; local stores that a
+        remote PE may be spinning on must go through :meth:`write`.
+        """
+        self._check_range(offset, nbytes)
+        return self._buf[offset : offset + nbytes]
+
+    # ------------------------------------------------------------------
+    def atomic_rmw(
+        self,
+        offset: int,
+        dtype: np.dtype,
+        fn: Callable[[np.generic], np.generic | int | float],
+        timestamp: float,
+    ) -> np.generic:
+        """Atomically apply ``fn(old) -> new`` to the scalar at ``offset``.
+
+        Returns the old value.  Waiters are notified because lock
+        hand-off protocols (MCS) release by atomically updating words
+        other PEs wait on.
+        """
+        old, _ = self.atomic_rmw_timed(offset, dtype, fn, timestamp)
+        return old
+
+    def atomic_rmw_timed(
+        self,
+        offset: int,
+        dtype: np.dtype,
+        fn: Callable[[np.generic], np.generic | int | float],
+        timestamp: float,
+    ) -> tuple[np.generic, float]:
+        """Like :meth:`atomic_rmw`, additionally returning the virtual
+        timestamp of the previous atomic update to this word.
+
+        The caller uses it for causality: an atomic that observed a
+        value deposited at time T cannot complete before T plus the
+        response leg — this is what makes lock handoff chains (MCS
+        release->acquire, test-and-set release->winning retry) consume
+        virtual time instead of being free.
+        """
+        dt = np.dtype(dtype)
+        self._check_range(offset, dt.itemsize)
+        with self._cond:
+            view = self._buf[offset : offset + dt.itemsize].view(dt)
+            old = view[0].copy()
+            view[0] = fn(old)
+            prev_time = self._word_times.get(offset, 0.0)
+            self._word_times[offset] = max(timestamp, prev_time)
+            if timestamp > self._last_write_time:
+                self._last_write_time = timestamp
+            self._cond.notify_all()
+            return old, prev_time
+
+    def accumulate(
+        self,
+        offset: int,
+        dtype: np.dtype,
+        data: np.ndarray,
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+        timestamp: float,
+    ) -> None:
+        """Element-wise atomic update (MPI_Accumulate): apply
+        ``op(current, data)`` to contiguous elements under one lock."""
+        dt = np.dtype(dtype)
+        arr = np.ascontiguousarray(data, dtype=dt).reshape(-1)
+        self._check_range(offset, arr.nbytes)
+        with self._cond:
+            view = self._buf[offset : offset + arr.nbytes].view(dt)
+            view[:] = op(view, arr)
+            if timestamp > self._last_write_time:
+                self._last_write_time = timestamp
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def wait_until(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        aborted: Callable[[], bool],
+        poll_interval: float = 0.05,
+    ) -> float:
+        """Block until ``predicate()`` holds; return the virtual timestamp
+        of the last write observed when it did.
+
+        ``aborted`` is polled so that a crashed sibling PE cannot leave
+        this thread blocked forever; it raises through the caller.
+        """
+        with self._cond:
+            while not predicate():
+                if aborted():
+                    from repro.runtime.launcher import JobAborted
+
+                    raise JobAborted("job aborted while waiting on memory")
+                self._cond.wait(timeout=poll_interval)
+            return self._last_write_time
+
+    @property
+    def last_write_time(self) -> float:
+        with self._cond:
+            return self._last_write_time

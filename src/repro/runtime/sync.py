@@ -1,0 +1,118 @@
+"""Virtual-time synchronization building blocks.
+
+* :class:`VirtualBarrier` — a reusable barrier that also reconciles
+  virtual clocks: every participant leaves with
+  ``max(arrival times) + cost`` where ``cost`` comes from the network
+  model's dissemination-barrier pricing.
+* :class:`CollectiveState` — SPMD collective agreement.  Symmetric
+  allocation (``shmalloc``) must return the same offset on every PE;
+  the first PE to reach collective *k* computes the result, the rest
+  adopt it, and a fingerprint check catches mismatched collectives
+  (different sizes passed to the "same" shmalloc, a classic SPMD bug).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.runtime.context import PEContext
+
+
+class CollectiveMismatch(RuntimeError):
+    """PEs disagreed about the arguments of a collective call."""
+
+
+class VirtualBarrier:
+    """Reusable barrier over ``num_pes`` threads with clock reconciliation."""
+
+    def __init__(self, num_pes: int, *, aborted: Callable[[], bool]) -> None:
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        self.num_pes = num_pes
+        self._aborted = aborted
+        self._cond = threading.Condition()
+        self._generation = 0
+        self._count = 0
+        self._max_arrival = 0.0
+        self._release_time = 0.0
+
+    def wait(self, ctx: PEContext, cost: float = 0.0) -> float:
+        """Arrive at the barrier; returns the common departure time.
+
+        ``cost`` is the virtual duration of the barrier algorithm itself
+        (e.g. ``NetworkModel.barrier_cost``); the last arriver's value
+        is used — callers pass the same constant.
+        """
+        from repro.runtime.launcher import JobAborted
+
+        with self._cond:
+            gen = self._generation
+            self._max_arrival = max(self._max_arrival, ctx.clock.now)
+            self._count += 1
+            if self._count == self.num_pes:
+                self._release_time = self._max_arrival + cost
+                self._count = 0
+                self._max_arrival = 0.0
+                self._generation += 1
+                self._cond.notify_all()
+            else:
+                while self._generation == gen:
+                    if self._aborted():
+                        raise JobAborted("job aborted while in barrier")
+                    self._cond.wait(timeout=0.05)
+            departure = self._release_time
+        ctx.clock.merge(departure)
+        return departure
+
+
+class CollectiveState:
+    """First-arriver-computes agreement for collective operations."""
+
+    def __init__(self, num_pes: int, *, aborted: Callable[[], bool]) -> None:
+        self.num_pes = num_pes
+        self._aborted = aborted
+        self._lock = threading.Lock()
+        # seq -> (fingerprint, result, pes_served)
+        self._entries: dict[int, tuple[str, Any, int]] = {}
+
+    def agree(
+        self,
+        ctx: PEContext,
+        fingerprint: str,
+        compute: Callable[[], Any],
+        seq: int | None = None,
+    ) -> Any:
+        """Return the agreed result of this PE's next collective.
+
+        The first PE to arrive runs ``compute()``; later PEs receive the
+        stored result.  ``fingerprint`` must match across PEs or
+        :class:`CollectiveMismatch` is raised (on the mismatching PE).
+        Entries are garbage-collected once all PEs have been served.
+
+        ``seq`` overrides the PE's job-wide collective counter — subset
+        groups supply their own per-group sequence so group collectives
+        interleave safely with job-wide ones.
+        """
+        if seq is None:
+            seq = ctx.next_collective_seq()
+        with self._lock:
+            entry = self._entries.get(seq)
+            if entry is None:
+                result = compute()
+                served = 1
+                if self.num_pes > 1:
+                    self._entries[seq] = (fingerprint, result, served)
+                return result
+            fp, result, served = entry
+            if fp != fingerprint:
+                raise CollectiveMismatch(
+                    f"collective #{seq}: PE {ctx.pe} called {fingerprint!r} "
+                    f"but the first arriver called {fp!r}"
+                )
+            served += 1
+            if served == self.num_pes:
+                del self._entries[seq]
+            else:
+                self._entries[seq] = (fp, result, served)
+            return result

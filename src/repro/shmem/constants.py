@@ -1,0 +1,23 @@
+"""OpenSHMEM comparison constants (re-exported from repro.comm)."""
+
+from repro.comm.constants import (
+    CMP_EQ,
+    CMP_GE,
+    CMP_GT,
+    CMP_LE,
+    CMP_LT,
+    CMP_NE,
+    COMPARATORS,
+    comparator,
+)
+
+__all__ = [
+    "CMP_EQ",
+    "CMP_NE",
+    "CMP_GT",
+    "CMP_GE",
+    "CMP_LT",
+    "CMP_LE",
+    "COMPARATORS",
+    "comparator",
+]

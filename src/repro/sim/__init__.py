@@ -1,0 +1,48 @@
+"""Virtual-time simulation substrate.
+
+The paper's evaluation ran on three production machines (Stampede, a Cray
+XC30, and Titan).  This package is the substitution for that hardware: a
+deterministic analytic cost engine in *virtual microseconds*.
+
+* :mod:`repro.sim.clock` — per-PE virtual clocks.
+* :mod:`repro.sim.resources` — serialized resources (NIC injection and
+  reception engines, NIC atomic units, target CPUs) as reservation
+  timelines; these produce contention, e.g. 16 communicating pairs
+  sharing one node's NIC.
+* :mod:`repro.sim.topology` — machine descriptions and PE placement
+  (Table III of the paper).
+* :mod:`repro.sim.machines` — the three evaluated machines.
+* :mod:`repro.sim.netmodel` — LogGP-style cost functions for puts, gets,
+  atomics, active messages and barriers, parameterized by a machine and
+  a *conduit profile* (the software library: Cray SHMEM, MVAPICH2-X
+  SHMEM, GASNet, MPI-3.0, Cray's DMAPP-based CAF runtime).
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.resources import Timeline
+from repro.sim.topology import Machine, Topology
+from repro.sim.machines import STAMPEDE, CRAY_XC30, TITAN, MACHINES, get_machine
+from repro.sim.netmodel import (
+    ConduitProfile,
+    NetworkModel,
+    TransferTiming,
+    CONDUITS,
+    get_conduit,
+)
+
+__all__ = [
+    "VirtualClock",
+    "Timeline",
+    "Machine",
+    "Topology",
+    "STAMPEDE",
+    "CRAY_XC30",
+    "TITAN",
+    "MACHINES",
+    "get_machine",
+    "ConduitProfile",
+    "NetworkModel",
+    "TransferTiming",
+    "CONDUITS",
+    "get_conduit",
+]

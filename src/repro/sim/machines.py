@@ -1,0 +1,88 @@
+"""The paper's three experimental platforms (Table III).
+
+Interconnect parameters are *calibrated*, not measured: they are set to
+published ballpark characteristics of each fabric (FDR InfiniBand on
+Stampede, Aries/Dragonfly on the XC30, Gemini on Titan) so that the
+relative shapes the paper reports — latency orderings, bandwidth
+saturation points, atomic-operation costs — come out of the model.
+Absolute values are documented here and in EXPERIMENTS.md.
+
+Calibration notes
+-----------------
+* Aries (XC30) is the lowest-latency, highest-bandwidth fabric of the
+  three; Gemini (Titan) has slightly higher latency than FDR InfiniBand
+  and comparable bandwidth; this matches the paper's Fig 2 where Titan's
+  small-message latencies are a bit above Stampede's.
+* ``amo_process_us`` is small on all three: SHMEM atomics are
+  NIC-offloaded (IB verbs atomics on Stampede, DMAPP AMOs on Cray).
+* ``cpu_am_process_us``/``am_attentiveness_us`` model active-message
+  handling through the target CPU, the only way GASNet (without NIC
+  atomics) can implement remote atomic updates; this is what makes
+  GASNet-backed locks slower in Fig 8.
+"""
+
+from __future__ import annotations
+
+from repro.sim.topology import Machine
+
+STAMPEDE = Machine(
+    name="Stampede",
+    nodes=6400,
+    processor="Intel Xeon E5 (Sandy Bridge)",
+    cores_per_node=16,
+    interconnect="InfiniBand Mellanox Switches/HCAs",
+    link_latency_us=1.10,
+    link_bandwidth_Bpus=6000.0,  # ~6 GB/s FDR injection
+    intra_latency_us=0.25,
+    intra_bandwidth_Bpus=12000.0,
+    amo_process_us=0.25,
+    cpu_am_process_us=0.55,
+    am_attentiveness_us=0.80,
+)
+
+CRAY_XC30 = Machine(
+    name="Cray XC30",
+    nodes=64,
+    processor="Intel Xeon E5 (Sandy Bridge)",
+    cores_per_node=16,
+    interconnect="Dragonfly interconnect with Aries",
+    link_latency_us=0.85,
+    link_bandwidth_Bpus=10000.0,  # ~10 GB/s Aries injection
+    intra_latency_us=0.25,
+    intra_bandwidth_Bpus=12000.0,
+    amo_process_us=0.15,
+    cpu_am_process_us=0.40,
+    am_attentiveness_us=0.40,
+)
+
+TITAN = Machine(
+    name="Titan (OLCF)",
+    nodes=18688,
+    processor="AMD Opteron",
+    cores_per_node=16,
+    interconnect="Cray Gemini interconnect",
+    link_latency_us=1.40,
+    link_bandwidth_Bpus=5500.0,  # ~5.5 GB/s Gemini injection
+    intra_latency_us=0.30,
+    intra_bandwidth_Bpus=9000.0,
+    amo_process_us=0.18,
+    cpu_am_process_us=0.45,
+    am_attentiveness_us=0.40,
+)
+
+MACHINES: dict[str, Machine] = {
+    "stampede": STAMPEDE,
+    "cray-xc30": CRAY_XC30,
+    "titan": TITAN,
+}
+
+
+def get_machine(name: str) -> Machine:
+    """Look up a machine by case-insensitive short name."""
+    key = name.lower().replace("_", "-").replace(" ", "-")
+    try:
+        return MACHINES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,459 @@
+"""LogGP-style communication cost engine.
+
+This module prices every communication primitive the stack uses, in
+virtual microseconds, given
+
+* a :class:`~repro.sim.topology.Topology` (which machine, where each PE
+  lives), and
+* a :class:`ConduitProfile` — the *software* library doing the
+  communication (Cray SHMEM, MVAPICH2-X SHMEM, GASNet, MPI-3.0, or
+  Cray's DMAPP-based CAF runtime).
+
+The separation matters because the paper's findings are exactly about
+software profiles on shared hardware: on the same Aries fabric, Cray
+SHMEM's ``shmem_iput`` is DMAPP-offloaded while a GASNet-based runtime
+loops over contiguous puts; on the same InfiniBand fabric, MVAPICH2-X
+SHMEM's ``shmem_iput`` is itself a loop of ``putmem`` calls (paper
+Section V-B2), and MPI-3.0 passive-target RMA pays a higher
+per-message software overhead (Figs 2-3).
+
+Model summary (all times us, sizes bytes):
+
+* **put** (inter-node): charge the conduit's software overhead, then
+  reserve the source NIC injection engine and the destination NIC
+  reception engine for ``nbytes / effective_bandwidth``; the wire adds
+  one-way latency.  Local completion is immediate for eager-sized
+  messages (the library buffers them) and at injection end for
+  rendezvous-sized ones.  Remote completion is at reception end —
+  visible to the initiator only through ``quiet``/``fence``.
+* **get**: a request control message travels to the target, whose NIC
+  streams the data back; blocking, completes at data arrival.
+* **amo**: an 8-byte atomic.  NIC-offloaded conduits serialize on the
+  target NIC's atomic unit; AM-emulated conduits (GASNet) serialize on
+  the target *CPU* and additionally pay an attentiveness delay — the
+  target thread must reach a poll point.  This asymmetry is what makes
+  SHMEM-backed CAF locks faster (paper Figs 8-9).
+* **iput/iget** (native): one descriptor covers ``nelems`` strided
+  elements; the NIC pays a per-element gap on top of the byte time.
+* **barrier**: dissemination barrier, ``ceil(log2(n))`` rounds.
+
+Contention falls out of the reservation timelines: 16 pairs driving one
+node's NIC share its injection bandwidth, reproducing the 1-pair vs
+16-pair separation in the paper's Figures 2, 3, 6 and 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.sim.resources import Timeline
+from repro.sim.topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class TransferTiming:
+    """When a one-sided transfer completes, from both ends."""
+
+    local_complete: float  # initiator may reuse its source buffer
+    remote_complete: float  # data is visible at the target
+
+
+@dataclass(frozen=True, slots=True)
+class ConduitProfile:
+    """Software cost profile of one communication library."""
+
+    name: str
+    o_put_us: float  # per-call software overhead, put path
+    o_get_us: float  # per-call software overhead, get path
+    o_amo_us: float  # per-call software overhead, atomics
+    o_barrier_us: float  # per-round software overhead in barriers
+    amo_offload: bool  # True: NIC atomic unit; False: AM via target CPU
+    iput_native: bool  # True: 1-D strided ops are NIC/DMAPP-offloaded
+    iput_elem_gap_us: float  # per-element NIC gap for native strided ops
+    eager_threshold: int  # bytes; messages <= this complete locally at once
+    rendezvous_extra_us: float  # handshake cost for messages > eager
+    bw_efficiency: float  # fraction of link bandwidth the library achieves
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bw_efficiency <= 1:
+            raise ValueError("bw_efficiency must be in (0, 1]")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Conduit registry.  Overheads calibrated so the paper's orderings hold:
+# SHMEM < GASNet < MPI-3.0 on small-message latency; SHMEM above GASNet on
+# large-message bandwidth; MVAPICH2-X iput loops over putmem; Cray iput is
+# DMAPP-offloaded; GASNet atomics are AM round-trips.
+# ---------------------------------------------------------------------------
+
+CRAY_SHMEM = ConduitProfile(
+    name="Cray SHMEM",
+    o_put_us=0.20,
+    o_get_us=0.25,
+    o_amo_us=0.20,
+    o_barrier_us=0.25,
+    amo_offload=True,
+    iput_native=True,
+    iput_elem_gap_us=0.018,
+    eager_threshold=4096,
+    rendezvous_extra_us=0.8,
+    bw_efficiency=0.97,
+)
+
+MVAPICH2X_SHMEM = ConduitProfile(
+    name="MVAPICH2-X SHMEM",
+    o_put_us=0.25,
+    o_get_us=0.30,
+    o_amo_us=0.25,
+    o_barrier_us=0.30,
+    amo_offload=True,
+    iput_native=False,  # shmem_iput loops over putmem (paper Sec. V-B2)
+    iput_elem_gap_us=0.0,
+    eager_threshold=8192,
+    rendezvous_extra_us=0.9,
+    bw_efficiency=0.95,
+)
+
+GASNET = ConduitProfile(
+    name="GASNet",
+    o_put_us=0.32,
+    o_get_us=0.40,
+    o_amo_us=0.35,
+    o_barrier_us=0.35,
+    amo_offload=False,  # remote atomics via active messages
+    iput_native=False,
+    iput_elem_gap_us=0.0,
+    eager_threshold=4096,
+    rendezvous_extra_us=1.2,
+    bw_efficiency=0.88,
+)
+
+MPI3 = ConduitProfile(
+    name="MPI-3.0",
+    o_put_us=0.90,
+    o_get_us=1.00,
+    o_amo_us=0.90,
+    o_barrier_us=0.45,
+    amo_offload=True,
+    iput_native=False,
+    iput_elem_gap_us=0.0,
+    eager_threshold=8192,
+    rendezvous_extra_us=1.5,
+    bw_efficiency=0.92,
+)
+
+CRAY_MPICH = ConduitProfile(
+    name="Cray MPICH",
+    o_put_us=0.95,
+    o_get_us=1.05,
+    o_amo_us=0.95,
+    o_barrier_us=0.45,
+    amo_offload=True,
+    iput_native=False,
+    iput_elem_gap_us=0.0,
+    eager_threshold=8192,
+    rendezvous_extra_us=1.4,
+    bw_efficiency=0.90,
+)
+
+# Cray's own CAF runtime over DMAPP (the Fig 6/8/9 compiler baseline).
+# Slightly higher per-call overhead than raw Cray SHMEM (compiler runtime
+# bookkeeping), less aggressive strided offload (coarser per-element gap),
+# and its lock implementation lives in repro.caf.backends.craycaf.
+DMAPP_CAF = ConduitProfile(
+    name="Cray CAF (DMAPP)",
+    o_put_us=0.31,
+    o_get_us=0.35,
+    o_amo_us=0.60,
+    o_barrier_us=0.28,
+    amo_offload=True,
+    iput_native=True,
+    iput_elem_gap_us=0.060,
+    eager_threshold=4096,
+    rendezvous_extra_us=1.0,
+    bw_efficiency=0.90,
+)
+
+CONDUITS: dict[str, ConduitProfile] = {
+    "cray-shmem": CRAY_SHMEM,
+    "mvapich2x-shmem": MVAPICH2X_SHMEM,
+    "gasnet": GASNET,
+    "mpi3": MPI3,
+    "cray-mpich": CRAY_MPICH,
+    "dmapp-caf": DMAPP_CAF,
+}
+
+
+def get_conduit(name: str) -> ConduitProfile:
+    """Look up a conduit profile by case-insensitive short name."""
+    key = name.lower().replace("_", "-").replace(" ", "-")
+    try:
+        return CONDUITS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown conduit {name!r}; available: {sorted(CONDUITS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+
+
+class NetworkModel:
+    """Prices communication operations on one topology.
+
+    One instance is shared by every PE of a job; all methods are
+    thread-safe (the only shared mutable state is in the timelines).
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        m = topology.machine
+        n = topology.num_nodes
+        self._tx = [Timeline(f"node{i}.tx") for i in range(n)]
+        self._rx = [Timeline(f"node{i}.rx") for i in range(n)]
+        self._amo = [Timeline(f"node{i}.amo") for i in range(n)]
+        self._cpu = [Timeline(f"node{i}.amcpu") for i in range(n)]
+        self._machine = m
+
+    # -- helpers ------------------------------------------------------
+    def _wire_time(self, nbytes: int, conduit: ConduitProfile) -> float:
+        return nbytes / (self._machine.link_bandwidth_Bpus * conduit.bw_efficiency)
+
+    def reset(self) -> None:
+        for group in (self._tx, self._rx, self._amo, self._cpu):
+            for t in group:
+                t.reset()
+
+    def timelines(self) -> dict[str, list[Timeline]]:
+        """Expose the resource timelines (for tests and utilization stats)."""
+        return {"tx": self._tx, "rx": self._rx, "amo": self._amo, "cpu": self._cpu}
+
+    # -- one-sided data movement --------------------------------------
+    def put(
+        self, src: int, dst: int, nbytes: int, conduit: ConduitProfile, now: float
+    ) -> TransferTiming:
+        """Price a contiguous put of ``nbytes`` from PE ``src`` to ``dst``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            ready = now + 0.5 * conduit.o_put_us
+            done = ready + m.intra_latency_us + nbytes / m.intra_bandwidth_Bpus
+            return TransferTiming(local_complete=done, remote_complete=done)
+        overhead = conduit.o_put_us
+        if nbytes > conduit.eager_threshold:
+            overhead += conduit.rendezvous_extra_us
+        ready = now + overhead
+        wire = self._wire_time(nbytes, conduit)
+        tx_start, tx_end = self._tx[src_node].reserve(ready, wire)
+        _, rx_end = self._rx[dst_node].reserve(tx_start + m.link_latency_us, wire)
+        local = ready if nbytes <= conduit.eager_threshold else tx_end
+        return TransferTiming(local_complete=local, remote_complete=rx_end)
+
+    def get(
+        self, src: int, dst: int, nbytes: int, conduit: ConduitProfile, now: float
+    ) -> float:
+        """Price a blocking get: ``src`` reads ``nbytes`` from ``dst``.
+
+        Returns the completion time (data available at the initiator).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            return now + 0.5 * conduit.o_get_us + m.intra_latency_us + nbytes / m.intra_bandwidth_Bpus
+        request_arrival = now + conduit.o_get_us + m.link_latency_us
+        wire = self._wire_time(nbytes, conduit)
+        tx_start, _ = self._tx[dst_node].reserve(request_arrival, wire)
+        _, rx_end = self._rx[src_node].reserve(tx_start + m.link_latency_us, wire)
+        return rx_end
+
+    @staticmethod
+    def _gather_gap(
+        conduit: ConduitProfile, elem_size: int, stride_bytes: int | None
+    ) -> float:
+        """Per-element gap of a strided descriptor.
+
+        Elements farther apart than a cache line cost the gather/scatter
+        engine progressively more (DMA descriptors walk memory with poor
+        locality) — the physical basis of the paper's Section IV-C
+        tradeoff between minimizing calls and preserving locality.
+        """
+        gap = conduit.iput_elem_gap_us
+        if stride_bytes is None:
+            stride_bytes = elem_size
+        if stride_bytes > 64:
+            gap *= min(5.0, 1.0 + 0.35 * math.log2(stride_bytes / 64))
+        return gap
+
+    def iput(
+        self,
+        src: int,
+        dst: int,
+        nelems: int,
+        elem_size: int,
+        conduit: ConduitProfile,
+        now: float,
+        stride_bytes: int | None = None,
+    ) -> TransferTiming:
+        """Price a *native* 1-D strided put (``shmem_iput``) of ``nelems``
+        elements of ``elem_size`` bytes each, ``stride_bytes`` apart.
+
+        Only meaningful when ``conduit.iput_native``; non-native conduits
+        must instead loop over :meth:`put` calls — that decision is made
+        by the SHMEM layer, mirroring how MVAPICH2-X implements
+        ``shmem_iput`` as a series of contiguous puts.
+        """
+        if not conduit.iput_native:
+            raise ValueError(
+                f"{conduit.name} has no native iput; caller must loop over put()"
+            )
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        m = self._machine
+        nbytes = nelems * elem_size
+        gap = self._gather_gap(conduit, elem_size, stride_bytes)
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            ready = now + 0.5 * conduit.o_put_us
+            done = (
+                ready + m.intra_latency_us + nbytes / m.intra_bandwidth_Bpus + nelems * gap
+            )
+            return TransferTiming(local_complete=done, remote_complete=done)
+        ready = now + conduit.o_put_us
+        duration = self._wire_time(nbytes, conduit) + nelems * gap
+        tx_start, tx_end = self._tx[src_node].reserve(ready, duration)
+        _, rx_end = self._rx[dst_node].reserve(tx_start + m.link_latency_us, duration)
+        # Strided source data cannot be eagerly buffered as one block; the
+        # source buffer is free once the descriptor's gather completes.
+        return TransferTiming(local_complete=tx_end, remote_complete=rx_end)
+
+    def iget(
+        self,
+        src: int,
+        dst: int,
+        nelems: int,
+        elem_size: int,
+        conduit: ConduitProfile,
+        now: float,
+        stride_bytes: int | None = None,
+    ) -> float:
+        """Price a *native* blocking 1-D strided get (``shmem_iget``).
+
+        Like :meth:`get` but the target NIC pays a per-element gather gap.
+        Only valid for ``conduit.iput_native`` conduits.
+        """
+        if not conduit.iput_native:
+            raise ValueError(
+                f"{conduit.name} has no native iget; caller must loop over get()"
+            )
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        m = self._machine
+        nbytes = nelems * elem_size
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            return now + 0.5 * conduit.o_get_us + m.intra_latency_us + nbytes / m.intra_bandwidth_Bpus
+        request_arrival = now + conduit.o_get_us + m.link_latency_us
+        gap = self._gather_gap(conduit, elem_size, stride_bytes)
+        duration = self._wire_time(nbytes, conduit) + nelems * gap
+        tx_start, _ = self._tx[dst_node].reserve(request_arrival, duration)
+        _, rx_end = self._rx[src_node].reserve(tx_start + m.link_latency_us, duration)
+        return rx_end
+
+    # -- atomics -------------------------------------------------------
+    def amo(self, src: int, dst: int, conduit: ConduitProfile, now: float) -> float:
+        """Price an 8-byte remote atomic (swap/cswap/fadd/...).
+
+        Returns the completion time of the fetching round trip.
+        """
+        m = self._machine
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            _, end = self._amo[dst_node].reserve(
+                now + 0.5 * conduit.o_amo_us, m.amo_process_us
+            )
+            return end
+        if conduit.amo_offload:
+            arrival = now + conduit.o_amo_us + m.link_latency_us
+            _, end = self._amo[dst_node].reserve(arrival, m.amo_process_us)
+            return end + m.link_latency_us
+        # Active-message emulation: through the target CPU.
+        arrival = (
+            now + conduit.o_amo_us + m.link_latency_us + m.am_attentiveness_us
+        )
+        _, end = self._cpu[dst_node].reserve(arrival, m.cpu_am_process_us)
+        return end + m.link_latency_us
+
+    # -- active messages ----------------------------------------------
+    def am_request(
+        self, src: int, dst: int, payload: int, conduit: ConduitProfile, now: float
+    ) -> TransferTiming:
+        """Price a one-way active message with ``payload`` bytes.
+
+        ``local_complete`` is when the initiator may continue;
+        ``remote_complete`` is when the target handler has run.
+        """
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        m = self._machine
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            local = now + 0.5 * conduit.o_put_us
+            _, end = self._cpu[dst_node].reserve(
+                local + m.intra_latency_us, m.cpu_am_process_us
+            )
+            return TransferTiming(local_complete=local, remote_complete=end)
+        ready = now + conduit.o_put_us
+        wire = self._wire_time(payload, conduit)
+        tx_start, tx_end = self._tx[src_node].reserve(ready, wire)
+        arrival = tx_start + m.link_latency_us + wire + m.am_attentiveness_us
+        _, end = self._cpu[dst_node].reserve(arrival, m.cpu_am_process_us)
+        local = ready if payload <= conduit.eager_threshold else tx_end
+        return TransferTiming(local_complete=local, remote_complete=end)
+
+    def am_roundtrip(
+        self, src: int, dst: int, payload: int, conduit: ConduitProfile, now: float
+    ) -> float:
+        """Price a request/reply active-message pair; returns reply time."""
+        t = self.am_request(src, dst, payload, conduit, now)
+        m = self._machine
+        if self.topology.same_node(src, dst):
+            return t.remote_complete + m.intra_latency_us
+        return t.remote_complete + m.link_latency_us
+
+    # -- collectives ----------------------------------------------------
+    def barrier_cost(self, npes: int, conduit: ConduitProfile) -> float:
+        """Cost added on top of the max arrival time of a barrier over
+        ``npes`` PEs (dissemination barrier: ceil(log2 n) rounds)."""
+        if npes <= 0:
+            raise ValueError("npes must be positive")
+        if npes == 1:
+            return conduit.o_barrier_us
+        rounds = math.ceil(math.log2(npes))
+        return rounds * (conduit.o_barrier_us + self._machine.link_latency_us)
+
+    def reduction_cost(
+        self, npes: int, nbytes: int, conduit: ConduitProfile
+    ) -> float:
+        """Cost of a tree reduction/broadcast of ``nbytes`` over ``npes``."""
+        if npes <= 0:
+            raise ValueError("npes must be positive")
+        if npes == 1:
+            return conduit.o_barrier_us
+        rounds = math.ceil(math.log2(npes))
+        per_round = (
+            conduit.o_put_us + self._machine.link_latency_us + self._wire_time(nbytes, conduit)
+        )
+        return rounds * per_round

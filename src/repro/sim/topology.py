@@ -1,0 +1,86 @@
+"""Machine descriptions and PE placement.
+
+:class:`Machine` encodes one row of the paper's Table III plus the
+interconnect parameters the cost engine needs.  :class:`Topology` maps
+PEs onto nodes the way the paper's job launcher did: blocked placement,
+``cores_per_node`` consecutive PEs per node (all three machines have 16
+cores per node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Machine:
+    """One experimental platform (paper Table III + cost parameters).
+
+    Bandwidths are bytes per microsecond (1000 B/us == ~1 GB/s);
+    latencies are one-way microseconds.
+    """
+
+    name: str
+    nodes: int
+    processor: str
+    cores_per_node: int
+    interconnect: str
+    # --- interconnect cost parameters -------------------------------
+    link_latency_us: float  # one-way wire + switch latency
+    link_bandwidth_Bpus: float  # per-NIC, per-direction injection bandwidth
+    intra_latency_us: float  # shared-memory transfer latency within a node
+    intra_bandwidth_Bpus: float  # memcpy bandwidth within a node
+    amo_process_us: float  # NIC atomic unit service time per operation
+    cpu_am_process_us: float  # target-CPU service time per active message
+    am_attentiveness_us: float  # mean delay before target CPU notices an AM
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0 or self.cores_per_node <= 0:
+            raise ValueError("nodes and cores_per_node must be positive")
+        for field_name in (
+            "link_latency_us",
+            "link_bandwidth_Bpus",
+            "intra_latency_us",
+            "intra_bandwidth_Bpus",
+            "amo_process_us",
+            "cpu_am_process_us",
+            "am_attentiveness_us",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+
+class Topology:
+    """Blocked placement of ``num_pes`` PEs onto a machine's nodes."""
+
+    def __init__(self, machine: Machine, num_pes: int) -> None:
+        if num_pes <= 0:
+            raise ValueError("num_pes must be positive")
+        needed_nodes = -(-num_pes // machine.cores_per_node)
+        if needed_nodes > machine.nodes:
+            raise ValueError(
+                f"{num_pes} PEs need {needed_nodes} nodes; "
+                f"{machine.name} has only {machine.nodes}"
+            )
+        self.machine = machine
+        self.num_pes = num_pes
+        self.num_nodes = needed_nodes
+
+    def node_of(self, pe: int) -> int:
+        """Node index hosting PE ``pe`` (0-based PE numbering)."""
+        if not 0 <= pe < self.num_pes:
+            raise ValueError(f"PE {pe} out of range [0, {self.num_pes})")
+        return pe // self.machine.cores_per_node
+
+    def same_node(self, pe_a: int, pe_b: int) -> bool:
+        return self.node_of(pe_a) == self.node_of(pe_b)
+
+    def pes_on_node(self, node: int) -> list[int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        start = node * self.machine.cores_per_node
+        return list(range(start, min(start + self.machine.cores_per_node, self.num_pes)))

@@ -1,0 +1,96 @@
+"""Trace event capture.
+
+A :class:`Tracer` keeps one event list per PE (threads never share a
+list, so no locking on the hot path).  The communication layers call
+:meth:`Tracer.record` when a tracer is attached to their job; with no
+tracer attached the cost is one attribute read per operation.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.launcher import Job
+
+#: Operation kinds recorded by the layers.
+OPS = ("put", "get", "iput", "iget", "atomic", "quiet", "barrier", "am")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One communication operation, in virtual time."""
+
+    pe: int
+    op: str
+    target: int  # target PE (-1 for collectives / quiet)
+    nbytes: int
+    t_start: float
+    t_end: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+class Tracer:
+    """Per-job event capture."""
+
+    def __init__(self, job: "Job") -> None:
+        self.job = job
+        self.events: list[list[TraceEvent]] = [[] for _ in range(job.num_pes)]
+
+    def record(
+        self,
+        pe: int,
+        op: str,
+        target: int,
+        nbytes: int,
+        t_start: float,
+        t_end: float,
+    ) -> None:
+        if op not in OPS:
+            raise ValueError(f"unknown trace op {op!r}; expected {OPS}")
+        self.events[pe].append(
+            TraceEvent(pe=pe, op=op, target=target, nbytes=nbytes, t_start=t_start, t_end=t_end)
+        )
+
+    # ------------------------------------------------------------------
+    def all_events(self) -> list[TraceEvent]:
+        """Every event, ordered by start time."""
+        out = [e for per_pe in self.events for e in per_pe]
+        out.sort(key=lambda e: (e.t_start, e.pe))
+        return out
+
+    def count(self, op: str | None = None) -> int:
+        if op is None:
+            return sum(len(v) for v in self.events)
+        return sum(1 for v in self.events for e in v if e.op == op)
+
+    def bytes_moved(self) -> int:
+        return sum(e.nbytes for v in self.events for e in v)
+
+    def comm_time(self, pe: int) -> float:
+        """Total virtual time PE spent inside communication calls."""
+        return sum(e.duration for e in self.events[pe])
+
+    def profile(self):
+        """Aggregate per-operation statistics (a renderable table)."""
+        from repro.trace.report import render_profile
+
+        return render_profile(self)
+
+    def timeline(self, pe: int, width: int = 72) -> str:
+        from repro.trace.report import render_timeline
+
+        return render_timeline(self, pe, width)
+
+
+def attach(job: "Job") -> Tracer:
+    """Attach (or return the existing) tracer to a job."""
+    tracer = getattr(job, "tracer", None)
+    if tracer is None:
+        tracer = Tracer(job)
+        job.tracer = tracer
+    return tracer

@@ -1,0 +1,87 @@
+"""Trace rendering: per-operation profiles and ASCII timelines."""
+
+from __future__ import annotations
+
+import typing
+from collections import defaultdict
+
+from repro.util.tables import Table, format_bytes
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.events import Tracer
+
+_TIMELINE_GLYPHS = {
+    "put": "p",
+    "get": "g",
+    "iput": "s",
+    "iget": "z",
+    "atomic": "a",
+    "quiet": "q",
+    "barrier": "B",
+    "am": "m",
+}
+
+
+def render_profile(tracer: "Tracer") -> Table:
+    """Per-operation totals across all PEs (CrayPat-style summary)."""
+    by_op: dict[str, list] = defaultdict(list)
+    for per_pe in tracer.events:
+        for e in per_pe:
+            by_op[e.op].append(e)
+    table = Table(
+        "Communication profile (virtual time)",
+        ["op", "calls", "bytes", "total time (us)", "mean (us)", "max (us)"],
+    )
+    for op in sorted(by_op, key=lambda o: -sum(e.duration for e in by_op[o])):
+        events = by_op[op]
+        total = sum(e.duration for e in events)
+        table.add_row(
+            op,
+            len(events),
+            format_bytes(sum(e.nbytes for e in events)),
+            round(total, 2),
+            round(total / len(events), 3),
+            round(max(e.duration for e in events), 3),
+        )
+    return table
+
+
+def render_timeline(tracer: "Tracer", pe: int, width: int = 72) -> str:
+    """ASCII Gantt strip of one PE's communication in virtual time.
+
+    Each column is a time bucket; the glyph of the op occupying most of
+    the bucket is shown ('.' = no communication = compute/idle).
+    """
+    if not 0 <= pe < len(tracer.events):
+        raise ValueError(f"PE {pe} out of range")
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    events = tracer.events[pe]
+    if not events:
+        return f"PE {pe}: (no events)"
+    t_end = max(e.t_end for e in events)
+    if t_end <= 0:
+        return f"PE {pe}: (all events at t=0)"
+    bucket = t_end / width
+    occupancy = [defaultdict(float) for _ in range(width)]
+    for e in events:
+        lo = min(width - 1, int(e.t_start / bucket))
+        hi = min(width - 1, int(e.t_end / bucket))
+        for b in range(lo, hi + 1):
+            b_start = b * bucket
+            b_end = b_start + bucket
+            overlap = max(0.0, min(e.t_end, b_end) - max(e.t_start, b_start))
+            occupancy[b][e.op] += overlap
+    cells = []
+    for occ in occupancy:
+        if not occ:
+            cells.append(".")
+            continue
+        op = max(occ, key=occ.get)
+        cells.append(_TIMELINE_GLYPHS.get(op, "?"))
+    legend = " ".join(f"{g}={op}" for op, g in _TIMELINE_GLYPHS.items())
+    return (
+        f"PE {pe} timeline 0..{t_end:.1f}us ({bucket:.2f}us/col)\n"
+        f"|{''.join(cells)}|\n"
+        f"legend: {legend}  .=compute/idle"
+    )

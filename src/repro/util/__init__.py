@@ -1,0 +1,24 @@
+"""Utility layer: bit packing, allocation, formatting, statistics.
+
+These helpers are shared by every subsystem; none of them knows anything
+about PGAS semantics.  They are deliberately small, pure, and heavily
+property-tested (see ``tests/util``).
+"""
+
+from repro.util.bitpack import RemotePointer, pack_remote_pointer, unpack_remote_pointer
+from repro.util.allocator import FreeListAllocator, OutOfMemoryError
+from repro.util.tables import Table, Series, format_bytes
+from repro.util.stats import summarize, geomean
+
+__all__ = [
+    "RemotePointer",
+    "pack_remote_pointer",
+    "unpack_remote_pointer",
+    "FreeListAllocator",
+    "OutOfMemoryError",
+    "Table",
+    "Series",
+    "format_bytes",
+    "summarize",
+    "geomean",
+]

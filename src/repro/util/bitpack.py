@@ -1,0 +1,80 @@
+"""64-bit packed remote pointers (paper Section IV-D).
+
+The MCS lock adaptation stores queue-node pointers inside a single
+remotely-atomic 64-bit word so that OpenSHMEM's 8-byte atomics
+(``shmem_swap`` / ``shmem_cswap``) can manipulate them.  The paper's
+layout is:
+
+* 20 bits — image index (1-based; 0 encodes the nil pointer)
+* 36 bits — byte offset of the qnode within the managed, non-symmetric
+  remotely-accessible buffer
+* 8 bits  — reserved flag bits
+
+The nil pointer is the all-zero word, which is convenient because a
+freshly ``shmalloc``-ed lock word starts life zeroed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+IMAGE_BITS = 20
+OFFSET_BITS = 36
+FLAG_BITS = 8
+
+assert IMAGE_BITS + OFFSET_BITS + FLAG_BITS == 64
+
+MAX_IMAGE = (1 << IMAGE_BITS) - 1
+MAX_OFFSET = (1 << OFFSET_BITS) - 1
+MAX_FLAGS = (1 << FLAG_BITS) - 1
+
+_OFFSET_SHIFT = FLAG_BITS
+_IMAGE_SHIFT = FLAG_BITS + OFFSET_BITS
+
+#: The packed representation of "no qnode" (tail empty / no successor).
+NIL = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RemotePointer:
+    """A decoded remote pointer: which image, where in its managed heap."""
+
+    image: int  # 1-based CAF image index; 0 is reserved for nil
+    offset: int  # byte offset within the image's managed heap
+    flags: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.image <= MAX_IMAGE:
+            raise ValueError(f"image {self.image} out of range [0, {MAX_IMAGE}]")
+        if not 0 <= self.offset <= MAX_OFFSET:
+            raise ValueError(f"offset {self.offset} out of range [0, {MAX_OFFSET}]")
+        if not 0 <= self.flags <= MAX_FLAGS:
+            raise ValueError(f"flags {self.flags} out of range [0, {MAX_FLAGS}]")
+
+    @property
+    def is_nil(self) -> bool:
+        return self.image == 0
+
+    def pack(self) -> int:
+        return pack_remote_pointer(self.image, self.offset, self.flags)
+
+
+def pack_remote_pointer(image: int, offset: int, flags: int = 0) -> int:
+    """Pack an (image, offset, flags) tuple into a 64-bit integer."""
+    if not 0 <= image <= MAX_IMAGE:
+        raise ValueError(f"image {image} out of range [0, {MAX_IMAGE}]")
+    if not 0 <= offset <= MAX_OFFSET:
+        raise ValueError(f"offset {offset} out of range [0, {MAX_OFFSET}]")
+    if not 0 <= flags <= MAX_FLAGS:
+        raise ValueError(f"flags {flags} out of range [0, {MAX_FLAGS}]")
+    return (image << _IMAGE_SHIFT) | (offset << _OFFSET_SHIFT) | flags
+
+
+def unpack_remote_pointer(word: int) -> RemotePointer:
+    """Unpack a 64-bit integer into a :class:`RemotePointer`."""
+    if not 0 <= word < (1 << 64):
+        raise ValueError(f"word {word!r} is not a 64-bit unsigned value")
+    image = word >> _IMAGE_SHIFT
+    offset = (word >> _OFFSET_SHIFT) & MAX_OFFSET
+    flags = word & MAX_FLAGS
+    return RemotePointer(image=image, offset=offset, flags=flags)

@@ -1,0 +1,58 @@
+"""Small statistics helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    n: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"max={self.maximum:.4g} sd={self.stddev:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Mean/min/max/stddev of a non-empty sequence."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return Summary(n=n, mean=mean, minimum=min(values), maximum=max(values), stddev=math.sqrt(var))
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the right average for speedup ratios."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("cannot take geomean of an empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``.
+
+    Both arguments are *times* (lower is better); a result > 1 means
+    ``improved`` wins.
+    """
+    if improved <= 0 or baseline <= 0:
+        raise ValueError("times must be positive")
+    return baseline / improved
+
+
+def percent_gain(baseline: float, improved: float) -> float:
+    """Percentage time reduction of ``improved`` relative to ``baseline``."""
+    return (baseline - improved) / baseline * 100.0

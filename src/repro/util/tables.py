@@ -1,0 +1,101 @@
+"""ASCII rendering of the tables and figure-series the paper reports.
+
+The benchmark harness prints each reproduced table/figure as a plain
+monospaced table so that runs of ``pytest benchmarks/`` show the same
+rows/series the paper's plots contain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+_UNITS = ["B", "KB", "MB", "GB"]
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count the way the paper's x-axes do (powers of two)."""
+    value = float(n)
+    for unit in _UNITS:
+        if value < 1024 or unit == _UNITS[-1]:
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class Table:
+    """A titled grid of rows with a header, rendered with aligned columns."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        cells = [[str(h) for h in self.headers]] + [
+            [_fmt(c) for c in row] for row in self.rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.headers))]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+        lines.append(sep)
+        for row in cells[1:]:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label plus (x, y) points."""
+
+    label: str
+    points: list[tuple[Any, float]] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.points.append((x, y))
+
+    @property
+    def xs(self) -> list[Any]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+
+def render_figure(title: str, x_label: str, y_label: str, series: Sequence[Series]) -> str:
+    """Render a figure as a table: one x column, one column per series."""
+    xs = series[0].xs
+    for s in series:
+        if s.xs != xs:
+            raise ValueError(f"series {s.label!r} has mismatched x values")
+    table = Table(
+        title=f"{title}   [y = {y_label}]",
+        headers=[x_label, *[s.label for s in series]],
+    )
+    for i, x in enumerate(xs):
+        table.add_row(x, *[s.ys[i] for s in series])
+    return table.render()
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

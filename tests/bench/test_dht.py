@@ -1,0 +1,140 @@
+"""Distributed hash table: correctness under concurrency + benchmark."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.bench import harness as H
+from repro.bench.dht import DistributedHashTable, dht_benchmark
+
+
+def test_update_and_lookup_single_image():
+    def kernel():
+        t = DistributedHashTable(slots_per_image=16)
+        assert t.update(5) == 1
+        assert t.update(5) == 2
+        assert t.update(9, delta=10) == 10
+        assert t.lookup(5) == 2
+        assert t.lookup(9) == 10
+        assert t.lookup(12345) is None
+        return True
+
+    assert all(caf.launch(kernel, num_images=1))
+
+
+def test_concurrent_updates_sum_exactly():
+    """Every image updates the same keys; grand total must be exact —
+    the mutual-exclusion property the benchmark exists to test."""
+
+    def kernel():
+        n = caf.num_images()
+        t = DistributedHashTable(slots_per_image=32)
+        keys = [3, 17, 17, 99, 3, 3]
+        for k in keys:
+            t.update(k)
+        caf.sync_all()
+        if caf.this_image() == 1:
+            assert t.lookup(3) == 3 * n
+            assert t.lookup(17) == 2 * n
+            assert t.lookup(99) == n
+        caf.sync_all()
+        occupied, total = t.local_totals()
+        arr = np.array([total], dtype=np.float64)
+        caf.co_sum(arr)
+        return float(arr[0])
+
+    out = caf.launch(kernel, num_images=5)
+    assert all(v == 6 * 5 for v in out)
+
+
+def test_distribution_across_images():
+    def kernel():
+        t = DistributedHashTable(slots_per_image=64)
+        owners = {t.home(k)[0] for k in range(200)}
+        return owners
+
+    out = caf.launch(kernel, num_images=4)
+    assert out[0] == {1, 2, 3, 4}  # hashing spreads keys over all images
+
+
+def test_collision_probing():
+    def kernel():
+        t = DistributedHashTable(slots_per_image=8, locks_per_image=1)
+        # force colliding keys by brute force: find two keys with the
+        # same (image, slot) home
+        seen = {}
+        pair = None
+        for k in range(1, 5000):
+            home = t.home(k)
+            if home in seen:
+                pair = (seen[home], k)
+                break
+            seen[home] = k
+        assert pair is not None
+        a, b = pair
+        t.update(a)
+        t.update(b)
+        assert t.lookup(a) == 1 and t.lookup(b) == 1
+        return True
+
+    assert all(caf.launch(kernel, num_images=1))
+
+
+def test_full_bucket_raises():
+    def kernel():
+        t = DistributedHashTable(slots_per_image=4, locks_per_image=1)
+        inserted = 0
+        try:
+            for k in range(1, 10000):
+                t.update(k)
+                inserted += 1
+        except Exception as exc:
+            assert "full" in str(exc)
+            return inserted
+        return -1
+
+    out = caf.launch(kernel, num_images=1)
+    assert 0 < out[0] <= 4
+
+
+def test_reserved_key_rejected():
+    def kernel():
+        t = DistributedHashTable(slots_per_image=4)
+        t.update(-1)
+
+    with pytest.raises(RuntimeError, match="reserved"):
+        caf.launch(kernel, num_images=1)
+
+
+def test_constructor_validation():
+    def kernel():
+        DistributedHashTable(slots_per_image=2, locks_per_image=4)
+
+    with pytest.raises(RuntimeError, match="more locks"):
+        caf.launch(kernel, num_images=1)
+
+
+def test_multiple_locks_reduce_false_sharing():
+    def kernel():
+        t = DistributedHashTable(slots_per_image=32, locks_per_image=4)
+        for k in range(1, 20):
+            t.update(k)
+        caf.sync_all()
+        _, total = t.local_totals()
+        arr = np.array([float(total)])
+        caf.co_sum(arr)
+        return arr[0]
+
+    out = caf.launch(kernel, num_images=3)
+    assert all(v == 19 * 3 for v in out)
+
+
+def test_benchmark_shape():
+    """Fig 9 mechanism: time grows with images; UHCAF-SHMEM fastest."""
+    t_small = dht_benchmark("titan", H.UHCAF_CRAY_SHMEM, 2, updates_per_image=6)
+    t_big = dht_benchmark("titan", H.UHCAF_CRAY_SHMEM, 12, updates_per_image=6)
+    assert 0 < t_small < t_big
+    t_cray = dht_benchmark("titan", H.CRAY_CAF, 12, updates_per_image=6)
+    t_gas = dht_benchmark("titan", H.UHCAF_GASNET, 12, updates_per_image=6)
+    assert t_big < t_cray
+    assert t_big < t_gas

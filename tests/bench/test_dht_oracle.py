@@ -1,0 +1,70 @@
+"""DHT vs. a sequential dictionary oracle (property-based)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import caf
+from repro.bench.dht import DistributedHashTable
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(0, 40), st.integers(-5, 5).filter(lambda d: d != 0)),
+        max_size=30,
+    ),
+    images=st.integers(1, 4),
+)
+def test_dht_matches_dict_oracle(updates, images):
+    """Any single-image update sequence produces exactly the counts a
+    plain dict would (insert/update/delta semantics)."""
+
+    def kernel():
+        table = DistributedHashTable(slots_per_image=64)  # collective
+        if caf.this_image() != 1:
+            caf.sync_all()
+            return None
+        oracle: dict[int, int] = {}
+        for key, delta in updates:
+            got = table.update(key, delta)
+            oracle[key] = oracle.get(key, 0) + delta
+            assert got == oracle[key], (key, got, oracle[key])
+        for key, count in oracle.items():
+            assert table.lookup(key) == count
+        caf.sync_all()
+        return True
+
+    out = caf.launch(kernel, num_images=images)
+    assert out[0] is True or images > 1
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_dht_concurrent_totals_match_oracle(seed):
+    """Concurrent random updates: the global multiset of counts equals
+    a sequential oracle applied to the union of all update streams."""
+    n_images = 4
+    per_image = 10
+
+    def kernel():
+        me = caf.this_image()
+        table = DistributedHashTable(slots_per_image=64)
+        rng = np.random.default_rng(seed * 100 + me)
+        keys = [int(k) for k in rng.integers(0, 30, size=per_image)]
+        for k in keys:
+            table.update(k)
+        caf.sync_all()
+        # image 1 verifies against the union oracle
+        if me == 1:
+            oracle: dict[int, int] = {}
+            for img in range(1, n_images + 1):
+                r = np.random.default_rng(seed * 100 + img)
+                for k in r.integers(0, 30, size=per_image):
+                    oracle[int(k)] = oracle.get(int(k), 0) + 1
+            for k, count in oracle.items():
+                assert table.lookup(k) == count, (k, table.lookup(k), count)
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=n_images))

@@ -1,0 +1,42 @@
+"""Structural contracts of the figure drivers (cheap subset).
+
+The benchmark suite asserts the reproduced *shapes*; these tests pin the
+drivers' structure — series labels match the paper's legends and every
+series spans the same x-axis — using the cheapest figures only.
+"""
+
+from repro.bench import figures
+
+
+def test_fig8_structure():
+    fig = figures.fig8(quick=True)
+    labels = [s.label for s in fig.series]
+    assert labels == ["Cray-CAF", "UHCAF-GASNet", "UHCAF-Cray-SHMEM"]
+    xs = fig.series[0].xs
+    assert all(s.xs == xs for s in fig.series)
+    assert fig.x_label == "images"
+    assert all(len(s.ys) == len(xs) for s in fig.series)
+    assert all(y > 0 for s in fig.series for y in s.ys)
+
+
+def test_fig10_structure():
+    fig = figures.fig10(quick=True)
+    labels = [s.label for s in fig.series]
+    assert labels == ["UHCAF-GASNet", "UHCAF-MVAPICH2-X-SHMEM"]
+    assert fig.y_label == "MFLOPS"
+    assert min(fig.series[0].xs) >= 2
+
+
+def test_tables_driver_returns_all_three():
+    tables = figures.tables()
+    titles = [t.title for t in tables]
+    assert any("Table I:" in t for t in titles)
+    assert any("Table II:" in t for t in titles)
+    assert any("Table III:" in t for t in titles)
+
+
+def test_render_roundtrip():
+    fig = figures.fig8(quick=True)
+    text = fig.render()
+    for s in fig.series:
+        assert s.label in text

@@ -1,0 +1,52 @@
+"""Benchmark harness helpers."""
+
+import pytest
+
+from repro.bench.harness import (
+    BenchFigure,
+    CafConfig,
+    UHCAF_CRAY_SHMEM_2DIM,
+    bandwidth_MBps,
+    pair_partner,
+    pair_world_size,
+)
+
+
+def test_pair_world_size():
+    assert pair_world_size(1) == 17
+    assert pair_world_size(16) == 32
+    with pytest.raises(ValueError):
+        pair_world_size(0)
+    with pytest.raises(ValueError):
+        pair_world_size(17)
+
+
+def test_pair_partner_layout():
+    # initiators 0..pairs-1 pair with 16..16+pairs-1 (different node)
+    assert pair_partner(0, 4) == 16
+    assert pair_partner(3, 4) == 19
+    assert pair_partner(4, 4) is None
+    assert pair_partner(16, 4) is None
+
+
+def test_bandwidth_units():
+    # 1000 bytes in 1 us == 1000 MB/s
+    assert bandwidth_MBps(1000, 1.0) == pytest.approx(1000.0)
+    with pytest.raises(ValueError):
+        bandwidth_MBps(10, 0.0)
+
+
+def test_config_launch_kwargs():
+    kw = UHCAF_CRAY_SHMEM_2DIM.launch_kwargs()
+    assert kw == {"backend": "shmem", "profile": "cray-shmem", "strided": "2dim"}
+    plain = CafConfig("x", backend="gasnet").launch_kwargs()
+    assert plain == {"backend": "gasnet"}
+
+
+def test_bench_figure_accessors():
+    fig = BenchFigure("t", "x", "y")
+    fig.add_series("a", [1, 2], [3.0, 4.0])
+    assert fig.get("a").ys == [3.0, 4.0]
+    with pytest.raises(KeyError):
+        fig.get("b")
+    assert "t" in fig.render()

@@ -1,0 +1,108 @@
+"""PGAS microbenchmark machinery (Figs 6-8) on tiny parameters."""
+
+import pytest
+
+from repro import caf
+from repro.bench import harness as H
+from repro.bench import microbench as B
+
+
+def test_contiguous_bandwidth_positive_and_monotone_to_saturation():
+    small = B.caf_put_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM, 64, iters=3)
+    large = B.caf_put_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM, 1 << 18, iters=3)
+    assert 0 < small < large
+
+
+def test_uhcaf_shmem_beats_craycaf_contiguous():
+    """Fig 6(a): ~8% average gain."""
+    gains = []
+    for size in (64, 4096, 1 << 17):
+        cray = B.caf_put_bandwidth("cray-xc30", H.CRAY_CAF, size, iters=3)
+        uh = B.caf_put_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM, size, iters=3)
+        gains.append((uh - cray) / cray * 100)
+    avg = sum(gains) / len(gains)
+    assert all(g > 0 for g in gains)
+    assert 3 < avg < 20  # paper: average ~8%
+
+
+def test_strided_2dim_beats_naive_and_cray_on_xc30():
+    """Fig 6(c): ~9x vs naive, ~3x vs Cray CAF."""
+    stride = 8
+    naive = B.caf_strided_put_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM_NAIVE, stride, iters=2)
+    two = B.caf_strided_put_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM_2DIM, stride, iters=2)
+    cray = B.caf_strided_put_bandwidth("cray-xc30", H.CRAY_CAF, stride, iters=2)
+    assert two / naive > 5  # paper: ~9x
+    assert 2 < two / cray < 5  # paper: ~3x
+
+
+def test_strided_naive_equals_2dim_on_mvapich2x():
+    """Fig 7(c): MVAPICH2-X iput loops over putmem, so the algorithms
+    tie — and both beat GASNet."""
+    stride = 8
+    naive = B.caf_strided_put_bandwidth("stampede", H.UHCAF_MV2X_SHMEM_NAIVE, stride, iters=2)
+    two = B.caf_strided_put_bandwidth("stampede", H.UHCAF_MV2X_SHMEM_2DIM, stride, iters=2)
+    gas = B.caf_strided_put_bandwidth("stampede", H.UHCAF_GASNET, stride, iters=2)
+    assert naive == pytest.approx(two, rel=0.05)
+    assert naive > gas
+
+
+def test_call_counts_match_plan_theory():
+    """The executed putmem/iput call counts equal the planner's."""
+
+    def kernel():
+        import numpy as np
+
+        rt = caf.current_runtime()
+        a = caf.coarray((16, 32), np.int32)
+        a[:] = 0
+        caf.sync_all()
+        rt.reset_stats()
+        a.on(1).put((slice(0, 16, 2), slice(0, 32, 4)), 7, algorithm="naive")
+        naive_calls = rt.my_stats["putmem_calls"]
+        a.on(1).put((slice(0, 16, 2), slice(0, 32, 4)), 7, algorithm="2dim")
+        iput_calls = rt.my_stats["iput_calls"]
+        return (naive_calls, iput_calls)
+
+    out = caf.launch(kernel, num_images=1, profile="cray-shmem")
+    assert out[0] == (8 * 8, 8)  # per-element vs one line per row
+
+
+def test_lock_contention_grows_with_images():
+    t2 = B.lock_contention_time("titan", H.UHCAF_CRAY_SHMEM, 2, acquires=3)
+    t12 = B.lock_contention_time("titan", H.UHCAF_CRAY_SHMEM, 12, acquires=3)
+    assert 0 < t2 < t12
+
+
+def test_lock_shmem_beats_gasnet_and_craycaf():
+    """Fig 8 ordering at a contended image count."""
+    n = 24
+    shmem_t = B.lock_contention_time("titan", H.UHCAF_CRAY_SHMEM, n, acquires=3)
+    gasnet_t = B.lock_contention_time("titan", H.UHCAF_GASNET, n, acquires=3)
+    cray_t = B.lock_contention_time("titan", H.CRAY_CAF, n, acquires=3)
+    assert shmem_t < gasnet_t
+    assert shmem_t < cray_t
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        B.caf_strided_put_bandwidth("stampede", H.UHCAF_GASNET, stride=0)
+    with pytest.raises(ValueError):
+        B.lock_contention_time("titan", H.CRAY_CAF, 0)
+
+
+def test_get_bandwidth_positive_and_below_put():
+    """Gets are blocking round trips; statement bandwidth trails puts of
+    the same size at small messages."""
+    put_bw = B.caf_put_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM, 4096, iters=3)
+    get_bw = B.caf_get_bandwidth("cray-xc30", H.UHCAF_CRAY_SHMEM, 4096, iters=3)
+    assert 0 < get_bw < put_bw
+
+
+def test_strided_get_mirrors_put_algorithm_gap():
+    naive = B.caf_strided_get_bandwidth(
+        "cray-xc30", H.UHCAF_CRAY_SHMEM_NAIVE, 8, iters=2
+    )
+    two = B.caf_strided_get_bandwidth(
+        "cray-xc30", H.UHCAF_CRAY_SHMEM_2DIM, 8, iters=2
+    )
+    assert two > 3 * naive

@@ -1,0 +1,66 @@
+"""Motivation suite (Figs 2-3 machinery) on tiny sweeps."""
+
+import pytest
+
+from repro.bench import motivation
+
+
+def test_latency_positive_and_ordered():
+    lat = {
+        lib: motivation.put_latency("stampede", lib, 64, pairs=1, iters=4)
+        for lib in motivation.LIBRARIES
+    }
+    assert all(v > 0 for v in lat.values())
+    assert lat["shmem"] < lat["gasnet"] < lat["mpi3"]
+
+
+def test_latency_grows_with_size():
+    small = motivation.put_latency("stampede", "shmem", 8, iters=4)
+    large = motivation.put_latency("stampede", "shmem", 1 << 20, iters=2)
+    assert large > small
+
+
+def test_bandwidth_shmem_beats_gasnet_large():
+    bw = {
+        lib: motivation.put_bandwidth("stampede", lib, 1 << 19, iters=4)
+        for lib in ("shmem", "gasnet")
+    }
+    assert bw["shmem"] > bw["gasnet"]
+
+
+def test_contention_reduces_per_pair_bandwidth():
+    solo = motivation.put_bandwidth("stampede", "shmem", 1 << 18, pairs=1, iters=3)
+    crowd = motivation.put_bandwidth("stampede", "shmem", 1 << 18, pairs=16, iters=3)
+    assert crowd < solo / 8  # 16 pairs share one NIC
+
+
+def test_titan_uses_cray_stack_labels():
+    assert motivation.library_label("shmem", "titan") == "Cray SHMEM"
+    assert motivation.library_label("mpi3", "titan") == "Cray MPICH"
+    assert motivation.library_label("shmem", "stampede") == "MVAPICH2-X SHMEM"
+
+
+def test_unknown_library_rejected():
+    with pytest.raises((ValueError, KeyError)):
+        motivation.put_latency("stampede", "ucx", 8)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        motivation._run_put_test("stampede", "shmem", 8, 1, 1, "throughput")
+
+
+def test_atomic_latency_shmem_beats_gasnet():
+    """Remote atomics: NIC-offloaded SHMEM vs AM-emulated GASNet — the
+    Section III property the lock design exploits."""
+    shmem_lat = motivation.atomic_latency("titan", "shmem", iters=8)
+    gasnet_lat = motivation.atomic_latency("titan", "gasnet", iters=8)
+    mpi_lat = motivation.atomic_latency("titan", "mpi3", iters=8)
+    assert shmem_lat < gasnet_lat
+    assert shmem_lat < mpi_lat
+
+
+def test_atomic_latency_contention_serializes():
+    solo = motivation.atomic_latency("titan", "shmem", pairs=1, iters=8)
+    crowd = motivation.atomic_latency("titan", "shmem", pairs=16, iters=8)
+    assert crowd >= solo  # shared target atomic units serialize

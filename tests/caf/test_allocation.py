@@ -1,0 +1,145 @@
+"""Non-symmetric allocation and packed remote pointers (Section IV-A/D)."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.util.bitpack import unpack_remote_pointer
+
+
+def test_nonsymmetric_offsets_differ_across_images():
+    """The whole point: different images allocate at different offsets
+    in their managed heaps."""
+
+    def kernel():
+        me = caf.this_image()
+        # skew allocation patterns per image
+        for _ in range(me):
+            caf.nonsymmetric((8,), np.int64)
+        obj = caf.nonsymmetric((4,), np.int64)
+        return obj.offset
+
+    out = caf.launch(kernel, num_images=3)
+    assert len(set(out)) == 3
+
+
+def test_remote_pointer_roundtrip_access():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        rt = caf.current_runtime()
+        obj = caf.nonsymmetric((5,), np.float64)
+        obj.local[:] = me * 1.5
+        ptrs = caf.coarray((1,), np.uint64)
+        ptrs[:] = obj.packed()
+        caf.sync_all()
+        nxt = me % n + 1
+        remote = int(ptrs.on(nxt)[0])
+        vals = caf.get_remote(rt, remote, (5,), np.float64)
+        assert np.allclose(vals, nxt * 1.5)
+        decoded = unpack_remote_pointer(remote)
+        assert decoded.image == nxt
+        return True
+
+    assert all(caf.launch(kernel, num_images=3))
+
+
+def test_put_remote_visible_to_owner():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        rt = caf.current_runtime()
+        obj = caf.nonsymmetric((3,), np.int64)
+        obj.local[:] = 0
+        ptrs = caf.coarray((1,), np.uint64)
+        ptrs[:] = obj.packed()
+        caf.sync_all()
+        nxt = me % n + 1
+        caf.put_remote(rt, int(ptrs.on(nxt)[0]), [me, me, me], np.int64)
+        caf.sync_all()
+        prev = (me - 2) % n + 1
+        assert list(obj.local) == [prev] * 3
+        return True
+
+    assert all(caf.launch(kernel, num_images=4))
+
+
+def test_atomic_remote_on_qnode_style_word():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        rt = caf.current_runtime()
+        word = caf.nonsymmetric((1,), np.uint64)
+        word.local[:] = 0
+        ptrs = caf.coarray((1,), np.uint64)
+        ptrs[:] = word.packed()
+        caf.sync_all()
+        owner_ptr = int(ptrs.on(1)[0])
+        caf.atomic_remote(rt, owner_ptr, "fadd", 1)
+        caf.sync_all()
+        return int(word.local[0]) if me == 1 else None
+
+    out = caf.launch(kernel, num_images=4)
+    assert out[0] == 4
+
+
+def test_local_view_restricted_to_owner():
+    def kernel():
+        me = caf.this_image()
+        obj = caf.nonsymmetric((2,), np.int64)
+        objs = {}  # simulate leaking the handle object cross-image via
+        # python sharing: construct a second image's access attempt
+        return obj.owner_image == me
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_free_returns_space():
+    def kernel():
+        rt = caf.current_runtime()
+        me_pe = caf.this_image() - 1
+        before = rt._managed_alloc[me_pe].bytes_allocated
+        obj = caf.nonsymmetric((1024,), np.float64)
+        assert rt._managed_alloc[me_pe].bytes_allocated > before
+        obj.free()
+        assert rt._managed_alloc[me_pe].bytes_allocated == before
+        try:
+            _ = obj.local
+        except caf.CafError:
+            return True
+        return False
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_nil_pointer_dereference_rejected():
+    def kernel():
+        rt = caf.current_runtime()
+        caf.get_remote(rt, 0, (1,), np.int64)
+
+    with pytest.raises(RuntimeError, match="nil"):
+        caf.launch(kernel, num_images=1)
+
+
+def test_misaligned_atomic_pointer_rejected():
+    def kernel():
+        rt = caf.current_runtime()
+        ptr = caf.pack_remote_pointer(1, 4)  # not 8-aligned
+        caf.atomic_remote(rt, ptr, "fetch")
+
+    with pytest.raises(RuntimeError, match="misaligned"):
+        caf.launch(kernel, num_images=1)
+
+
+def test_managed_heap_exhaustion():
+    def kernel():
+        caf.nonsymmetric((1 << 22,), np.uint8)
+
+    with pytest.raises(RuntimeError, match="cannot allocate"):
+        caf.launch(kernel, num_images=1, managed_heap_bytes=1 << 12)
+
+
+def test_managed_heap_must_fit_pointer_offset():
+    from repro.runtime.launcher import Job
+    from repro.caf.runtime import CafRuntime
+
+    job = Job(1, heap_bytes=1 << 20)
+    with pytest.raises(ValueError, match="36-bit"):
+        CafRuntime(job, managed_heap_bytes=1 << 40)

@@ -1,0 +1,124 @@
+"""CAF atomic subroutines (Table II atomic rows)."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+
+
+def test_define_and_ref():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        atom = caf.coarray((1,), np.int64)
+        caf.sync_all()
+        if me == 1:
+            caf.atomic_define(atom, 2, value=42)
+        caf.sync_all()
+        return caf.atomic_ref(atom, 2)
+
+    out = caf.launch(kernel, num_images=3)
+    assert out == [42, 42, 42]
+
+
+def test_fetch_add_concurrent():
+    def kernel():
+        atom = caf.coarray((1,), np.int64)
+        caf.sync_all()
+        olds = [caf.atomic_fetch_add(atom, 1, value=2) for _ in range(10)]
+        caf.sync_all()
+        total = caf.atomic_ref(atom, 1)
+        return (total, olds)
+
+    out = caf.launch(kernel, num_images=4)
+    assert all(t == 80 for t, _ in out)
+    assert all(o % 2 == 0 for _, olds in out for o in olds)
+
+
+def test_cas_semantics():
+    def kernel():
+        me = caf.this_image()
+        atom = caf.coarray((1,), np.int64)
+        caf.sync_all()
+        old = caf.atomic_cas(atom, 1, compare=0, new=me)
+        caf.sync_all()
+        final = caf.atomic_ref(atom, 1)
+        return (old, final)
+
+    out = caf.launch(kernel, num_images=4)
+    winners = [o for o, _ in out if o == 0]
+    assert len(winners) == 1
+    finals = {f for _, f in out}
+    assert len(finals) == 1 and finals.pop() in (1, 2, 3, 4)
+
+
+def test_bitwise_fetch_ops():
+    def kernel():
+        me = caf.this_image()
+        atom = caf.coarray((3,), np.int64)
+        atom[:] = [0b1111, 0, 0b1111]
+        caf.sync_all()
+        caf.atomic_fetch_and(atom, 1, value=~(1 << (me - 1)), index=0)
+        caf.atomic_fetch_or(atom, 1, value=1 << (me - 1), index=1)
+        caf.atomic_fetch_xor(atom, 1, value=1 << (me - 1), index=2)
+        caf.sync_all()
+        if me == 1:
+            return [int(v) for v in atom.local]
+        return None
+
+    out = caf.launch(kernel, num_images=2)
+    assert out[0] == [0b1100, 0b0011, 0b1100]
+
+
+def test_atomic_add_no_fetch():
+    def kernel():
+        atom = caf.coarray((1,), np.int64)
+        caf.sync_all()
+        caf.atomic_add(atom, 1, value=5)
+        caf.sync_all()
+        return caf.atomic_ref(atom, 1)
+
+    out = caf.launch(kernel, num_images=3)
+    assert out[0] == 15
+
+
+def test_atomic_swap():
+    def kernel():
+        me = caf.this_image()
+        atom = caf.coarray((1,), np.int64)
+        atom[:] = 7
+        caf.sync_all()
+        if me == 1:
+            old = caf.atomic_swap(atom, 1, value=99)
+            assert old == 7
+        caf.sync_all()
+        return caf.atomic_ref(atom, 1)
+
+    assert caf.launch(kernel, num_images=2)[0] == 99
+
+
+def test_atomics_require_atomic_int_kind():
+    def kernel():
+        atom = caf.coarray((1,), np.float64)
+        caf.atomic_add(atom, 1, value=1)
+
+    with pytest.raises(RuntimeError, match="8-byte integer"):
+        caf.launch(kernel, num_images=1)
+
+    def kernel32():
+        atom = caf.coarray((1,), np.int32)
+        caf.atomic_ref(atom, 1)
+
+    with pytest.raises(RuntimeError, match="8-byte integer"):
+        caf.launch(kernel32, num_images=1)
+
+
+def test_atomics_at_index():
+    def kernel():
+        atom = caf.coarray((4,), np.int64)
+        caf.sync_all()
+        caf.atomic_add(atom, 1, value=1, index=2)
+        caf.sync_all()
+        return list(atom.local) if caf.this_image() == 1 else None
+
+    out = caf.launch(kernel, num_images=3)
+    assert out[0] == [0, 0, 3, 0]

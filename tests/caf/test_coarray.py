@@ -1,0 +1,221 @@
+"""Coarray declaration, local access, and co-indexed RMA."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+
+
+def run(kernel, n=4, **kw):
+    return caf.launch(kernel, num_images=n, **kw)
+
+
+def test_images_are_one_based():
+    out = run(lambda: (caf.this_image(), caf.num_images()), n=3)
+    assert out == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_local_access_and_views():
+    def kernel():
+        x = caf.coarray((2, 3), np.int64)
+        x[:] = caf.this_image()
+        x[0, 1] = 99
+        assert x.local[0, 1] == 99
+        assert np.asarray(x).shape == (2, 3)
+        return int(x.local.sum())
+
+    out = run(kernel, n=2)
+    # sum = me * 6 - me + 99 (one cell overwritten by 99)
+    assert out == [104, 109]
+
+
+def test_scalar_coarray():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        s = caf.coarray((), np.int64)
+        s.local[()] = me * 5
+        caf.sync_all()
+        nxt = me % n + 1
+        v = s.on(nxt).value
+        assert v == nxt * 5
+        caf.sync_all()
+        s.on(nxt).set(100 + me)
+        caf.sync_all()
+        prev = (me - 2) % n + 1
+        return int(s.local[()]) == 100 + prev
+
+    assert all(run(kernel, n=3))
+
+
+def test_coindexed_whole_array_put_get():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        x = caf.coarray((5,), np.float64)
+        x[:] = me
+        caf.sync_all()
+        nxt = me % n + 1
+        got = x.on(nxt)[...]
+        assert np.array_equal(got, np.full(5, float(nxt)))
+        return True
+
+    assert all(run(kernel))
+
+
+def test_coindexed_scalar_element():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        x = caf.coarray((4,), np.int64)
+        x[:] = np.arange(4) + me * 10
+        caf.sync_all()
+        nxt = me % n + 1
+        v = x.on(nxt)[2]
+        assert v == 2 + nxt * 10
+        assert np.isscalar(v) or v.shape == ()
+        return True
+
+    assert all(run(kernel, n=3))
+
+
+def test_coindexed_2d_strided_put_matches_numpy():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        a = caf.coarray((8, 9), np.int64)
+        a[:] = -1
+        caf.sync_all()
+        nxt = me % n + 1
+        block = np.arange(12).reshape(4, 3) + me * 100
+        a.on(nxt)[0:8:2, 1:9:3] = block
+        caf.sync_all()
+        prev = (me - 2) % n + 1
+        expect = np.full((8, 9), -1, dtype=np.int64)
+        expect[0:8:2, 1:9:3] = np.arange(12).reshape(4, 3) + prev * 100
+        assert np.array_equal(a.local, expect)
+        return True
+
+    assert all(run(kernel, n=3))
+
+
+def test_coindexed_int_subscript_mixed_with_slices():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        a = caf.coarray((3, 4, 5), np.int32)
+        a[:] = np.arange(60).reshape(3, 4, 5) * (me)
+        caf.sync_all()
+        nxt = me % n + 1
+        plane = a.on(nxt)[1, :, ::2]
+        expect = (np.arange(60).reshape(3, 4, 5) * nxt)[1, :, ::2]
+        assert np.array_equal(plane, expect)
+        return True
+
+    assert all(run(kernel, n=2))
+
+
+def test_put_broadcast_scalar():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        a = caf.coarray((4, 4), np.float64)
+        a[:] = 0.0
+        caf.sync_all()
+        a.on(me % n + 1)[1:3, 1:3] = 7.5
+        caf.sync_all()
+        assert float(a.local[1:3, 1:3].sum()) == 30.0
+        assert float(a.local.sum()) == 30.0
+        return True
+
+    assert all(run(kernel, n=2))
+
+
+def test_put_shape_mismatch_rejected():
+    def kernel():
+        a = caf.coarray((4, 4), np.float64)
+        a.on(1)[0:2, 0:2] = np.zeros((3, 3))
+
+    with pytest.raises(RuntimeError, match="broadcast"):
+        run(kernel, n=1)
+
+
+def test_invalid_image_rejected():
+    def kernel():
+        a = caf.coarray((4,), np.float64)
+        a.on(0)
+
+    with pytest.raises(RuntimeError, match="1-based"):
+        run(kernel, n=2)
+
+    def kernel2():
+        a = caf.coarray((4,), np.float64)
+        a.on(3)
+
+    with pytest.raises(RuntimeError, match="out of range"):
+        run(kernel2, n=2)
+
+
+def test_deallocate_is_collective_and_blocks_use():
+    def kernel():
+        a = caf.coarray((4,), np.int64)
+        a.deallocate()
+        try:
+            _ = a.local
+        except ValueError:
+            return True
+        return False
+
+    assert all(run(kernel, n=2))
+
+
+def test_local_sugar_on_self_reference():
+    def kernel():
+        me = caf.this_image()
+        a = caf.coarray((3,), np.int64)
+        a[:] = 1
+        caf.sync_all()
+        ref = a.on(me)
+        assert ref.is_local
+        ref[0] = 42
+        return int(a.local[0])
+
+    out = run(kernel, n=2)
+    assert out == [42, 42]
+
+
+def test_per_call_algorithm_override():
+    def kernel():
+        rt = caf.current_runtime()
+        a = caf.coarray((8, 8), np.int64)
+        a[:] = 0
+        caf.sync_all()
+        rt.reset_stats()
+        a.on(caf.this_image()).put(
+            (slice(0, 8, 2), slice(0, 8, 2)), 1, algorithm="naive"
+        )
+        naive_calls = rt.my_stats["putmem_calls"]
+        a.on(caf.this_image()).put(
+            (slice(0, 8, 2), slice(0, 8, 2)), 1, algorithm="2dim"
+        )
+        line_calls = rt.my_stats["iput_calls"]
+        return (naive_calls, line_calls)
+
+    out = caf.launch(kernel, num_images=1, backend="shmem", profile="cray-shmem")
+    assert out[0] == (16, 4)
+
+
+def test_empty_section_noop():
+    def kernel():
+        a = caf.coarray((4,), np.int64)
+        a[:] = 3
+        caf.sync_all()
+        got = a.on(1)[2:2]
+        assert got.size == 0
+        a.on(1)[2:2] = np.empty(0)
+        return True
+
+    assert all(run(kernel, n=2))
+
+
+def test_rejects_negative_step_sections():
+    def kernel():
+        a = caf.coarray((4,), np.int64)
+        a.on(1)[::-1]
+
+    with pytest.raises(RuntimeError, match="positive stride|negative-step"):
+        run(kernel, n=1)

@@ -1,0 +1,131 @@
+"""Codimension arithmetic (corank > 1 coarrays)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caf.codimension import Codimensions
+
+
+def test_corank_one_star():
+    cd = Codimensions()  # [*]
+    assert cd.corank == 1
+    assert cd.image_index((1,), num_images=4) == 1
+    assert cd.image_index((4,), num_images=4) == 4
+    assert cd.image_index((5,), num_images=4) == 0  # beyond num_images
+    assert cd.this_image(3, num_images=4) == (3,)
+
+
+def test_two_by_star_grid():
+    cd = Codimensions(extents=(2,))  # [2, *]
+    # column-major: first codimension varies fastest
+    assert cd.image_index((1, 1), 6) == 1
+    assert cd.image_index((2, 1), 6) == 2
+    assert cd.image_index((1, 2), 6) == 3
+    assert cd.image_index((2, 3), 6) == 6
+    assert cd.this_image(5, 6) == (1, 3)
+
+
+def test_fortran_standard_example():
+    """F2008-style: codimension [2,3,*] with 10 images."""
+    cd = Codimensions(extents=(2, 3))
+    assert cd.image_index((1, 1, 1), 10) == 1
+    assert cd.image_index((2, 1, 1), 10) == 2
+    assert cd.image_index((1, 2, 1), 10) == 3
+    assert cd.image_index((2, 3, 1), 10) == 6
+    assert cd.image_index((1, 1, 2), 10) == 7
+    assert cd.image_index((2, 2, 2), 10) == 10
+    assert cd.image_index((1, 3, 2), 10) == 0  # image 11 does not exist
+    assert cd.this_image(10, 10) == (2, 2, 2)
+    assert cd.max_last_cosubscript(10) == 2
+
+
+def test_lower_bounds():
+    cd = Codimensions(extents=(2,), lower_bounds=(0, -1))  # [0:1, -1:*]
+    assert cd.image_index((0, -1), 8) == 1
+    assert cd.image_index((1, -1), 8) == 2
+    assert cd.image_index((0, 0), 8) == 3
+    assert cd.this_image(3, 8) == (0, 0)
+    assert cd.image_index((-1, -1), 8) == 0  # below the lower bound
+
+
+def test_out_of_extent_cosubscript_gives_zero():
+    cd = Codimensions(extents=(2,))
+    assert cd.image_index((3, 1), 8) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Codimensions(extents=(0,))
+    with pytest.raises(ValueError):
+        Codimensions(extents=(2,), lower_bounds=(1,))
+    cd = Codimensions(extents=(2,))
+    with pytest.raises(ValueError):
+        cd.image_index((1,), 4)  # wrong corank
+    with pytest.raises(ValueError):
+        cd.this_image(0, 4)
+    with pytest.raises(ValueError):
+        cd.image_index((1, 1), 0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    extents=st.lists(st.integers(1, 4), max_size=3).map(tuple),
+    num_images=st.integers(1, 40),
+)
+def test_roundtrip_every_image(extents, num_images):
+    """this_image and image_index are inverse bijections over the
+    existing images."""
+    cd = Codimensions(extents=extents)
+    seen = set()
+    for img in range(1, num_images + 1):
+        subs = cd.this_image(img, num_images)
+        assert cd.image_index(subs, num_images) == img
+        assert subs not in seen
+        seen.add(subs)
+
+
+def test_coarray_with_codimensions_end_to_end():
+    """A [2,*] coarray: cosubscript co-indexing moves real data."""
+    import numpy as np
+
+    from repro import caf
+
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        x = caf.coarray((2,), np.int64, codim=Codimensions(extents=(2,)))
+        x[:] = me * 7
+        caf.sync_all()
+        subs = x.this_image_subs()
+        assert x.image_index(*subs) == me
+        # read image at cosubscripts (1, 2) == image 3 (column-major)
+        v = x.at(1, 2)[0]
+        assert v == 3 * 7
+        try:
+            x.at(2, 9)  # beyond num_images
+        except IndexError:
+            pass
+        else:
+            raise AssertionError("bad cosubscripts accepted")
+        return subs
+
+    out = caf.launch(kernel, num_images=6)
+    assert out[0] == (1, 1) and out[1] == (2, 1) and out[2] == (1, 2)
+
+
+def test_coarray_without_codim_rejects_intrinsics():
+    import numpy as np
+
+    import pytest as _pytest
+
+    from repro import caf
+
+    def kernel():
+        x = caf.coarray((2,), np.int64)
+        try:
+            x.image_index(1)
+        except ValueError:
+            return True
+        return False
+
+    assert all(caf.launch(kernel, num_images=1))

@@ -1,0 +1,161 @@
+"""The F2008 ``critical`` construct and ``sync memory``."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.runtime.context import current
+
+
+def test_critical_provides_mutual_exclusion():
+    def kernel():
+        counter = caf.coarray((1,), np.int64)
+        counter[:] = 0
+        caf.sync_all()
+        for _ in range(10):
+            with caf.critical():
+                v = int(counter.on(1)[0])  # unsafe without exclusion
+                counter.on(1)[0] = v + 1
+        caf.sync_all()
+        return int(counter.local[0]) if caf.this_image() == 1 else None
+
+    out = caf.launch(kernel, num_images=5)
+    assert out[0] == 50
+
+
+def test_named_criticals_are_independent():
+    """Two differently-named criticals may be held concurrently."""
+
+    def kernel():
+        me = caf.this_image()
+        caf.sync_all()
+        if me == 1:
+            with caf.critical("alpha"):
+                with caf.critical("beta"):  # no self-deadlock
+                    pass
+        caf.sync_all()
+        # both names still usable by everyone afterwards
+        with caf.critical("alpha"):
+            pass
+        with caf.critical("beta"):
+            pass
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=3))
+
+
+def test_critical_uses_stable_slot_per_name():
+    def kernel():
+        rt = caf.current_runtime()
+        caf.sync_all()
+        g1 = caf.critical("x")
+        g2 = caf.critical("x")
+        g3 = caf.critical("y")
+        # same construct name -> same implicit lock slot, every time
+        assert g1.index == g2.index
+        assert g1.lock is rt._critical_locks
+        # the slot array was declared once at startup
+        assert rt._critical_locks.size == rt.critical_slots
+        return (g1.index, g3.index)
+
+    out = caf.launch(kernel, num_images=2)
+    assert out[0] == out[1]  # slots agree across images
+
+
+def test_conditional_named_critical_does_not_deadlock():
+    """Only one image ever executes this named critical — legal in
+    Fortran, and must not hang (the regression that motivated the
+    slot-array design)."""
+
+    def kernel():
+        me = caf.this_image()
+        caf.sync_all()
+        if me == 1:
+            with caf.critical("only-image-1"):
+                pass
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=4))
+
+
+def test_critical_inside_team_scopes_to_team():
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        counter = caf.coarray((1,), np.int64)
+        counter[:] = 0
+        caf.sync_all()
+        with caf.change_team(team):
+            for _ in range(5):
+                with caf.critical("team-crit"):
+                    v = int(counter.on(1)[0])  # team image 1
+                    counter.on(1)[0] = v + 1
+            caf.sync_all()
+            if caf.this_image() == 1:
+                assert int(counter.local[0]) == 5 * caf.num_images()
+        return True
+
+    assert all(caf.launch(kernel, num_images=6))
+
+
+def test_sync_memory_completes_pending_puts():
+    def kernel():
+        me = caf.this_image()
+        rt = caf.current_runtime()
+        a = caf.coarray((1 << 12,), np.uint8)
+        caf.sync_all()
+        # relaxed ordering leaves puts pending; sync memory completes them
+        return True
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_sync_memory_with_relaxed_ordering():
+    from tests.conftest import TEST_MACHINE
+
+    def kernel():
+        me = caf.this_image()
+        rt = caf.current_runtime()
+        a = caf.coarray((1 << 12,), np.uint8)
+        caf.sync_all()
+        if me == 1:
+            a.on(3)[:] = np.ones(1 << 12, dtype=np.uint8)
+            assert rt.layer._pending[0] > 0.0
+            caf.sync_memory()
+            assert rt.layer._pending[0] == 0.0
+        caf.sync_all()
+        return True
+
+    assert all(
+        caf.launch(kernel, num_images=4, machine=TEST_MACHINE, ordering="relaxed")
+    )
+
+
+def test_critical_sections_are_causally_ordered():
+    """The causality model holds: virtual CS intervals never overlap.
+
+    Each image timestamps its critical section entry/exit; after merging
+    all intervals, no two may intersect — the MCS handoff's put
+    timestamp plus the waiters' clock merges must enforce this."""
+
+    def kernel():
+        ctx = current()
+        lck = caf.lock_type()
+        caf.sync_all()
+        intervals = []
+        for _ in range(4):
+            caf.lock(lck, 1)
+            start = ctx.clock.now
+            ctx.clock.advance(0.5)  # critical-section work
+            end = ctx.clock.now
+            caf.unlock(lck, 1)
+            intervals.append((start, end))
+        caf.sync_all()
+        return intervals
+
+    out = caf.launch(kernel, num_images=6, machine="titan", profile="cray-shmem")
+    all_intervals = sorted(i for per_image in out for i in per_image)
+    for (s0, e0), (s1, e1) in zip(all_intervals, all_intervals[1:]):
+        assert e0 <= s1 + 1e-9, (s0, e0, s1, e1)

@@ -1,0 +1,92 @@
+"""CAF events (event_type): post/wait/query."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+
+
+def test_post_wakes_waiter():
+    def kernel():
+        me = caf.this_image()
+        ev = caf.event_type()
+        data = caf.coarray((4,), np.int64)
+        caf.sync_all()
+        if me == 1:
+            data.on(2)[:] = [9, 9, 9, 9]
+            ev.post(2)  # post carries release: data visible to waiter
+            return None
+        if me == 2:
+            ev.wait()
+            return list(data.local)
+        return None
+
+    out = caf.launch(kernel, num_images=3)
+    assert out[1] == [9, 9, 9, 9]
+
+
+def test_wait_consumes_count():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        ev = caf.event_type()
+        caf.sync_all()
+        if me != 1:
+            ev.post(1)
+            caf.sync_all()
+            return None
+        caf.sync_all()
+        assert ev.query() == n - 1
+        ev.wait(until_count=n - 1)
+        return ev.query()
+
+    out = caf.launch(kernel, num_images=4)
+    assert out[0] == 0
+
+
+def test_multiple_waits_accumulate():
+    def kernel():
+        me = caf.this_image()
+        ev = caf.event_type()
+        caf.sync_all()
+        if me == 2:
+            for _ in range(3):
+                ev.post(1)
+            return None
+        for _ in range(3):
+            ev.wait()
+        return ev.query()
+
+    out = caf.launch(kernel, num_images=2)
+    assert out[0] == 0
+
+
+def test_event_arrays():
+    def kernel():
+        me = caf.this_image()
+        ev = caf.event_type((2,))
+        caf.sync_all()
+        if me == 1:
+            ev.post(2, index=1)
+        if me == 2:
+            ev.wait(index=1)
+            assert ev.query(index=0) == 0
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_event_validation():
+    def kernel():
+        ev = caf.event_type()
+        ev.wait(until_count=0)
+
+    with pytest.raises(RuntimeError, match="until_count"):
+        caf.launch(kernel, num_images=1)
+
+    def kernel2():
+        ev = caf.event_type((2,))
+        ev.post(1, index=5)
+
+    with pytest.raises(RuntimeError, match="out of bounds"):
+        caf.launch(kernel2, num_images=1)

@@ -1,0 +1,229 @@
+"""CAF locks: the MCS adaptation (paper Section IV-D) and TAS baseline."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.util.bitpack import unpack_remote_pointer
+
+
+def _increment_under_lock(n_images, iters, **launch_kw):
+    """All images bump an unprotected counter on image 1 under the lock;
+    the final count proves mutual exclusion."""
+
+    def kernel():
+        lck = caf.lock_type()
+        counter = caf.coarray((1,), np.int64)
+        counter[:] = 0
+        caf.sync_all()
+        for _ in range(iters):
+            caf.lock(lck, 1)
+            v = int(counter.on(1)[0])  # racy without the lock
+            counter.on(1)[0] = v + 1
+            caf.unlock(lck, 1)
+        caf.sync_all()
+        return int(counter.local[0]) if caf.this_image() == 1 else None
+
+    out = caf.launch(kernel, num_images=n_images, **launch_kw)
+    return out[0]
+
+
+def test_mcs_mutual_exclusion():
+    assert _increment_under_lock(6, 15) == 90
+
+
+def test_tas_mutual_exclusion():
+    assert _increment_under_lock(6, 15, lock_algorithm="tas") == 90
+
+
+def test_craycaf_backend_uses_tas_and_excludes():
+    assert _increment_under_lock(4, 10, backend="craycaf") == 40
+
+
+def test_mcs_over_gasnet_backend():
+    assert _increment_under_lock(4, 10, backend="gasnet") == 40
+
+
+def test_locks_at_different_images_are_independent():
+    """lock(lck[j]) and lock(lck[k]) with j != k can be held at once —
+    the per-image semantics OpenSHMEM's global locks cannot express."""
+
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 1)
+            caf.lock(lck, 2)  # different lock variable: no deadlock
+            assert lck.holding(1) and lck.holding(2)
+            caf.unlock(lck, 2)
+            caf.unlock(lck, 1)
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_lock_array_indices_are_independent():
+    def kernel():
+        lck = caf.lock_type((4,))
+        caf.sync_all()
+        caf.lock(lck, 1, index=0)
+        caf.lock(lck, 1, index=3)  # distinct index: held concurrently
+        caf.unlock(lck, 1, index=3)
+        caf.unlock(lck, 1, index=0)
+        return True
+
+    assert all(caf.launch(kernel, num_images=1))
+
+
+def test_double_acquire_rejected():
+    def kernel():
+        lck = caf.lock_type()
+        caf.lock(lck, 1)
+        caf.lock(lck, 1)
+
+    with pytest.raises(RuntimeError, match="already holds"):
+        caf.launch(kernel, num_images=1)
+
+
+def test_unlock_unheld_rejected():
+    def kernel():
+        lck = caf.lock_type()
+        caf.unlock(lck, 1)
+
+    with pytest.raises(RuntimeError, match="does not hold"):
+        caf.launch(kernel, num_images=1)
+
+
+def test_guard_context_manager_releases_on_error():
+    def kernel():
+        lck = caf.lock_type()
+        try:
+            with lck.guard(1):
+                raise KeyError("inside CS")
+        except KeyError:
+            pass
+        assert not lck.holding(1)
+        with lck.guard(1):
+            assert lck.holding(1)
+        return True
+
+    assert all(caf.launch(kernel, num_images=1))
+
+
+def test_qnodes_returned_to_managed_heap():
+    def kernel():
+        rt = caf.current_runtime()
+        lck = caf.lock_type()
+        caf.sync_all()
+        me_pe = caf.this_image() - 1
+        before = rt._managed_alloc[me_pe].live_blocks
+        for _ in range(10):
+            caf.lock(lck, 1)
+            caf.unlock(lck, 1)
+        caf.sync_all()
+        return rt._managed_alloc[me_pe].live_blocks == before
+
+    assert all(caf.launch(kernel, num_images=4))
+
+
+def test_tail_word_nil_when_uncontended():
+    def kernel():
+        lck = caf.lock_type()
+        caf.sync_all()
+        caf.lock(lck, 1)
+        if caf.this_image() == 1:
+            tail = int(lck.handle.local[0])
+            ptr = unpack_remote_pointer(tail)
+            assert ptr.image == 1  # my own qnode
+        caf.unlock(lck, 1)
+        caf.sync_all()
+        return int(lck.handle.local[0]) if caf.this_image() == 1 else 0
+
+    out = caf.launch(kernel, num_images=1)
+    assert out[0] == 0  # tail reset to NIL after release
+
+
+def test_fifo_handoff_two_images():
+    """With image 2 enqueued behind image 1, the release hands over."""
+
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        order = caf.coarray((1,), np.int64)
+        token = caf.coarray((1,), np.int64)
+        order[:] = 0
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 1)
+            caf.atomic_define(token, 2, 1)  # signal image 2: may contend
+            # give image 2 time to enqueue (wall time)
+            import time
+
+            time.sleep(0.05)
+            caf.atomic_add(order, 1, 1)  # first CS entry marker
+            caf.unlock(lck, 1)
+        else:
+            rt = caf.current_runtime()
+            rt.layer.wait_until(token.handle, "eq", 1)
+            caf.lock(lck, 1)
+            first = caf.atomic_ref(order, 1)
+            caf.unlock(lck, 1)
+            assert first == 1  # image 1's CS ran before ours
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_many_locks_held_simultaneously():
+    """An image may hold M locks + wait on one (paper's M+1 qnodes)."""
+
+    def kernel():
+        n = caf.num_images()
+        lck = caf.lock_type((8,))
+        caf.sync_all()
+        for i in range(8):
+            caf.lock(lck, 1, index=i)
+        assert all(lck.holding(1, index=i) for i in range(8))
+        for i in reversed(range(8)):
+            caf.unlock(lck, 1, index=i)
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=1))
+
+
+def test_contended_lock_on_nonfirst_image():
+    def kernel():
+        n = caf.num_images()
+        lck = caf.lock_type()
+        c = caf.coarray((1,), np.int64)
+        c[:] = 0
+        caf.sync_all()
+        target = n  # lock lives on the last image
+        for _ in range(8):
+            with lck.guard(target):
+                v = int(c.on(target)[0])
+                c.on(target)[0] = v + 1
+        caf.sync_all()
+        return int(c.local[0]) if caf.this_image() == target else None
+
+    out = caf.launch(kernel, num_images=5)
+    assert out[-1] == 40
+
+
+def test_stats_count_acquires():
+    def kernel():
+        rt = caf.current_runtime()
+        lck = caf.lock_type()
+        caf.sync_all()
+        for _ in range(3):
+            with lck.guard(1):
+                pass
+        caf.sync_all()
+        return (rt.my_stats["lock_acquires"], rt.my_stats["lock_releases"])
+
+    out = caf.launch(kernel, num_images=2)
+    assert all(o == (3, 3) for o in out)

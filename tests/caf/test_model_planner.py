@@ -1,0 +1,116 @@
+"""The cost-model strided planner (paper Section VII future work)."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.caf.strided import (
+    estimate_plan_cost,
+    make_plan,
+    normalize_selection,
+    plan_2dim,
+    plan_naive,
+)
+from repro.sim.netmodel import CRAY_SHMEM, MVAPICH2X_SHMEM, NetworkModel
+
+
+def _params(conduit, elem_size=4, bw=10000.0):
+    return {
+        "elem_size": elem_size,
+        "o_call_us": conduit.o_put_us,
+        "bandwidth_Bpus": bw,
+        "gap_fn": lambda es, sb: NetworkModel._gather_gap(conduit, es, sb),
+    }
+
+
+def model_plan(shape, key, conduit=CRAY_SHMEM):
+    sels, _ = normalize_selection(shape, key)
+    return make_plan(
+        sels,
+        shape,
+        "model",
+        iput_native=conduit.iput_native,
+        model_params=_params(conduit),
+    )
+
+
+def test_model_picks_runs_for_matrix_oriented():
+    """Contiguous pencils: putmem-per-run beats iput lines (the Himeno
+    case the paper discusses in Section V-D)."""
+    plan = model_plan((16, 8, 64), (slice(None), 3, slice(None)))
+    assert plan.runs and not plan.lines
+    assert plan.algorithm == "model"
+
+
+def test_model_picks_lines_for_strided_inner():
+    plan = model_plan((64, 64), (slice(0, 64, 2), slice(0, 64, 2)))
+    assert plan.lines
+
+
+def test_model_avoids_far_stride_base_dim():
+    """On the ablation workload the model agrees with the paper's 2dim
+    choice, not the call-minimizing alldim choice."""
+    shape = (64, 32, 16)
+    key = (slice(0, 64, 2), slice(0, 32, 2), slice(0, 16, 4))
+    plan = model_plan(shape, key)
+    assert plan.lines
+    assert plan.base_dim == 1  # counts (32, 16, 4): middle dim wins
+
+
+def test_model_without_native_iput_falls_back_to_runs():
+    plan = model_plan((8, 8), (slice(0, 8, 2), slice(0, 8, 2)), MVAPICH2X_SHMEM)
+    assert plan.runs and not plan.lines
+
+
+def test_model_never_worse_than_fixed_policies_by_its_own_estimate():
+    cases = [
+        ((64, 64), (slice(0, 64, 2), slice(0, 64, 2))),
+        ((64, 32, 16), (slice(0, 64, 2), slice(0, 32, 2), slice(0, 16, 4))),
+        ((16, 8, 64), (slice(None), 3, slice(None))),
+        ((100, 100, 100), (slice(0, 100, 4), slice(0, 80, 2), slice(0, 100, 2))),
+    ]
+    params = _params(CRAY_SHMEM)
+    for shape, key in cases:
+        sels, _ = normalize_selection(shape, key)
+        chosen = make_plan(sels, shape, "model", iput_native=True, model_params=params)
+        cost = estimate_plan_cost(chosen, iput_native=True, **params)
+        for other in (plan_naive(sels, shape), plan_2dim(sels, shape)):
+            other_cost = estimate_plan_cost(other, iput_native=True, **params)
+            assert cost <= other_cost + 1e-9, (shape, key, chosen.algorithm)
+
+
+def test_model_requires_params():
+    sels, _ = normalize_selection((8, 8), (slice(0, 8, 2), slice(0, 8, 2)))
+    with pytest.raises(ValueError, match="model_params"):
+        make_plan(sels, (8, 8), "model", iput_native=True)
+
+
+def test_model_policy_end_to_end():
+    """strided="model" works as a runtime policy and moves correct data."""
+
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        a = caf.coarray((12, 10), np.int64)
+        a[:] = 0
+        caf.sync_all()
+        block = np.arange(6 * 5).reshape(6, 5) + me
+        a.on(me % n + 1)[0:12:2, 0:10:2] = block
+        caf.sync_all()
+        prev = (me - 2) % n + 1
+        expect = np.zeros((12, 10), dtype=np.int64)
+        expect[0:12:2, 0:10:2] = np.arange(30).reshape(6, 5) + prev
+        assert np.array_equal(a.local, expect)
+        return True
+
+    assert all(
+        caf.launch(kernel, num_images=3, strided="model", profile="cray-shmem")
+    )
+
+
+def test_estimate_cost_components():
+    sels, _ = normalize_selection((8,), (slice(0, 8, 2),))
+    params = _params(CRAY_SHMEM)
+    naive = plan_naive(sels, (8,))
+    cost = estimate_plan_cost(naive, iput_native=True, **params)
+    # 4 per-element calls at o_put each, plus 16 bytes of wire.
+    assert cost == pytest.approx(4 * CRAY_SHMEM.o_put_us + 16 / 10000.0)

@@ -1,0 +1,95 @@
+"""RMA ordering semantics (paper Section IV-B and Figure 4)."""
+
+import numpy as np
+
+from repro import caf
+from repro.runtime.context import current
+from tests.conftest import TEST_MACHINE
+
+
+def test_figure4_program_is_correct_under_caf_ordering():
+    """The paper's Figure 4: b -> a[2], then c = a[2] must see the new
+    data; the runtime's implicit quiet makes it so."""
+
+    def kernel():
+        me = caf.this_image()
+        a = caf.coarray((4,), np.int64)
+        b = caf.coarray((4,), np.int64)
+        c = caf.coarray((4,), np.int64)
+        a[:] = 0
+        b[:] = me * 7
+        c[:] = -1
+        caf.sync_all()
+        if me == 1:
+            a.on(2)[:] = b.local  # put
+            got = a.on(2)[...]  # get from same location, same image
+            c[:] = got
+            assert list(c.local) == [7, 7, 7, 7]
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=2, machine=TEST_MACHINE))
+
+
+def test_caf_ordering_quiets_after_put():
+    """With ordering="caf" the pending-put set is empty after each
+    co-indexed assignment (quiet inserted, paper Section IV-B)."""
+
+    def kernel():
+        me = caf.this_image()
+        rt = caf.current_runtime()
+        a = caf.coarray((1 << 12,), np.uint8)
+        caf.sync_all()
+        if me == 1:
+            a.on(3)[:] = np.ones(1 << 12, dtype=np.uint8)
+            assert rt.layer._pending[0] == 0.0  # quiet already ran
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=4, machine=TEST_MACHINE))
+
+
+def test_relaxed_ordering_leaves_puts_pending():
+    def kernel():
+        me = caf.this_image()
+        rt = caf.current_runtime()
+        a = caf.coarray((1 << 12,), np.uint8)
+        caf.sync_all()
+        if me == 1:
+            a.on(3)[:] = np.ones(1 << 12, dtype=np.uint8)
+            assert rt.layer._pending[0] > 0.0  # still in flight
+        caf.sync_all()
+        return True
+
+    assert all(
+        caf.launch(kernel, num_images=4, machine=TEST_MACHINE, ordering="relaxed")
+    )
+
+
+def test_caf_ordering_costs_more_than_relaxed():
+    """The ablation claim: statement-level quiets serialize transfers."""
+
+    def kernel():
+        me = caf.this_image()
+        a = caf.coarray((1 << 14,), np.uint8)
+        caf.sync_all()
+        t0 = current().clock.now
+        if me == 1:
+            data = np.zeros(1 << 14, dtype=np.uint8)
+            for _ in range(10):
+                a.on(3)[:] = data
+        caf.sync_all()
+        return current().clock.now - t0
+
+    strict = caf.launch(kernel, num_images=4, machine=TEST_MACHINE)[0]
+    relaxed = caf.launch(
+        kernel, num_images=4, machine=TEST_MACHINE, ordering="relaxed"
+    )[0]
+    assert strict > relaxed
+
+
+def test_invalid_ordering_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="ordering"):
+        caf.launch(lambda: None, num_images=1, ordering="strict")

@@ -1,0 +1,96 @@
+"""sync all / sync images semantics."""
+
+import numpy as np
+
+from repro import caf
+from repro.runtime.context import current
+
+
+def test_sync_all_orders_puts():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        x = caf.coarray((1,), np.int64)
+        x[:] = 0
+        caf.sync_all()
+        x.on(me % n + 1)[0] = me
+        caf.sync_all()
+        return int(x.local[0])
+
+    out = caf.launch(kernel, num_images=4)
+    assert out == [4, 1, 2, 3]
+
+
+def test_sync_images_pairwise():
+    def kernel():
+        me = caf.this_image()
+        x = caf.coarray((1,), np.int64)
+        x[:] = 0
+        caf.sync_all()
+        if me == 1:
+            x.on(2)[0] = 42
+            caf.sync_images([2])
+        elif me == 2:
+            caf.sync_images([1])
+            assert x.local[0] == 42
+        return True
+
+    assert all(caf.launch(kernel, num_images=3))
+
+
+def test_sync_images_repeated_rounds():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        x = caf.coarray((1,), np.int64)
+        x[:] = 0
+        caf.sync_all()
+        partner = 2 if me == 1 else 1
+        if me in (1, 2):
+            for round_no in range(5):
+                if me == 1:
+                    x.on(2)[0] = round_no
+                    caf.sync_images([2])
+                    caf.sync_images([2])  # round completion
+                else:
+                    caf.sync_images([1])
+                    assert x.local[0] == round_no, (round_no, x.local)
+                    caf.sync_images([1])
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=3))
+
+
+def test_sync_images_star():
+    def kernel():
+        me = caf.this_image()
+        x = caf.coarray((1,), np.int64)
+        x[:] = me
+        caf.sync_images("*")
+        return True
+
+    assert all(caf.launch(kernel, num_images=4))
+
+
+def test_sync_images_ring():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        nxt, prev = me % n + 1, (me - 2) % n + 1
+        x = caf.coarray((1,), np.int64)
+        x[:] = 0
+        caf.sync_all()
+        x.on(nxt)[0] = me
+        caf.sync_images(sorted({nxt, prev}))
+        return int(x.local[0])
+
+    out = caf.launch(kernel, num_images=5)
+    assert out == [5, 1, 2, 3, 4]
+
+
+def test_sync_all_reconciles_clocks():
+    def kernel():
+        current().clock.advance(float(caf.this_image()) * 3)
+        caf.sync_all()
+        return current().clock.now
+
+    out = caf.launch(kernel, num_images=4)
+    assert len({round(t, 9) for t in out}) == 1

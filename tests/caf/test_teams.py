@@ -1,0 +1,186 @@
+"""CAF teams (form team / change team / end team)."""
+
+import numpy as np
+import pytest
+
+from repro import caf
+
+
+def test_form_team_partitions_images():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        team = caf.form_team(1 + (me - 1) % 2)  # odds vs evens
+        return (team.team_number, team.num_images, team.member_pes)
+
+    out = caf.launch(kernel, num_images=6)
+    assert out[0] == (1, 3, (0, 2, 4))
+    assert out[1] == (2, 3, (1, 3, 5))
+    assert out[2][0] == 1 and out[3][0] == 2
+
+
+def test_change_team_remaps_identity():
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        team = caf.form_team(1 + (me - 1) // 3)  # {1,2,3} and {4,5,6}
+        assert caf.team_number() == -1
+        with caf.change_team(team):
+            assert caf.team_number() == team.team_number
+            assert caf.num_images() == 3
+            assert caf.this_image() == (me - 1) % 3 + 1
+            assert caf.get_team() is team
+        assert caf.team_number() == -1
+        assert caf.num_images() == n
+        assert caf.this_image() == me
+        return True
+
+    assert all(caf.launch(kernel, num_images=6))
+
+
+def test_team_scoped_coarray_and_cosubscripts():
+    """Co-subscripts inside a team name *team* images; coarrays
+    allocated inside the team are team-collective."""
+
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        with caf.change_team(team):
+            tme, tn = caf.this_image(), caf.num_images()
+            x = caf.coarray((2,), np.int64)  # team-scoped allocation
+            x[:] = tme * 10
+            caf.sync_all()  # team barrier
+            nxt = tme % tn + 1
+            got = x.on(nxt)[:]
+            assert list(got) == [nxt * 10] * 2
+            caf.sync_all()
+            x.deallocate()
+        return True
+
+    assert all(caf.launch(kernel, num_images=6))
+
+
+def test_team_coarrays_do_not_collide_across_teams():
+    """Two teams allocate 'simultaneously'; the shared allocator keeps
+    their coarrays at disjoint offsets."""
+
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        with caf.change_team(team):
+            x = caf.coarray((8,), np.int64)
+            x[:] = caf.team_number() * 100 + caf.this_image()
+            caf.sync_all()
+            off = x.handle.byte_offset
+        caf.sync_all()  # initial-team barrier
+        return (caf.team_number(), off, int(x.local[0]))
+
+    out = caf.launch(kernel, num_images=4)
+    offsets = {o for _, o, _ in out}
+    # each team allocated its own block (offsets may match across teams
+    # only if the allocator reused space, which it cannot while both live)
+    by_team = {}
+    for me, (tn, off, v) in enumerate(out, start=1):
+        team = 1 + (me - 1) % 2
+        by_team.setdefault(team, set()).add(off)
+    assert all(len(v) == 1 for v in by_team.values())  # same offset within team
+    assert by_team[1] != by_team[2]  # different blocks across teams
+
+
+def test_team_collectives():
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        with caf.change_team(team):
+            arr = np.array([float(caf.this_image())])
+            caf.co_sum(arr)
+            expected = sum(range(1, caf.num_images() + 1))
+            assert arr[0] == expected, (arr, expected)
+            b = np.zeros(2)
+            if caf.this_image() == 2:
+                b[:] = [5.0, 6.0]
+            caf.co_broadcast(b, source_image=2)
+            assert list(b) == [5.0, 6.0]
+        return True
+
+    assert all(caf.launch(kernel, num_images=6))
+
+
+def test_team_locks_and_events():
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        with caf.change_team(team):
+            tme, tn = caf.this_image(), caf.num_images()
+            lck = caf.lock_type()  # team-collective declaration
+            cnt = caf.coarray((1,), np.int64)
+            cnt[:] = 0
+            caf.sync_all()
+            for _ in range(4):
+                with lck.guard(1):  # lock at *team* image 1
+                    v = int(cnt.on(1)[0])
+                    cnt.on(1)[0] = v + 1
+            caf.sync_all()
+            if tme == 1:
+                assert int(cnt.local[0]) == 4 * tn
+        return True
+
+    assert all(caf.launch(kernel, num_images=6))
+
+
+def test_sync_images_inside_team():
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        with caf.change_team(team):
+            tme, tn = caf.this_image(), caf.num_images()
+            nxt = tme % tn + 1
+            prev = (tme - 2) % tn + 1
+            caf.sync_images(sorted({nxt, prev}))
+            caf.sync_images("*")
+        return True
+
+    assert all(caf.launch(kernel, num_images=6))
+
+
+def test_nested_teams():
+    def kernel():
+        me = caf.this_image()
+        outer = caf.form_team(1 + (me - 1) // 4)  # two teams of 4
+        with caf.change_team(outer):
+            inner = caf.form_team(1 + (caf.this_image() - 1) % 2)
+            assert inner.num_images == 2
+            with caf.change_team(inner):
+                assert caf.num_images() == 2
+                arr = np.array([1.0])
+                caf.co_sum(arr)
+                assert arr[0] == 2.0
+            assert caf.num_images() == 4
+        return True
+
+    assert all(caf.launch(kernel, num_images=8))
+
+
+def test_change_team_requires_membership():
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(me)  # every image its own team
+        caf.sync_all()
+        # try to enter a team we don't belong to
+        if me == 1:
+            foreign = caf.Team(caf.current_runtime(), 99, (1,))  # pe 1 = image 2
+            try:
+                with caf.change_team(foreign):
+                    pass
+            except caf.CafError:
+                return True
+            return False
+        return True
+
+    assert all(caf.launch(kernel, num_images=2))
+
+
+def test_form_team_validation():
+    def kernel():
+        caf.form_team(0)
+
+    with pytest.raises(RuntimeError, match="positive"):
+        caf.launch(kernel, num_images=1)

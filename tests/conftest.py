@@ -1,0 +1,36 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.topology import Machine
+
+#: A small machine with 2 cores per node so a 4-PE job spans 2 nodes —
+#: inter-node paths get exercised without launching 17+ threads.
+TEST_MACHINE = Machine(
+    name="TestBox",
+    nodes=64,
+    processor="test",
+    cores_per_node=2,
+    interconnect="test-fabric",
+    link_latency_us=1.0,
+    link_bandwidth_Bpus=1000.0,
+    intra_latency_us=0.2,
+    intra_bandwidth_Bpus=4000.0,
+    amo_process_us=0.1,
+    cpu_am_process_us=0.3,
+    am_attentiveness_us=0.4,
+)
+
+
+@pytest.fixture
+def test_machine() -> Machine:
+    return TEST_MACHINE
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy():
+    np.random.seed(12345)
+    yield

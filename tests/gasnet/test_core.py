@@ -1,0 +1,198 @@
+"""GASNet active messages and atomics emulation."""
+
+import numpy as np
+import pytest
+
+from repro import gasnet
+from repro.runtime.context import current
+from tests.conftest import TEST_MACHINE
+
+
+def test_am_request_runs_handler_at_target():
+    def kernel():
+        me, n = gasnet.mynode(), gasnet.nodes()
+        box = gasnet.alloc_array((1,), np.int64)
+        gasnet.barrier_all()
+
+        def deposit(token, value):
+            token.write(box.byte_offset, np.array([value], dtype=np.int64))
+
+        gasnet.register_handler("deposit", deposit)
+        gasnet.barrier_all()
+        gasnet.am_request((me + 1) % n, "deposit", me + 100)
+        gasnet.barrier_all()
+        return int(box.local[0])
+
+    out = gasnet.launch(kernel, num_pes=3)
+    assert out == [102, 100, 101]
+
+
+def test_am_roundtrip_returns_value():
+    def kernel():
+        me, n = gasnet.mynode(), gasnet.nodes()
+        x = gasnet.alloc_array((1,), np.int64)
+        x.local[0] = me * 11
+        gasnet.barrier_all()
+
+        def peek(token):
+            return int(token.read(x.byte_offset, 8).view(np.int64)[0])
+
+        gasnet.register_handler("peek", peek)
+        gasnet.barrier_all()
+        peer = (me + 1) % n
+        val = gasnet._layer().am_roundtrip(peer, "peek")
+        assert val == peer * 11
+        return True
+
+    assert all(gasnet.launch(kernel, num_pes=4))
+
+
+def test_am_roundtrip_costs_more_than_oneway():
+    def kernel():
+        me = gasnet.mynode()
+        gasnet.register_handler("nop", lambda token: None)
+        gasnet.barrier_all()
+        if me == 0:
+            t0 = current().clock.now
+            gasnet.am_request(2, "nop")
+            one_way = current().clock.now - t0
+            t0 = current().clock.now
+            gasnet._layer().am_roundtrip(2, "nop")
+            round_trip = current().clock.now - t0
+            assert round_trip > one_way
+        gasnet.barrier_all()
+        return True
+
+    assert all(gasnet.launch(kernel, num_pes=4, machine=TEST_MACHINE))
+
+
+def test_unknown_handler_rejected():
+    def kernel():
+        gasnet.am_request(0, "missing")
+
+    with pytest.raises(RuntimeError, match="no AM handler"):
+        gasnet.launch(kernel, num_pes=1)
+
+
+def test_conflicting_registration_rejected():
+    def kernel():
+        me = gasnet.mynode()
+
+        def h1(token):
+            return 1
+
+        def h2(token):
+            return 2
+
+        gasnet._layer().register_handler("h", h1 if me == 0 else h2)
+
+    with pytest.raises(RuntimeError, match="different functions"):
+        gasnet.launch(kernel, num_pes=2)
+
+
+def test_payload_delivery():
+    def kernel():
+        me, n = gasnet.mynode(), gasnet.nodes()
+        buf = gasnet.alloc_array((8,), np.float64)
+        gasnet.barrier_all()
+
+        def fill(token, payload=None):
+            token.write(buf.byte_offset, payload)
+
+        gasnet.register_handler("fill", fill)
+        gasnet.barrier_all()
+        if me == 0:
+            gasnet.am_request(1, "fill", payload=np.arange(8, dtype=np.float64))
+        gasnet.barrier_all()
+        if me == 1:
+            assert list(buf.local) == list(range(8))
+        return True
+
+    assert all(gasnet.launch(kernel, num_pes=2))
+
+
+def test_atomic_emulation_functionally_correct():
+    def kernel():
+        c = gasnet.alloc_array((1,), np.int64)
+        gasnet.barrier_all()
+        for _ in range(25):
+            gasnet.atomic(c, 0, 0, "fadd", 1)
+        gasnet.barrier_all()
+        return int(c.local[0]) if gasnet.mynode() == 0 else None
+
+    out = gasnet.launch(kernel, num_pes=5)
+    assert out[0] == 125
+
+
+def test_gasnet_atomic_slower_than_shmem():
+    """The Fig 8 mechanism: AM-emulated AMOs cost more than NIC AMOs.
+
+    A single uncontended initiator keeps the measurement deterministic
+    (under contention, wall-clock interleaving decides which operations
+    sit on the causal chain).
+    """
+    from repro import shmem
+
+    def gk():
+        c = gasnet.alloc_array((1,), np.int64)
+        gasnet.barrier_all()
+        t0 = current().clock.now
+        if gasnet.mynode() == 0:
+            for _ in range(20):
+                gasnet.atomic(c, 2, 0, "fadd", 1)
+        dt = current().clock.now - t0
+        gasnet.barrier_all()
+        return dt
+
+    def sk():
+        c = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        t0 = current().clock.now
+        if shmem.my_pe() == 0:
+            for _ in range(20):
+                shmem.atomic_fadd(c, 1, pe=2)
+        dt = current().clock.now - t0
+        shmem.barrier_all()
+        return dt
+
+    g = gasnet.launch(gk, num_pes=4, machine=TEST_MACHINE)[0]
+    s = shmem.launch(sk, num_pes=4, machine=TEST_MACHINE)[0]
+    assert g > s
+
+
+def test_extended_api_put_get():
+    def kernel():
+        me, n = gasnet.mynode(), gasnet.nodes()
+        x = gasnet.alloc_array((6,), np.int64)
+        x.local[:] = me
+        gasnet.barrier_all()
+        gasnet.put(x, np.full(3, me + 50), (me + 1) % n, offset=3)
+        gasnet.quiet()
+        gasnet.barrier_all()
+        left = (me - 1) % n
+        assert list(x.local) == [me] * 3 + [left + 50] * 3
+        got = gasnet.get(x, 3, (me + 1) % n)
+        assert list(got) == [(me + 1) % n] * 3
+        return True
+
+    assert all(gasnet.launch(kernel, num_pes=3))
+
+
+def test_strided_loops_over_contiguous():
+    """GASNet has no VIS: iput is N contiguous puts (pending count grows
+    per element, and results still match NumPy)."""
+
+    def kernel():
+        x = gasnet.alloc_array((20,), np.int64)
+        x.local[:] = 0
+        gasnet.barrier_all()
+        gasnet.iput(x, np.arange(8), tst=2, sst=1, nelems=8, pe=gasnet.mynode())
+        gasnet.quiet()
+        expect = np.zeros(20, dtype=np.int64)
+        expect[0:16:2] = np.arange(8)
+        assert np.array_equal(x.local, expect)
+        got = gasnet.iget(x, tst=1, sst=2, nelems=8, pe=gasnet.mynode())
+        assert np.array_equal(got, np.arange(8))
+        return True
+
+    assert all(gasnet.launch(kernel, num_pes=2))

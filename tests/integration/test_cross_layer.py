@@ -1,0 +1,130 @@
+"""Cross-layer integration: multiple libraries on one job, end-to-end
+programs combining every major feature."""
+
+import numpy as np
+import pytest
+
+from repro import caf, gasnet, mpirma, shmem
+from repro.runtime.launcher import Job
+from tests.conftest import TEST_MACHINE
+
+
+def test_three_layers_share_one_job():
+    """shmem, gasnet and mpirma coexist on one job's symmetric heap."""
+    job = Job(4)
+    shmem.attach(job)
+    gasnet.attach(job)
+    mpirma.attach(job)
+
+    def kernel():
+        me = shmem.my_pe()
+        a = shmem.shmalloc_array((4,), np.int64)
+        b = gasnet.alloc_array((4,), np.int64)
+        c = mpirma.alloc_array((4,), np.float64)
+        assert len({a.byte_offset, b.byte_offset, c.byte_offset}) == 3
+        a.local[:] = me
+        b.local[:] = me * 10
+        c.local[:] = me * 100.0
+        shmem.barrier_all()
+        peer = (me + 1) % 4
+        assert shmem.get(a, 4, peer)[0] == peer
+        assert gasnet.get(b, 4, peer)[0] == peer * 10
+        win = mpirma.win_create(c)
+        win.fence()
+        got = win.get(4, peer)
+        win.fence()
+        assert got[0] == peer * 100.0
+        return True
+
+    assert all(job.run(kernel))
+
+
+def test_full_application_pattern():
+    """A miniature application exercising coarrays, strided halos,
+    locks, events, collectives and non-symmetric data in one program."""
+
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        rt = caf.current_runtime()
+
+        # 1. distributed matrix with strided column exchange
+        mat = caf.coarray((6, 8), np.float64)
+        mat[:] = me
+        caf.sync_all()
+        nxt = me % n + 1
+        mat.on(nxt)[:, 0:8:2] = np.full((6, 4), me * 1.0)
+        caf.sync_all()
+        prev = (me - 2) % n + 1
+        assert np.all(mat.local[:, 0:8:2] == prev)
+        assert np.all(mat.local[:, 1:8:2] == me)
+
+        # 2. global accounting under a lock at the last image
+        ledger = caf.coarray((1,), np.int64)
+        ledger[:] = 0
+        lck = caf.lock_type()
+        caf.sync_all()
+        with lck.guard(n):
+            v = int(ledger.on(n)[0])
+            ledger.on(n)[0] = v + me
+        caf.sync_all()
+        if me == n:
+            assert int(ledger.local[0]) == n * (n + 1) // 2
+
+        # 3. events to chain a ring of notifications
+        ev = caf.event_type()
+        if me == 1:
+            ev.post(2)
+        caf_prev = me - 1 if me > 1 else n
+        if me != 1:
+            ev.wait()
+            if me < n:
+                ev.post(me + 1)
+
+        # 4. reduce a checksum and broadcast a verdict
+        checksum = np.array([float(mat.local.sum())])
+        caf.co_sum(checksum)
+        verdict = np.array([1.0 if checksum[0] != 0 else 0.0])
+        caf.co_broadcast(verdict, source_image=1)
+        assert verdict[0] == 1.0
+
+        # 5. non-symmetric scratch, freed before exit
+        scratch = caf.nonsymmetric((16,), np.float64)
+        scratch.local[:] = np.arange(16)
+        ptr = scratch.packed()
+        got = caf.get_remote(rt, ptr, (16,), np.float64)
+        assert np.array_equal(got, np.arange(16))
+        scratch.free()
+        caf.sync_all()
+        return True
+
+    assert all(caf.launch(kernel, num_images=5, machine=TEST_MACHINE))
+
+
+@pytest.mark.parametrize("machine", ["stampede", "cray-xc30", "titan"])
+def test_caf_runs_on_every_paper_machine(machine):
+    def kernel():
+        x = caf.coarray((4,), np.int64)
+        x[:] = caf.this_image()
+        caf.sync_all()
+        return int(x.on(1)[0])
+
+    out = caf.launch(kernel, num_images=4, machine=machine)
+    assert out == [1, 1, 1, 1]
+
+
+def test_virtual_time_is_deterministic_for_serial_programs():
+    """Two identical single-image runs report identical virtual times."""
+
+    def kernel():
+        x = caf.coarray((64,), np.float64)
+        x[:] = 1.0
+        caf.sync_all()
+        for _ in range(5):
+            x.on(1)[0:64:2] = 2.0
+        from repro.runtime.context import current
+
+        return current().clock.now
+
+    a = caf.launch(kernel, num_images=1)[0]
+    b = caf.launch(kernel, num_images=1)[0]
+    assert a == b

@@ -1,0 +1,37 @@
+"""Every example script runs end to end and verifies its own output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", "Figure 1 reproduced"),
+    ("heat_diffusion.py", "fields identical across policies"),
+    ("dht_wordcount.py", "distributed counts match the serial truth"),
+    ("hybrid_caf_shmem.py", "ring ok"),
+    ("pipeline_events.py", "pipeline results verified"),
+    ("trace_profile.py", "trace profile complete"),
+    ("matrix_transpose.py", "all policies agree"),
+    ("teams_montecarlo.py", "combined correctly"),
+]
+
+
+@pytest.mark.parametrize("script,marker", CASES)
+def test_example_runs(script, marker):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout, proc.stdout[-2000:]
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {name for name, _ in CASES} <= present

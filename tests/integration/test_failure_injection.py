@@ -1,0 +1,116 @@
+"""Failure injection: one image dying must never deadlock the job.
+
+Every blocking primitive (barriers, wait_until, lock spins, event
+waits, sync images) polls the job's abort flag; these tests kill one
+image at the worst moments and assert the launcher reports the root
+cause promptly instead of hanging.
+"""
+
+import numpy as np
+import pytest
+
+from repro import caf, shmem
+
+
+def test_death_while_others_wait_in_sync_all():
+    def kernel():
+        if caf.this_image() == 2:
+            raise ValueError("image 2 dies before the barrier")
+        caf.sync_all()
+
+    with pytest.raises(RuntimeError, match="PE 1 failed"):
+        caf.launch(kernel, num_images=4)
+
+
+def test_death_while_peer_waits_on_event():
+    def kernel():
+        me = caf.this_image()
+        ev = caf.event_type()
+        caf.sync_all()
+        if me == 1:
+            raise KeyError("poster dies")
+        ev.wait()  # would wait forever without abort propagation
+
+    with pytest.raises(RuntimeError, match="PE 0 failed"):
+        caf.launch(kernel, num_images=2)
+
+
+def test_death_while_peer_spins_on_mcs_lock():
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 1)
+            caf.sync_images([2])  # let image 2 enqueue behind us
+            raise ValueError("holder dies without unlocking")
+        caf.sync_images([1])
+        caf.lock(lck, 1)  # spins on the qnode forever
+
+    with pytest.raises(RuntimeError, match="PE 0 failed"):
+        caf.launch(kernel, num_images=2)
+
+
+def test_death_while_peer_waits_in_sync_images():
+    def kernel():
+        me = caf.this_image()
+        if me == 2:
+            raise RuntimeError("partner never syncs")
+        caf.sync_images([2])
+
+    with pytest.raises(RuntimeError, match="PE 1 failed"):
+        caf.launch(kernel, num_images=2)
+
+
+def test_death_during_shmem_wait_until():
+    def kernel():
+        me = shmem.my_pe()
+        flag = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            raise ValueError("signaller dies")
+        shmem.wait_until(flag, shmem.CMP_EQ, 1)
+
+    with pytest.raises(RuntimeError, match="PE 0 failed"):
+        shmem.launch(kernel, num_pes=2)
+
+
+def test_death_inside_team_barrier():
+    def kernel():
+        me = caf.this_image()
+        team = caf.form_team(1 + (me - 1) % 2)
+        with caf.change_team(team):
+            if me == 3:
+                raise ValueError("team member dies")
+            caf.sync_all()
+
+    with pytest.raises(RuntimeError, match="PE 2 failed"):
+        caf.launch(kernel, num_images=4)
+
+
+def test_death_during_collective():
+    def kernel():
+        me = caf.this_image()
+        arr = np.array([float(me)])
+        if me == 4:
+            raise ValueError("reducer dies")
+        caf.co_sum(arr)
+
+    with pytest.raises(RuntimeError, match="PE 3 failed"):
+        caf.launch(kernel, num_images=4)
+
+
+def test_surviving_images_do_not_mask_root_cause():
+    """Secondary JobAborted failures are suppressed; the first real
+    exception is what the launcher reports."""
+
+    def kernel():
+        me = caf.this_image()
+        if me == 1:
+            raise ZeroDivisionError("the actual bug")
+        caf.sync_all()
+
+    with pytest.raises(RuntimeError) as exc_info:
+        caf.launch(kernel, num_images=6)
+    assert "ZeroDivisionError" in str(exc_info.value)
+    assert isinstance(exc_info.value.__cause__, ZeroDivisionError)

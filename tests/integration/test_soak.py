@@ -1,0 +1,111 @@
+"""Soak tests: long mixed workloads with end-to-end verification.
+
+These runs combine every runtime feature under sustained concurrency
+and verify global invariants at the end — the kind of burn-in a
+production runtime release gets.
+"""
+
+import numpy as np
+
+from repro import caf
+
+
+def test_mixed_workload_soak():
+    """Locks + atomics + strided RMA + collectives + events, many
+    rounds, exact final accounting."""
+    ROUNDS = 12
+
+    def kernel():
+        rng = np.random.default_rng(99 + caf.this_image())
+        me, n = caf.this_image(), caf.num_images()
+        ledger = caf.coarray((n,), np.int64)  # per-image deposit slots
+        ledger[:] = 0
+        total_atomic = caf.coarray((1,), np.int64)
+        lck = caf.lock_type((2,))
+        ev = caf.event_type()
+        matrix = caf.coarray((8, 8), np.float64)
+        matrix[:] = 0.0
+        caf.sync_all()
+
+        for round_no in range(ROUNDS):
+            target = int(rng.integers(1, n + 1))
+            # 1. locked read-modify-write of my slot on a random image
+            with lck.guard(target, index=round_no % 2):
+                v = int(ledger.on(target)[me - 1])
+                ledger.on(target)[me - 1] = v + 1
+            # 2. atomic accounting
+            caf.atomic_add(total_atomic, 1, value=1)
+            # 3. strided put into a ring neighbour's matrix
+            nxt = me % n + 1
+            matrix.on(nxt)[me % 8, 0:8:2] = float(round_no)
+            # 4. event ping to the neighbour, consumed each round
+            ev.post(nxt)
+            ev.wait()
+            # 5. periodic global reduction checkpoint
+            if round_no % 4 == 3:
+                check = np.array([float(round_no)])
+                caf.co_max(check)
+                assert check[0] == float(round_no)
+        caf.sync_all()
+
+        # Invariants: every (image, slot) got exactly ROUNDS total
+        # deposits across the job; atomics counted every round.
+        deposits = ledger.local.copy().astype(np.float64)
+        caf.co_sum(deposits)
+        assert deposits.sum() == ROUNDS * n, deposits
+        assert caf.atomic_ref(total_atomic, 1) == ROUNDS * n
+        return True
+
+    assert all(caf.launch(kernel, num_images=6, machine="titan"))
+
+
+def test_lock_storm_many_locks_many_targets():
+    """A storm over an array of locks at random target images; the
+    counters under each lock must balance exactly."""
+    UPDATES = 30
+
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        rng = np.random.default_rng(7 * me)
+        locks = caf.lock_type((4,))
+        counters = caf.coarray((4,), np.int64)
+        counters[:] = 0
+        caf.sync_all()
+        for _ in range(UPDATES):
+            target = int(rng.integers(1, n + 1))
+            idx = int(rng.integers(0, 4))
+            with locks.guard(target, index=idx):
+                v = int(counters.on(target)[idx])
+                counters.on(target)[idx] = v + 1
+        caf.sync_all()
+        totals = counters.local.astype(np.float64)
+        caf.co_sum(totals)
+        assert totals.sum() == UPDATES * n
+        # no qnodes leaked
+        rt = caf.current_runtime()
+        assert not rt._held[me - 1]
+        return True
+
+    assert all(caf.launch(kernel, num_images=5, machine="cray-xc30"))
+
+
+def test_allocation_churn_soak():
+    """Repeated collective alloc/free cycles leave the heap clean."""
+
+    def kernel():
+        rt = caf.current_runtime()
+        caf.sync_all()
+        base = rt.job.symmetric_allocator.bytes_allocated
+        caf.sync_all()  # nobody allocates while base is being read
+        for i in range(15):
+            a = caf.coarray((64 * (1 + i % 3),), np.float64)
+            b = caf.coarray((32,), np.int64)
+            a[:] = i
+            caf.sync_all()
+            b.deallocate()
+            a.deallocate()
+        caf.sync_all()
+        assert rt.job.symmetric_allocator.bytes_allocated == base
+        return True
+
+    assert all(caf.launch(kernel, num_images=4))

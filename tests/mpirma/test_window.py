@@ -1,0 +1,210 @@
+"""MPI-3.0 RMA windows: epochs, RMA, atomics, completion."""
+
+import numpy as np
+import pytest
+
+from repro import mpirma
+from repro.runtime.context import current
+from tests.conftest import TEST_MACHINE
+
+
+def test_put_get_inside_lock_all():
+    def kernel():
+        me, n = mpirma.comm_rank(), mpirma.comm_size()
+        a = mpirma.alloc_array((4,), np.float64)
+        a.local[:] = me
+        win = mpirma.win_create(a)
+        mpirma.barrier()
+        win.lock_all()
+        got = win.get(4, (me + 1) % n)
+        assert list(got) == [(me + 1) % n] * 4
+        win.put(np.full(4, me + 0.5), (me + 1) % n)
+        win.flush((me + 1) % n)
+        win.unlock_all()
+        mpirma.barrier()
+        left = (me - 1) % n
+        assert list(a.local) == [left + 0.5] * 4
+        mpirma.win_free(win)
+        return True
+
+    assert all(mpirma.launch(kernel, num_pes=3))
+
+
+def test_rma_outside_epoch_rejected():
+    def kernel():
+        a = mpirma.alloc_array((2,), np.float64)
+        win = mpirma.win_create(a)
+        win.put([1.0, 2.0], 0)
+
+    with pytest.raises(RuntimeError, match="epoch"):
+        mpirma.launch(kernel, num_pes=1)
+
+
+def test_nested_lock_all_rejected():
+    def kernel():
+        a = mpirma.alloc_array((1,), np.float64)
+        win = mpirma.win_create(a)
+        win.lock_all()
+        win.lock_all()
+
+    with pytest.raises(RuntimeError, match="existing epoch"):
+        mpirma.launch(kernel, num_pes=1)
+
+
+def test_fence_opens_epoch_and_synchronizes():
+    def kernel():
+        me, n = mpirma.comm_rank(), mpirma.comm_size()
+        a = mpirma.alloc_array((1,), np.float64)
+        a.local[0] = -1.0
+        win = mpirma.win_create(a)
+        win.fence()
+        win.put([float(me)], (me + 1) % n)
+        win.fence()
+        assert a.local[0] == float((me - 1) % n)
+        mpirma.win_free(win)
+        return True
+
+    assert all(mpirma.launch(kernel, num_pes=4))
+
+
+def test_accumulate_is_atomic_under_contention():
+    def kernel():
+        a = mpirma.alloc_array((4,), np.float64)
+        win = mpirma.win_create(a)
+        win.lock_all()
+        for _ in range(25):
+            win.accumulate(np.ones(4), rank=0)
+        win.unlock_all()
+        mpirma.barrier()
+        if mpirma.comm_rank() == 0:
+            return list(a.local)
+        return None
+
+    out = mpirma.launch(kernel, num_pes=4)
+    assert out[0] == [100.0] * 4
+
+
+@pytest.mark.parametrize(
+    "op,start,operand,expect",
+    [
+        ("sum", 5.0, 2.0, 7.0),
+        ("prod", 3.0, 4.0, 12.0),
+        ("min", 5.0, 2.0, 2.0),
+        ("max", 5.0, 9.0, 9.0),
+        ("replace", 5.0, 8.0, 8.0),
+    ],
+)
+def test_accumulate_ops(op, start, operand, expect):
+    def kernel():
+        a = mpirma.alloc_array((1,), np.float64)
+        a.local[0] = start
+        win = mpirma.win_create(a)
+        win.fence()
+        if mpirma.comm_rank() == 0:
+            win.accumulate([operand], rank=0, op=op)
+        win.fence()
+        return float(a.local[0])
+
+    out = mpirma.launch(kernel, num_pes=2)
+    assert out[0] == pytest.approx(expect)
+
+
+def test_bitwise_accumulate():
+    def kernel():
+        a = mpirma.alloc_array((1,), np.int64)
+        a.local[0] = 0b1100
+        win = mpirma.win_create(a)
+        win.fence()
+        if mpirma.comm_rank() == 0:
+            win.accumulate([0b1010], rank=0, op="bxor")
+        win.fence()
+        return int(a.local[0])
+
+    assert mpirma.launch(kernel, num_pes=1)[0] == 0b0110
+
+
+def test_fetch_and_op_and_cas():
+    def kernel():
+        me = mpirma.comm_rank()
+        a = mpirma.alloc_array((1,), np.int64)
+        win = mpirma.win_create(a)
+        win.lock_all()
+        old = win.fetch_and_op(1, rank=0, op="sum")
+        assert old >= 0
+        win.unlock_all()
+        mpirma.barrier()
+        win.lock_all()
+        if me == 0:
+            prev = win.compare_and_swap(100, cond=4, rank=0)
+            assert prev == 4  # all four increments landed
+        win.unlock_all()
+        mpirma.barrier()
+        return int(a.local[0]) if me == 0 else None
+
+    out = mpirma.launch(kernel, num_pes=4)
+    assert out[0] == 100
+
+
+def test_unknown_accumulate_op():
+    def kernel():
+        a = mpirma.alloc_array((1,), np.float64)
+        win = mpirma.win_create(a)
+        win.fence()
+        win.accumulate([1.0], rank=0, op="median")
+
+    with pytest.raises(RuntimeError, match="unknown accumulate"):
+        mpirma.launch(kernel, num_pes=1)
+
+
+def test_window_use_after_free_rejected():
+    def kernel():
+        a = mpirma.alloc_array((1,), np.float64)
+        win = mpirma.win_create(a)
+        mpirma.win_free(win)
+        win.lock_all()
+
+    with pytest.raises(RuntimeError, match="after win_free"):
+        mpirma.launch(kernel, num_pes=1)
+
+
+def test_win_create_requires_own_layer_memory():
+    from repro import shmem
+    from repro.runtime.launcher import Job
+
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.float64)
+        mpirma._layer().win_create(x)
+
+    job = Job(1)
+    shmem.attach(job)
+    mpirma.attach(job)
+    with pytest.raises(RuntimeError, match="this layer"):
+        job.run(kernel)
+
+
+def test_mpi_put_costs_more_than_shmem():
+    """Fig 2's mechanism at the layer level."""
+    from repro import shmem
+
+    def mk():
+        a = mpirma.alloc_array((64,), np.float64)
+        win = mpirma.win_create(a)
+        win.lock_all()
+        t0 = current().clock.now
+        win.put(np.zeros(64), rank=2)
+        win.flush(2)
+        dt = current().clock.now - t0
+        win.unlock_all()
+        return dt
+
+    def sk():
+        a = shmem.shmalloc_array((64,), np.float64)
+        shmem.barrier_all()
+        t0 = current().clock.now
+        shmem.put(a, np.zeros(64), pe=2)
+        shmem.quiet()
+        return current().clock.now - t0
+
+    m = mpirma.launch(mk, num_pes=4, machine=TEST_MACHINE)[0]
+    s = shmem.launch(sk, num_pes=4, machine=TEST_MACHINE)[0]
+    assert m > s

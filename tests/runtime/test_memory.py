@@ -1,0 +1,166 @@
+"""PE memory: writes, strided scatter/gather, atomics, waiting."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.launcher import JobAborted
+from repro.runtime.memory import PEMemory
+
+
+def test_write_read_roundtrip():
+    m = PEMemory(256)
+    data = np.arange(16, dtype=np.uint8)
+    m.write(10, data, timestamp=1.0)
+    assert np.array_equal(m.read(10, 16), data)
+    assert m.last_write_time == 1.0
+
+
+def test_write_accepts_bytes_and_arrays():
+    m = PEMemory(64)
+    m.write(0, b"\x01\x02\x03", timestamp=0.5)
+    m.write(3, np.array([9], dtype=np.int8), timestamp=0.7)
+    assert list(m.read(0, 4)) == [1, 2, 3, 9]
+
+
+def test_write_typed_array_viewed_as_bytes():
+    m = PEMemory(64)
+    m.write(0, np.array([1, 2], dtype=np.int64), timestamp=0.0)
+    assert m.read(0, 16).view(np.int64).tolist() == [1, 2]
+
+
+def test_out_of_range_rejected():
+    m = PEMemory(32)
+    with pytest.raises(IndexError):
+        m.write(30, np.zeros(4, dtype=np.uint8), timestamp=0.0)
+    with pytest.raises(IndexError):
+        m.read(-1, 4)
+    with pytest.raises(IndexError):
+        m.read(30, 4)
+
+
+def test_read_scalar():
+    m = PEMemory(64)
+    m.write(8, np.array([12345], dtype=np.int64), timestamp=0.0)
+    assert m.read_scalar(8, np.int64) == 12345
+
+
+def test_local_view_zero_copy():
+    m = PEMemory(64)
+    view = m.local_view(0, 8)
+    view[:] = 7
+    assert list(m.read(0, 8)) == [7] * 8
+
+
+def test_write_strided_scatter():
+    m = PEMemory(256)
+    data = np.array([1, 2, 3], dtype=np.int32)
+    m.write_strided(offset=4, stride_bytes=12, elem_size=4, data=data, timestamp=0.0)
+    for i, expect in enumerate([1, 2, 3]):
+        assert m.read(4 + 12 * i, 4).view(np.int32)[0] == expect
+    # untouched gaps stay zero
+    assert m.read(8, 4).view(np.int32)[0] == 0
+
+
+def test_write_strided_bounds_checked():
+    m = PEMemory(32)
+    with pytest.raises(IndexError):
+        m.write_strided(0, 16, 8, np.zeros(4, dtype=np.int64), timestamp=0.0)
+
+
+def test_write_strided_validates_elem_size():
+    m = PEMemory(64)
+    with pytest.raises(ValueError):
+        m.write_strided(0, 8, 3, np.zeros(4, dtype=np.uint8), timestamp=0.0)
+
+
+def test_read_strided_gather():
+    m = PEMemory(128)
+    m.write(0, np.arange(16, dtype=np.int64), timestamp=0.0)
+    out = m.read_strided(offset=0, stride_bytes=16, elem_size=8, nelems=4)
+    assert out.view(np.int64).tolist() == [0, 2, 4, 6]
+
+
+def test_strided_roundtrip_matches_numpy():
+    m = PEMemory(1024)
+    data = np.arange(20, dtype=np.float64)
+    m.write_strided(16, 24, 8, data, timestamp=0.0)
+    back = m.read_strided(16, 24, 8, 20)
+    assert np.array_equal(back.view(np.float64), data)
+
+
+def test_atomic_rmw_returns_old():
+    m = PEMemory(64)
+    m.write(0, np.array([10], dtype=np.int64), timestamp=0.0)
+    old = m.atomic_rmw(0, np.int64, lambda v: v + 5, timestamp=1.0)
+    assert old == 10
+    assert m.read_scalar(0, np.int64) == 15
+
+
+def test_atomic_rmw_concurrent_increments():
+    m = PEMemory(64)
+    n_threads, per = 8, 500
+
+    def worker():
+        for _ in range(per):
+            m.atomic_rmw(0, np.int64, lambda v: v + 1, timestamp=0.0)
+
+    ts = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert m.read_scalar(0, np.int64) == n_threads * per
+
+
+def test_accumulate_elementwise():
+    m = PEMemory(64)
+    m.write(0, np.array([1.0, 2.0], dtype=np.float64), timestamp=0.0)
+    m.accumulate(0, np.float64, np.array([10.0, 20.0]), np.add, timestamp=0.0)
+    assert m.read(0, 16).view(np.float64).tolist() == [11.0, 22.0]
+
+
+def test_wait_until_wakes_on_write():
+    m = PEMemory(64)
+    result = {}
+
+    def waiter():
+        ts = m.wait_until(
+            lambda: m.read_scalar(0, np.int64) == 42, aborted=lambda: False
+        )
+        result["ts"] = ts
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    m.write(0, np.array([42], dtype=np.int64), timestamp=3.5)
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert result["ts"] == 3.5
+
+
+def test_wait_until_immediate_when_satisfied():
+    m = PEMemory(64)
+    m.write(0, np.array([1], dtype=np.int64), timestamp=2.0)
+    ts = m.wait_until(lambda: True, aborted=lambda: False)
+    assert ts == 2.0
+
+
+def test_wait_until_aborts():
+    m = PEMemory(64)
+    flag = threading.Event()
+
+    def waiter():
+        with pytest.raises(JobAborted):
+            m.wait_until(lambda: False, aborted=flag.is_set, poll_interval=0.01)
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    flag.set()
+    t.join(timeout=5)
+    assert not t.is_alive()
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        PEMemory(0)

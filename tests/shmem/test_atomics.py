@@ -1,0 +1,163 @@
+"""Remote atomics: correctness under real thread concurrency."""
+
+import numpy as np
+import pytest
+
+from repro import shmem
+
+
+def test_fadd_sums_under_contention():
+    def kernel():
+        c = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        for _ in range(50):
+            shmem.atomic_fadd(c, 1, pe=0)
+        shmem.barrier_all()
+        return int(c.local[0]) if shmem.my_pe() == 0 else None
+
+    out = shmem.launch(kernel, num_pes=6)
+    assert out[0] == 6 * 50
+
+
+def test_finc_and_inc():
+    def kernel():
+        c = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        old = shmem.atomic_finc(c, pe=0)
+        shmem.atomic_inc(c, pe=0)
+        shmem.barrier_all()
+        return (old, int(c.local[0]) if shmem.my_pe() == 0 else None)
+
+    out = shmem.launch(kernel, num_pes=4)
+    olds = sorted(o for o, _ in out)
+    assert out[0][1] == 8  # 4 fincs + 4 incs
+    assert all(0 <= o < 8 for o in olds)
+    assert len(set(olds)) == 4  # fincs returned distinct values... almost
+    # (incs interleave, so distinctness of finc returns is not guaranteed
+    # in general; at minimum they are within range and the sum is exact)
+
+
+def test_swap_returns_old():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.int64)
+        if shmem.my_pe() == 0:
+            x.local[0] = 111
+        shmem.barrier_all()
+        if shmem.my_pe() == 1:
+            old = shmem.atomic_swap(x, 222, pe=0)
+            assert old == 111
+        shmem.barrier_all()
+        return int(x.local[0])
+
+    out = shmem.launch(kernel, num_pes=2)
+    assert out[0] == 222
+
+
+def test_cswap_only_one_winner():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        old = shmem.atomic_cswap(x, cond=0, value=shmem.my_pe() + 1, pe=0)
+        shmem.barrier_all()
+        return int(old)
+
+    out = shmem.launch(kernel, num_pes=8)
+    winners = [o for o in out if o == 0]
+    assert len(winners) == 1
+
+
+def test_fetch_and_set():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if shmem.my_pe() == 1:
+            shmem.atomic_set(x, 77, pe=0)
+        shmem.barrier_all()
+        return int(shmem.atomic_fetch(x, pe=0))
+
+    assert shmem.launch(kernel, num_pes=3) == [77, 77, 77]
+
+
+def test_bitwise_atomics():
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((3,), np.int64)
+        x.local[:] = [0b1111, 0b0000, 0b1010]
+        shmem.barrier_all()
+        shmem.atomic_and(x, ~(1 << me), pe=0, offset=0)
+        shmem.atomic_or(x, 1 << me, pe=0, offset=1)
+        shmem.atomic_xor(x, 1 << me, pe=0, offset=2)
+        shmem.barrier_all()
+        if me == 0:
+            return [int(v) for v in x.local]
+        return None
+
+    out = shmem.launch(kernel, num_pes=2)
+    assert out[0] == [0b1100, 0b0011, 0b1001]
+
+
+def test_fetch_bitwise_return_old():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.uint64)
+        x.local[0] = 0b1100
+        shmem.barrier_all()
+        old = shmem.atomic_fetch_or(x, 0b0011, pe=shmem.my_pe())
+        return (int(old), int(x.local[0]))
+
+    out = shmem.launch(kernel, num_pes=1)
+    assert out[0] == (0b1100, 0b1111)
+
+
+def test_atomics_on_offset_element():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        shmem.barrier_all()
+        shmem.atomic_add(x, 5, pe=0, offset=2)
+        shmem.barrier_all()
+        if shmem.my_pe() == 0:
+            return list(x.local)
+        return None
+
+    out = shmem.launch(kernel, num_pes=3)
+    assert out[0] == [0, 0, 15, 0]
+
+
+def test_atomics_require_8_byte_dtype():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.int32)
+        shmem.atomic_fadd(x, 1, pe=0)
+
+    with pytest.raises(RuntimeError, match="8-byte"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_bitwise_requires_integer_dtype():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.float64)
+        shmem.atomic_and(x, 1, pe=0)
+
+    with pytest.raises(RuntimeError, match="integer"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_float_atomics_swap_fadd():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.float64)
+        x.local[0] = 1.5
+        shmem.barrier_all()
+        if shmem.my_pe() == 0:
+            old = shmem.atomic_fadd(x, 2.25, pe=0)
+            assert old == 1.5
+        shmem.barrier_all()
+        return float(x.local[0])
+
+    assert shmem.launch(kernel, num_pes=1) == [3.75]
+
+
+def test_unknown_atomic_op_rejected():
+    def kernel():
+        x = shmem.shmalloc_array((1,), np.int64)
+        shmem._layer().atomic(x, 0, 0, "nand", 1)
+
+    with pytest.raises(RuntimeError, match="unknown atomic"):
+        shmem.launch(kernel, num_pes=1)

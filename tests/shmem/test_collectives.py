@@ -1,0 +1,131 @@
+"""SHMEM collectives: reductions, broadcast, fcollect."""
+
+import numpy as np
+import pytest
+
+from repro import shmem
+
+
+def _reduction_kernel(op_name, expect_fn):
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        src = shmem.shmalloc_array((3,), np.int64)
+        dst = shmem.shmalloc_array((3,), np.int64)
+        src.local[:] = [me + 1, (me + 1) * 2, me % 2]
+        getattr(shmem, f"{op_name}_to_all")(dst, src, 3)
+        vals = [[p + 1, (p + 1) * 2, p % 2] for p in range(n)]
+        expect = expect_fn(np.array(vals))
+        assert np.array_equal(dst.local, expect), (dst.local, expect)
+        return True
+
+    return kernel
+
+
+@pytest.mark.parametrize(
+    "op,fn",
+    [
+        ("sum", lambda v: v.sum(axis=0)),
+        ("prod", lambda v: v.prod(axis=0)),
+        ("min", lambda v: v.min(axis=0)),
+        ("max", lambda v: v.max(axis=0)),
+        ("and", lambda v: np.bitwise_and.reduce(v, axis=0)),
+        ("or", lambda v: np.bitwise_or.reduce(v, axis=0)),
+        ("xor", lambda v: np.bitwise_xor.reduce(v, axis=0)),
+    ],
+)
+def test_reductions(op, fn):
+    assert all(shmem.launch(_reduction_kernel(op, fn), num_pes=4))
+
+
+def test_reduction_float_dtype():
+    def kernel():
+        me = shmem.my_pe()
+        src = shmem.shmalloc_array((2,), np.float64)
+        dst = shmem.shmalloc_array((2,), np.float64)
+        src.local[:] = [me + 0.5, 1.0]
+        shmem.sum_to_all(dst, src, 2)
+        n = shmem.num_pes()
+        assert dst.local[0] == pytest.approx(sum(p + 0.5 for p in range(n)))
+        assert dst.local[1] == pytest.approx(float(n))
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=3))
+
+
+def test_bitwise_reduction_rejects_float():
+    def kernel():
+        src = shmem.shmalloc_array((1,), np.float64)
+        dst = shmem.shmalloc_array((1,), np.float64)
+        shmem.and_to_all(dst, src, 1)
+
+    with pytest.raises(RuntimeError, match="integer"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_broadcast_skips_root_dest():
+    def kernel():
+        me = shmem.my_pe()
+        src = shmem.shmalloc_array((4,), np.int64)
+        dst = shmem.shmalloc_array((4,), np.int64)
+        dst.local[:] = -1
+        if me == 2:
+            src.local[:] = [9, 8, 7, 6]
+        shmem.broadcast(dst, src, 4, root=2)
+        if me == 2:
+            return list(dst.local) == [-1] * 4  # root untouched
+        return list(dst.local) == [9, 8, 7, 6]
+
+    assert all(shmem.launch(kernel, num_pes=4))
+
+
+def test_broadcast_partial_count():
+    def kernel():
+        me = shmem.my_pe()
+        src = shmem.shmalloc_array((4,), np.int64)
+        dst = shmem.shmalloc_array((4,), np.int64)
+        dst.local[:] = 0
+        src.local[:] = [1, 2, 3, 4]
+        shmem.broadcast(dst, src, 2, root=0)
+        if me != 0:
+            return list(dst.local) == [1, 2, 0, 0]
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=3))
+
+
+def test_fcollect_concatenates_in_pe_order():
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        src = shmem.shmalloc_array((2,), np.int64)
+        dst = shmem.shmalloc_array((2 * n,), np.int64)
+        src.local[:] = [me * 10, me * 10 + 1]
+        shmem.fcollect(dst, src, 2)
+        expect = [v for p in range(n) for v in (p * 10, p * 10 + 1)]
+        assert list(dst.local) == expect
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=4))
+
+
+def test_unknown_reduction_rejected():
+    def kernel():
+        src = shmem.shmalloc_array((1,), np.int64)
+        dst = shmem.shmalloc_array((1,), np.int64)
+        shmem._layer().to_all(dst, src, 1, "median")
+
+    with pytest.raises(RuntimeError, match="unknown reduction"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_collectives_advance_clock():
+    def kernel():
+        from repro.runtime.context import current
+
+        src = shmem.shmalloc_array((128,), np.int64)
+        dst = shmem.shmalloc_array((128,), np.int64)
+        t0 = current().clock.now
+        shmem.sum_to_all(dst, src, 128)
+        return current().clock.now - t0
+
+    out = shmem.launch(kernel, num_pes=4)
+    assert all(dt > 0 for dt in out)

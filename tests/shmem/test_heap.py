@@ -1,0 +1,170 @@
+"""Symmetric heap allocation semantics."""
+
+import numpy as np
+import pytest
+
+from repro import shmem
+from repro.runtime.launcher import Job
+
+
+def test_same_offset_on_every_pe():
+    def kernel():
+        x = shmem.shmalloc_array((8,), np.int64)
+        return x.byte_offset
+
+    offsets = shmem.launch(kernel, num_pes=4)
+    assert len(set(offsets)) == 1
+
+
+def test_sequential_allocations_disjoint():
+    def kernel():
+        a = shmem.shmalloc_array((16,), np.int64)
+        b = shmem.shmalloc_array((16,), np.int64)
+        return (a.byte_offset, b.byte_offset)
+
+    for a_off, b_off in shmem.launch(kernel, num_pes=3):
+        assert abs(a_off - b_off) >= 16 * 8
+
+
+def test_local_views_are_independent_per_pe():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        x.local[:] = shmem.my_pe()
+        shmem.barrier_all()
+        return list(x.local)
+
+    out = shmem.launch(kernel, num_pes=3)
+    assert out == [[0] * 4, [1] * 4, [2] * 4]
+
+
+def test_shfree_and_reuse():
+    def kernel():
+        a = shmem.shmalloc_array((1024,), np.uint8)
+        off = a.byte_offset
+        shmem.shfree(a)
+        b = shmem.shmalloc_array((1024,), np.uint8)
+        return off == b.byte_offset
+
+    assert all(shmem.launch(kernel, num_pes=2))
+
+
+def test_use_after_free_rejected():
+    def kernel():
+        a = shmem.shmalloc_array((4,), np.int64)
+        shmem.shfree(a)
+        try:
+            _ = a.local
+        except ValueError:
+            return "raised"
+        return "no error"
+
+    assert shmem.launch(kernel, num_pes=2) == ["raised", "raised"]
+
+
+def test_mismatched_collective_alloc_detected():
+    def kernel():
+        shape = (4,) if shmem.my_pe() == 0 else (8,)
+        shmem.shmalloc_array(shape, np.int64)
+
+    with pytest.raises(RuntimeError, match="collective"):
+        shmem.launch(kernel, num_pes=2)
+
+
+def test_shmalloc_bytes():
+    def kernel():
+        buf = shmem.shmalloc(100)
+        assert buf.dtype == np.uint8
+        assert buf.size == 100
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2))
+
+
+def test_scalar_and_multidim_shapes():
+    def kernel():
+        s = shmem.shmalloc_array((), np.float64)
+        m = shmem.shmalloc_array((3, 4), np.float32)
+        m.local[:] = 1.5
+        return (s.shape, m.shape, float(m.local.sum()))
+
+    out = shmem.launch(kernel, num_pes=2)
+    assert out[0] == ((), (3, 4), pytest.approx(18.0))
+
+
+def test_negative_shape_rejected():
+    def kernel():
+        shmem.shmalloc_array((-1,), np.int64)
+
+    with pytest.raises(RuntimeError, match="negative"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_heap_exhaustion_raises():
+    def kernel():
+        shmem.shmalloc(1 << 22)
+
+    with pytest.raises(RuntimeError, match="cannot allocate"):
+        shmem.launch(kernel, num_pes=1, heap_bytes=1 << 16)
+
+
+def test_element_offset_and_span_checks():
+    def kernel():
+        x = shmem.shmalloc_array((8,), np.int64)
+        assert x.element_offset(2) == x.byte_offset + 16
+        try:
+            x.element_offset(8)
+        except IndexError:
+            pass
+        else:
+            raise AssertionError("no bounds check")
+        try:
+            x.check_span(4, 5)
+        except IndexError:
+            return True
+        raise AssertionError("span check missed overflow")
+
+    assert all(shmem.launch(kernel, num_pes=1))
+
+
+def test_attach_idempotent():
+    job = Job(2)
+    layer1 = shmem.attach(job)
+    layer2 = shmem.attach(job)
+    assert layer1 is layer2
+
+
+def test_shrealloc_preserves_prefix():
+    def kernel():
+        me = shmem.my_pe()
+        a = shmem.shmalloc_array((4,), np.int64)
+        a.local[:] = np.arange(4) + me * 10
+        shmem.barrier_all()
+        b = shmem.shrealloc(a, (8,))
+        assert list(b.local[:4]) == [me * 10 + i for i in range(4)]
+        assert b.size == 8
+        try:
+            _ = a.local  # old handle is dead
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("old handle survived shrealloc")
+        c = shmem.shrealloc(b, (2,))  # shrink keeps the prefix
+        assert list(c.local) == [me * 10, me * 10 + 1]
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=3))
+
+
+def test_accessibility_queries():
+    def kernel():
+        a = shmem.shmalloc_array((4,), np.int64)
+        assert shmem.pe_accessible(0)
+        assert shmem.pe_accessible(shmem.num_pes() - 1)
+        assert not shmem.pe_accessible(shmem.num_pes())
+        assert not shmem.pe_accessible(-1)
+        assert shmem.addr_accessible(a, 0)
+        shmem.shfree(a)
+        assert not shmem.addr_accessible(a, 0)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2))

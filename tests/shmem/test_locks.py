@@ -1,0 +1,85 @@
+"""OpenSHMEM global locks (the API the paper deems unsuitable for CAF)."""
+
+import numpy as np
+import pytest
+
+from repro import shmem
+
+
+def test_mutual_exclusion():
+    def kernel():
+        lck = shmem.shmalloc_array((1,), np.int64)
+        counter = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        for _ in range(20):
+            shmem.set_lock(lck)
+            # non-atomic read-modify-write, safe only under the lock
+            v = int(shmem.get(counter, 1, 0)[0])
+            shmem.put(counter, [v + 1], 0)
+            shmem.clear_lock(lck)
+        shmem.barrier_all()
+        return int(counter.local[0]) if shmem.my_pe() == 0 else None
+
+    out = shmem.launch(kernel, num_pes=6)
+    assert out[0] == 6 * 20
+
+
+def test_test_lock_nonblocking():
+    def kernel():
+        me = shmem.my_pe()
+        lck = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            assert shmem.test_lock(lck) is True  # uncontended: acquired
+        shmem.barrier_all()
+        if me == 1:
+            assert shmem.test_lock(lck) is False  # held by PE 0
+        shmem.barrier_all()
+        if me == 0:
+            shmem.clear_lock(lck)
+        shmem.barrier_all()
+        if me == 1:
+            assert shmem.test_lock(lck) is True
+            shmem.clear_lock(lck)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2))
+
+
+def test_clear_unheld_lock_rejected():
+    def kernel():
+        lck = shmem.shmalloc_array((1,), np.int64)
+        shmem.clear_lock(lck)
+
+    with pytest.raises(RuntimeError, match="does not hold"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_lock_requires_8_byte_word():
+    def kernel():
+        lck = shmem.shmalloc_array((1,), np.int32)
+        shmem.set_lock(lck)
+
+    with pytest.raises(RuntimeError, match="8-byte"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_lock_is_single_global_entity():
+    """The paper's point: the lock is one logical entity — two PEs
+    "locking at different PEs" still exclude each other (there is no
+    per-PE lock)."""
+
+    def kernel():
+        me = shmem.my_pe()
+        lck = shmem.shmalloc_array((1,), np.int64)
+        order = shmem.shmalloc_array((2,), np.int64)
+        shmem.barrier_all()
+        shmem.set_lock(lck)
+        idx = int(shmem.atomic_fadd(order, 1, pe=0, offset=1))
+        shmem.atomic_set(order, me + 1, pe=0) if idx == 0 else None
+        shmem.clear_lock(lck)
+        shmem.barrier_all()
+        return int(order.local[1]) if me == 0 else None
+
+    out = shmem.launch(kernel, num_pes=4)
+    assert out[0] == 4  # all four serialized through the one lock

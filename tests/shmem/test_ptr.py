@@ -1,0 +1,50 @@
+"""shmem_ptr: intra-node direct load/store (the paper's future work)."""
+
+import numpy as np
+
+from repro import shmem
+from tests.conftest import TEST_MACHINE
+
+
+def test_ptr_same_node_gives_view():
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((4,), np.int64)
+        x.local[:] = me * 10
+        shmem.barrier_all()
+        # TEST_MACHINE has 2 cores/node: PEs (0,1) and (2,3) share nodes.
+        buddy = me ^ 1
+        p = shmem.shmem_ptr(x, buddy)
+        assert p is not None
+        assert list(p) == [buddy * 10] * 4
+        shmem.barrier_all()
+        # Direct store through the pointer is visible to the owner.
+        if me == 0:
+            p[0] = 999
+        shmem.barrier_all()
+        if me == 1:
+            assert x.local[0] == 999
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=4, machine=TEST_MACHINE))
+
+
+def test_ptr_cross_node_returns_none():
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((4,), np.int64)
+        shmem.barrier_all()
+        other_node = (me + 2) % 4
+        return shmem.shmem_ptr(x, other_node) is None
+
+    assert all(shmem.launch(kernel, num_pes=4, machine=TEST_MACHINE))
+
+
+def test_ptr_self_always_works():
+    def kernel():
+        x = shmem.shmalloc_array((2, 3), np.float64)
+        p = shmem.shmem_ptr(x, shmem.my_pe())
+        assert p is not None and p.shape == (2, 3)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2))

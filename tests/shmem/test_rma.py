@@ -1,0 +1,199 @@
+"""Contiguous and 1-D strided RMA correctness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import shmem
+
+
+def test_put_then_get_roundtrip():
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        x = shmem.shmalloc_array((8,), np.int64)
+        x.local[:] = -1
+        shmem.barrier_all()
+        shmem.put(x, np.arange(8) + me * 100, (me + 1) % n)
+        shmem.barrier_all()
+        left = (me - 1) % n
+        assert np.array_equal(x.local, np.arange(8) + left * 100)
+        got = shmem.get(x, 8, (me + 1) % n)
+        assert np.array_equal(got, np.arange(8) + me * 100)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=4))
+
+
+def test_put_with_offset():
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        x = shmem.shmalloc_array((10,), np.int32)
+        x.local[:] = 0
+        shmem.barrier_all()
+        shmem.put(x, [7, 8], (me + 1) % n, offset=3)
+        shmem.barrier_all()
+        assert list(x.local[3:5]) == [7, 8]
+        assert x.local[0] == 0 and x.local[5] == 0
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=3))
+
+
+def test_get_with_offset():
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        x = shmem.shmalloc_array((10,), np.int32)
+        x.local[:] = np.arange(10) * (me + 1)
+        shmem.barrier_all()
+        got = shmem.get(x, 3, (me + 1) % n, offset=5)
+        peer = (me + 1) % n + 1
+        assert list(got) == [5 * peer, 6 * peer, 7 * peer]
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=3))
+
+
+def test_put_to_self():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        shmem.put(x, [1, 2, 3, 4], shmem.my_pe())
+        shmem.quiet()
+        return list(x.local)
+
+    assert shmem.launch(kernel, num_pes=2) == [[1, 2, 3, 4]] * 2
+
+
+def test_zero_length_put_get():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        shmem.put(x, np.empty(0, dtype=np.int64), 0)
+        got = shmem.get(x, 0, 0)
+        assert got.size == 0
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2))
+
+
+def test_put_bounds_checked():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        shmem.put(x, np.zeros(5, dtype=np.int64), 0)
+
+    with pytest.raises(RuntimeError, match="span|IndexError"):
+        shmem.launch(kernel, num_pes=1)
+
+
+def test_put_invalid_pe():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        shmem.put(x, [1], 9)
+
+    with pytest.raises(RuntimeError, match="out of range"):
+        shmem.launch(kernel, num_pes=2)
+
+
+def test_dtype_coercion():
+    def kernel():
+        x = shmem.shmalloc_array((3,), np.float64)
+        shmem.put(x, [1, 2, 3], shmem.my_pe())  # ints coerce to float64
+        shmem.quiet()
+        return x.local.dtype == np.float64 and list(x.local) == [1.0, 2.0, 3.0]
+
+    assert all(shmem.launch(kernel, num_pes=1))
+
+
+# ---------------------------------------------------------------------------
+# Strided (iput/iget)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("profile", ["cray-shmem", "mvapich2x-shmem"])
+def test_iput_scatter_matches_numpy(profile):
+    """Same result whether iput is native (Cray) or looped (MVAPICH2-X)."""
+
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        x = shmem.shmalloc_array((30,), np.int64)
+        x.local[:] = 0
+        shmem.barrier_all()
+        src = np.arange(20)
+        shmem.iput(x, src, tst=3, sst=2, nelems=5, pe=(me + 1) % n, offset=1)
+        shmem.barrier_all()
+        expect = np.zeros(30, dtype=np.int64)
+        expect[1:16:3] = src[0:10:2]
+        assert np.array_equal(x.local, expect), x.local
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2, profile=profile))
+
+
+@pytest.mark.parametrize("profile", ["cray-shmem", "mvapich2x-shmem"])
+def test_iget_gather_matches_numpy(profile):
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        x = shmem.shmalloc_array((40,), np.int64)
+        x.local[:] = np.arange(40) + me * 1000
+        shmem.barrier_all()
+        peer = (me + 1) % n
+        got = shmem.iget(x, tst=1, sst=4, nelems=6, pe=peer, offset=2)
+        expect = (np.arange(40) + peer * 1000)[2:26:4]
+        assert np.array_equal(got, expect)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2, profile=profile))
+
+
+def test_iput_validation():
+    def kernel():
+        x = shmem.shmalloc_array((10,), np.int64)
+        try:
+            shmem.iput(x, np.arange(10), tst=0, sst=1, nelems=3, pe=0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("zero stride accepted")
+        try:
+            shmem.iput(x, np.arange(2), tst=1, sst=2, nelems=3, pe=0)
+        except ValueError:
+            return True
+        raise AssertionError("short source accepted")
+
+    assert all(shmem.launch(kernel, num_pes=1))
+
+
+def test_iput_nelems_zero_noop():
+    def kernel():
+        x = shmem.shmalloc_array((4,), np.int64)
+        x.local[:] = 5
+        shmem.iput(x, np.empty(0, dtype=np.int64), tst=1, sst=1, nelems=0, pe=0)
+        got = shmem.iget(x, tst=1, sst=1, nelems=0, pe=0)
+        return got.size == 0 and list(x.local) == [5] * 4
+
+    assert all(shmem.launch(kernel, num_pes=1))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    tst=st.integers(1, 4),
+    sst=st.integers(1, 4),
+    nelems=st.integers(0, 8),
+    offset=st.integers(0, 4),
+)
+def test_iput_property_random_strides(tst, sst, nelems, offset):
+    """iput scatter == the equivalent NumPy strided assignment."""
+    size = 64
+
+    def kernel():
+        x = shmem.shmalloc_array((size,), np.int64)
+        x.local[:] = -7
+        src = np.arange(40)
+        shmem.iput(x, src, tst=tst, sst=sst, nelems=nelems, pe=0, offset=offset)
+        shmem.quiet()
+        expect = np.full(size, -7, dtype=np.int64)
+        if nelems:
+            expect[offset : offset + nelems * tst : tst] = src[: nelems * sst : sst]
+        assert np.array_equal(x.local, expect)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=1))

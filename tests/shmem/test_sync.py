@@ -1,0 +1,127 @@
+"""Ordering and synchronization: quiet, fence, barrier, wait_until."""
+
+import numpy as np
+
+from repro import shmem
+from repro.runtime.context import current
+from tests.conftest import TEST_MACHINE
+
+
+def test_quiet_waits_for_remote_completion():
+    """After an inter-node put, quiet advances the clock to remote
+    completion; a second quiet is free."""
+
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((1 << 14,), np.uint8)
+        shmem.barrier_all()
+        if me == 0:
+            t0 = current().clock.now
+            shmem.put(x, np.zeros(1 << 14, dtype=np.uint8), pe=2)
+            t_local = current().clock.now
+            shmem.quiet()
+            t_quiet = current().clock.now
+            shmem.quiet()
+            t_quiet2 = current().clock.now
+            assert t_local > t0
+            assert t_quiet > t_local  # remote completion later than local
+            assert t_quiet2 == t_quiet
+        shmem.barrier_all()
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=4, machine=TEST_MACHINE))
+
+
+def test_fence_is_cheap():
+    def kernel():
+        t0 = current().clock.now
+        shmem.fence()
+        return current().clock.now - t0
+
+    out = shmem.launch(kernel, num_pes=1)
+    assert 0 < out[0] < 0.1
+
+
+def test_barrier_includes_quiet():
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((1 << 14,), np.uint8)
+        shmem.barrier_all()
+        layer = shmem._layer()
+        if me == 0:
+            shmem.put(x, np.zeros(1 << 14, dtype=np.uint8), pe=2)
+            assert layer._pending[0] > 0
+        shmem.barrier_all()
+        assert layer._pending[me] == 0
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=4, machine=TEST_MACHINE))
+
+
+def test_barrier_aligns_clocks():
+    def kernel():
+        current().clock.advance(float(shmem.my_pe()) * 7)
+        shmem.barrier_all()
+        return current().clock.now
+
+    out = shmem.launch(kernel, num_pes=4)
+    assert len({round(t, 6) for t in out}) == 1
+    assert out[0] > 21.0  # at least the max arrival
+
+
+def test_wait_until_blocks_for_remote_write():
+    def kernel():
+        me = shmem.my_pe()
+        flag = shmem.shmalloc_array((1,), np.int64)
+        data = shmem.shmalloc_array((4,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            shmem.put(data, [5, 6, 7, 8], pe=1)
+            shmem.quiet()  # data before signal
+            shmem.atomic_set(flag, 1, pe=1)
+            return None
+        if me == 1:
+            shmem.wait_until(flag, shmem.CMP_EQ, 1)
+            return list(data.local)
+        return None
+
+    out = shmem.launch(kernel, num_pes=2)
+    assert out[1] == [5, 6, 7, 8]
+
+
+def test_wait_until_comparisons():
+    def kernel():
+        me = shmem.my_pe()
+        v = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            shmem.atomic_set(v, 10, pe=1)
+        else:
+            shmem.wait_until(v, shmem.CMP_GE, 10)
+            shmem.wait_until(v, shmem.CMP_NE, 0)
+            shmem.wait_until(v, shmem.CMP_GT, 9)
+            shmem.wait_until(v, shmem.CMP_LT, 11)
+            shmem.wait_until(v, shmem.CMP_LE, 10)
+        return True
+
+    assert all(shmem.launch(kernel, num_pes=2))
+
+
+def test_wait_until_merges_writer_timestamp():
+    """The waiter's clock jumps to (at least) the write's arrival time."""
+
+    def kernel():
+        me = shmem.my_pe()
+        flag = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            current().clock.advance(500.0)  # writer is far in the future
+            shmem.atomic_set(flag, 1, pe=2)
+            return None
+        if me == 2:
+            shmem.wait_until(flag, shmem.CMP_EQ, 1)
+            return current().clock.now
+        return None
+
+    out = shmem.launch(kernel, num_pes=4, machine=TEST_MACHINE)
+    assert out[2] > 500.0

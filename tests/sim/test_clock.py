@@ -1,0 +1,45 @@
+"""Virtual clock semantics."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+def test_starts_at_zero():
+    assert VirtualClock().now == 0.0
+
+
+def test_advance_accumulates():
+    c = VirtualClock()
+    c.advance(1.5)
+    c.advance(2.5)
+    assert c.now == pytest.approx(4.0)
+
+
+def test_advance_rejects_negative():
+    c = VirtualClock()
+    with pytest.raises(ValueError):
+        c.advance(-0.1)
+
+
+def test_merge_takes_max():
+    c = VirtualClock(5.0)
+    c.merge(3.0)
+    assert c.now == 5.0
+    c.merge(7.0)
+    assert c.now == 7.0
+
+
+def test_merge_is_idempotent():
+    c = VirtualClock(2.0)
+    c.merge(4.0)
+    c.merge(4.0)
+    assert c.now == 4.0
+
+
+def test_reset():
+    c = VirtualClock(9.0)
+    c.reset()
+    assert c.now == 0.0
+    c.reset(3.0)
+    assert c.now == 3.0

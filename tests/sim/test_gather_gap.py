@@ -1,0 +1,40 @@
+"""The stride-dependent gather gap (locality model behind Section IV-C)."""
+
+import pytest
+
+from repro.sim.machines import CRAY_XC30
+from repro.sim.netmodel import CRAY_SHMEM, NetworkModel
+from repro.sim.topology import Topology
+
+
+def test_gap_flat_within_cache_line():
+    g8 = NetworkModel._gather_gap(CRAY_SHMEM, 8, 8)
+    g64 = NetworkModel._gather_gap(CRAY_SHMEM, 8, 64)
+    assert g8 == g64 == CRAY_SHMEM.iput_elem_gap_us
+
+
+def test_gap_grows_past_cache_line():
+    g64 = NetworkModel._gather_gap(CRAY_SHMEM, 8, 64)
+    g512 = NetworkModel._gather_gap(CRAY_SHMEM, 8, 512)
+    g8k = NetworkModel._gather_gap(CRAY_SHMEM, 8, 8192)
+    assert g64 < g512 < g8k
+
+
+def test_gap_capped():
+    huge = NetworkModel._gather_gap(CRAY_SHMEM, 8, 1 << 40)
+    assert huge == pytest.approx(5.0 * CRAY_SHMEM.iput_elem_gap_us)
+
+
+def test_default_stride_is_elem_size():
+    assert NetworkModel._gather_gap(CRAY_SHMEM, 8, None) == NetworkModel._gather_gap(
+        CRAY_SHMEM, 8, 8
+    )
+
+
+def test_iput_cost_grows_with_stride():
+    def cost(stride_bytes):
+        model = NetworkModel(Topology(CRAY_XC30, 32))
+        t = model.iput(0, 16, 256, 8, CRAY_SHMEM, now=0.0, stride_bytes=stride_bytes)
+        return t.remote_complete
+
+    assert cost(8) < cost(1024) < cost(65536)

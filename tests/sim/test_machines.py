@@ -1,0 +1,44 @@
+"""The paper's Table III machines."""
+
+import pytest
+
+from repro.sim.machines import CRAY_XC30, MACHINES, STAMPEDE, TITAN, get_machine
+
+
+def test_table3_rows():
+    """Node counts, processors, cores/node, interconnects match Table III."""
+    assert STAMPEDE.nodes == 6400
+    assert STAMPEDE.cores_per_node == 16
+    assert "Sandy Bridge" in STAMPEDE.processor
+    assert "InfiniBand" in STAMPEDE.interconnect
+
+    assert CRAY_XC30.nodes == 64
+    assert CRAY_XC30.cores_per_node == 16
+    assert "Aries" in CRAY_XC30.interconnect
+
+    assert TITAN.nodes == 18688
+    assert TITAN.cores_per_node == 16
+    assert "Opteron" in TITAN.processor
+    assert "Gemini" in TITAN.interconnect
+
+
+def test_lookup_aliases():
+    assert get_machine("stampede") is STAMPEDE
+    assert get_machine("Cray XC30") is CRAY_XC30
+    assert get_machine("CRAY_XC30") is CRAY_XC30
+    assert get_machine("titan") is TITAN
+
+
+def test_unknown_machine():
+    with pytest.raises(KeyError):
+        get_machine("summit")
+
+
+def test_registry_complete():
+    assert set(MACHINES) == {"stampede", "cray-xc30", "titan"}
+
+
+def test_interconnect_character():
+    """Aries is the fastest fabric; Gemini the slowest of the three."""
+    assert CRAY_XC30.link_latency_us < STAMPEDE.link_latency_us < TITAN.link_latency_us
+    assert CRAY_XC30.link_bandwidth_Bpus > STAMPEDE.link_bandwidth_Bpus

@@ -1,0 +1,222 @@
+"""Cost-engine properties: the shapes the paper's Figs 2-3 rely on."""
+
+import pytest
+
+from repro.sim.machines import STAMPEDE, TITAN
+from repro.sim.netmodel import (
+    CONDUITS,
+    CRAY_SHMEM,
+    GASNET,
+    MPI3,
+    MVAPICH2X_SHMEM,
+    ConduitProfile,
+    NetworkModel,
+    get_conduit,
+)
+from repro.sim.topology import Topology
+
+
+def model(machine=STAMPEDE, pes=34) -> NetworkModel:
+    return NetworkModel(Topology(machine, pes))
+
+
+INTER = (0, 16)  # PEs on different nodes
+INTRA = (0, 1)  # PEs on the same node
+
+
+def test_put_local_before_remote():
+    m = model()
+    t = m.put(*INTER, 64, MVAPICH2X_SHMEM, now=0.0)
+    assert 0 < t.local_complete < t.remote_complete
+
+
+def test_put_eager_vs_rendezvous_local_completion():
+    m = model()
+    small = m.put(*INTER, 64, MVAPICH2X_SHMEM, now=0.0)
+    large = m.put(*INTER, 1 << 20, MVAPICH2X_SHMEM, now=0.0)
+    # Eager messages complete locally at software-overhead time.
+    assert small.local_complete == pytest.approx(MVAPICH2X_SHMEM.o_put_us)
+    # Rendezvous messages hold the source until injection completes.
+    assert large.local_complete > 100.0
+
+
+def test_put_cost_monotone_in_size():
+    m = model()
+    prev = 0.0
+    for size in (8, 64, 512, 4096, 65536, 1 << 20):
+        t = m.put(*INTER, size, MVAPICH2X_SHMEM, now=0.0)
+        assert t.remote_complete >= prev
+        prev = t.remote_complete
+
+
+def test_intra_node_cheaper_than_inter():
+    m = model()
+    intra = m.put(*INTRA, 1024, MVAPICH2X_SHMEM, now=0.0)
+    inter = m.put(*INTER, 1024, MVAPICH2X_SHMEM, now=0.0)
+    assert intra.remote_complete < inter.remote_complete
+
+
+def test_small_message_latency_ordering():
+    """Fig 2: SHMEM < GASNet < MPI-3.0 for small puts."""
+    for size in (8, 64, 1024):
+        times = {}
+        for profile in (MVAPICH2X_SHMEM, GASNET, MPI3):
+            m = model()
+            times[profile.name] = m.put(*INTER, size, profile, now=0.0).remote_complete
+        assert times["MVAPICH2-X SHMEM"] < times["GASNet"] < times["MPI-3.0"]
+
+
+def test_large_message_shmem_beats_gasnet():
+    """Fig 3: SHMEM sustains higher bandwidth than GASNet."""
+    size = 1 << 20
+    shmem = model().put(*INTER, size, MVAPICH2X_SHMEM, now=0.0).remote_complete
+    gasnet = model().put(*INTER, size, GASNET, now=0.0).remote_complete
+    assert shmem < gasnet
+
+
+def test_contention_on_shared_nic():
+    """16 back-to-back transfers through one NIC serialize."""
+    m = model()
+    one = m.put(*INTER, 65536, MVAPICH2X_SHMEM, now=0.0).remote_complete
+    m2 = model()
+    last = 0.0
+    for src in range(16):
+        last = m2.put(src, 16 + src, 65536, MVAPICH2X_SHMEM, now=0.0).remote_complete
+    assert last > 10 * one
+
+
+def test_get_blocking_roundtrip_exceeds_put():
+    m = model()
+    put = m.put(*INTER, 1024, MVAPICH2X_SHMEM, now=0.0).remote_complete
+    get = model().get(*INTER, 1024, MVAPICH2X_SHMEM, now=0.0)
+    assert get > put - 1e-9  # get pays the request leg too
+
+
+def test_amo_offload_vs_am_emulation():
+    """GASNet atomics (AM through target CPU) cost more than NIC AMOs."""
+    nic = model(TITAN).amo(*INTER, CRAY_SHMEM, now=0.0)
+    am = model(TITAN).amo(*INTER, GASNET, now=0.0)
+    assert am > nic
+
+
+def test_amo_serializes_on_target_unit():
+    m = model()
+    first = m.amo(0, 16, MVAPICH2X_SHMEM, now=0.0)
+    second = m.amo(1, 16, MVAPICH2X_SHMEM, now=0.0)
+    assert second > first
+
+
+def test_iput_native_only():
+    m = model()
+    with pytest.raises(ValueError):
+        m.iput(*INTER, 10, 4, MVAPICH2X_SHMEM, now=0.0)  # not native
+    t = model(TITAN).iput(*INTER, 10, 4, CRAY_SHMEM, now=0.0)
+    assert t.remote_complete > 0
+
+
+def test_iput_cheaper_than_per_element_puts():
+    nelems = 256
+    native = model(TITAN)
+    t_iput = native.iput(*INTER, nelems, 4, CRAY_SHMEM, now=0.0).remote_complete
+    looped = model(TITAN)
+    now = 0.0
+    for _ in range(nelems):
+        now = max(now, 0.0)
+        tt = looped.put(*INTER, 4, CRAY_SHMEM, now=now)
+        now = tt.local_complete
+    looped_done = tt.remote_complete
+    assert t_iput < looped_done / 3
+
+
+def test_iget_native_only():
+    with pytest.raises(ValueError):
+        model().iget(*INTER, 10, 4, GASNET, now=0.0)
+    done = model(TITAN).iget(*INTER, 10, 4, CRAY_SHMEM, now=0.0)
+    assert done > 0
+
+
+def test_am_request_charges_target_cpu():
+    m = model()
+    t = m.am_request(*INTER, 32, GASNET, now=0.0)
+    assert t.remote_complete > t.local_complete
+    rt = model().am_roundtrip(*INTER, 32, GASNET, now=0.0)
+    assert rt > t.remote_complete - 1e-9
+
+
+def test_barrier_cost_grows_logarithmically():
+    m = model(STAMPEDE, 512)
+    c2 = m.barrier_cost(2, MVAPICH2X_SHMEM)
+    c16 = m.barrier_cost(16, MVAPICH2X_SHMEM)
+    c512 = m.barrier_cost(512, MVAPICH2X_SHMEM)
+    assert c2 < c16 < c512
+    assert c16 == pytest.approx(4 * c2)
+    assert m.barrier_cost(1, MVAPICH2X_SHMEM) > 0
+
+
+def test_reduction_cost_grows_with_size_and_pes():
+    m = model(STAMPEDE, 64)
+    assert m.reduction_cost(16, 8, MVAPICH2X_SHMEM) < m.reduction_cost(
+        16, 8192, MVAPICH2X_SHMEM
+    )
+    assert m.reduction_cost(4, 64, MVAPICH2X_SHMEM) < m.reduction_cost(
+        64, 64, MVAPICH2X_SHMEM
+    )
+
+
+def test_negative_sizes_rejected():
+    m = model()
+    with pytest.raises(ValueError):
+        m.put(*INTER, -1, MVAPICH2X_SHMEM, now=0.0)
+    with pytest.raises(ValueError):
+        m.get(*INTER, -1, MVAPICH2X_SHMEM, now=0.0)
+    with pytest.raises(ValueError):
+        m.barrier_cost(0, MVAPICH2X_SHMEM)
+
+
+def test_reset_clears_timelines():
+    m = model()
+    m.put(*INTER, 1 << 20, MVAPICH2X_SHMEM, now=0.0)
+    assert any(t.busy_time > 0 for t in m.timelines()["tx"])
+    m.reset()
+    assert all(t.busy_time == 0 for group in m.timelines().values() for t in group)
+
+
+def test_conduit_registry():
+    assert set(CONDUITS) == {
+        "cray-shmem",
+        "mvapich2x-shmem",
+        "gasnet",
+        "mpi3",
+        "cray-mpich",
+        "dmapp-caf",
+    }
+    assert get_conduit("Cray SHMEM") is CRAY_SHMEM
+    with pytest.raises(KeyError):
+        get_conduit("ucx")
+
+
+def test_conduit_validation():
+    with pytest.raises(ValueError):
+        ConduitProfile(
+            name="bad",
+            o_put_us=0.1,
+            o_get_us=0.1,
+            o_amo_us=0.1,
+            o_barrier_us=0.1,
+            amo_offload=True,
+            iput_native=False,
+            iput_elem_gap_us=0.0,
+            eager_threshold=1024,
+            rendezvous_extra_us=0.0,
+            bw_efficiency=1.5,
+        )
+
+
+def test_key_profile_properties():
+    """The properties the paper's analysis hinges on."""
+    assert CRAY_SHMEM.iput_native
+    assert not MVAPICH2X_SHMEM.iput_native  # Sec V-B2: loops over putmem
+    assert not GASNET.iput_native
+    assert CRAY_SHMEM.amo_offload and MVAPICH2X_SHMEM.amo_offload
+    assert not GASNET.amo_offload  # atomics via AMs
+    assert MPI3.o_put_us > GASNET.o_put_us > MVAPICH2X_SHMEM.o_put_us

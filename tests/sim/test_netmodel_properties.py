@@ -1,0 +1,113 @@
+"""Property-based invariants of the cost engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.machines import MACHINES
+from repro.sim.netmodel import CONDUITS, NetworkModel
+from repro.sim.topology import Topology
+
+conduits = st.sampled_from(sorted(CONDUITS))
+machines = st.sampled_from(sorted(MACHINES))
+sizes = st.integers(0, 1 << 22)
+
+
+def fresh_model(machine: str, pes: int = 34) -> NetworkModel:
+    return NetworkModel(Topology(MACHINES[machine], pes))
+
+
+@settings(max_examples=60, deadline=None)
+@given(machine=machines, conduit=conduits, nbytes=sizes, now=st.floats(0, 1e6))
+def test_put_completions_are_causal(machine, conduit, nbytes, now):
+    """local <= remote, and both after the issue time."""
+    m = fresh_model(machine)
+    t = m.put(0, 16, nbytes, CONDUITS[conduit], now=now)
+    assert now < t.local_complete <= t.remote_complete
+
+
+@settings(max_examples=60, deadline=None)
+@given(machine=machines, conduit=conduits, now=st.floats(0, 1e3))
+def test_put_monotone_in_size(machine, conduit, now):
+    m = fresh_model(machine)
+    prev = 0.0
+    for nbytes in (0, 1, 64, 4096, 65536, 1 << 20):
+        t = fresh_model(machine).put(0, 16, nbytes, CONDUITS[conduit], now=now)
+        assert t.remote_complete >= prev - 1e-9
+        prev = t.remote_complete
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=machines, conduit=conduits, nbytes=st.integers(1, 1 << 20))
+def test_intra_node_never_slower_than_inter(machine, conduit, nbytes):
+    c = CONDUITS[conduit]
+    intra = fresh_model(machine).put(0, 1, nbytes, c, now=0.0).remote_complete
+    inter = fresh_model(machine).put(0, 16, nbytes, c, now=0.0).remote_complete
+    assert intra <= inter + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=machines, conduit=conduits, n_ops=st.integers(1, 20))
+def test_amo_unit_serializes_exactly(machine, conduit, n_ops):
+    """Back-to-back atomics at one target complete in strictly
+    increasing times (the amo/cpu unit is strictly serialized)."""
+    m = fresh_model(machine)
+    c = CONDUITS[conduit]
+    times = [m.amo(0, 16, c, now=0.0) for _ in range(n_ops)]
+    assert all(b > a for a, b in zip(times, times[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(machine=machines, conduit=conduits, nbytes=st.integers(0, 1 << 18))
+def test_get_costs_at_least_round_trip(machine, conduit, nbytes):
+    m = fresh_model(machine)
+    c = CONDUITS[conduit]
+    done = m.get(0, 16, nbytes, c, now=0.0)
+    lat = MACHINES[machine].link_latency_us
+    assert done >= 2 * lat  # request leg + data leg
+
+
+@settings(max_examples=30, deadline=None)
+@given(machine=machines, conduit=conduits, npes=st.integers(1, 1024))
+def test_barrier_cost_positive_and_monotone(machine, conduit, npes):
+    m = fresh_model(machine, pes=32)
+    c = CONDUITS[conduit]
+    cost = m.barrier_cost(npes, c)
+    assert cost > 0
+    assert m.barrier_cost(npes * 2, c) >= cost
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    machine=machines,
+    nelems=st.integers(1, 4096),
+    elem=st.sampled_from([1, 2, 4, 8]),
+    stride_mult=st.integers(1, 64),
+)
+def test_iput_monotone_in_stride(machine, nelems, elem, stride_mult):
+    """Wider strides never make a native strided transfer cheaper."""
+    from repro.sim.netmodel import CRAY_SHMEM
+
+    narrow = fresh_model(machine).iput(
+        0, 16, nelems, elem, CRAY_SHMEM, now=0.0, stride_bytes=elem
+    )
+    wide = fresh_model(machine).iput(
+        0, 16, nelems, elem, CRAY_SHMEM, now=0.0, stride_bytes=elem * stride_mult * 16
+    )
+    assert wide.remote_complete >= narrow.remote_complete - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(machine=machines, conduit=conduits, k=st.integers(1, 16))
+def test_tx_timeline_conserves_busy_time(machine, conduit, k):
+    """The injection engine's busy time equals the sum of reserved wire
+    durations — no work is lost or double-counted."""
+    m = fresh_model(machine)
+    c = CONDUITS[conduit]
+    nbytes = 8192
+    for _ in range(k):
+        m.put(0, 16, nbytes, c, now=0.0)
+    wire = nbytes / (MACHINES[machine].link_bandwidth_Bpus * c.bw_efficiency)
+    tx = m.timelines()["tx"][0]
+    assert tx.busy_time == pytest.approx(k * wire)
+    assert tx.reservations == k

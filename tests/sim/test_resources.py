@@ -1,0 +1,85 @@
+"""Timeline (serialized resource) semantics."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.resources import Timeline
+
+
+def test_first_reservation_starts_at_earliest():
+    t = Timeline()
+    start, end = t.reserve(5.0, 2.0)
+    assert (start, end) == (5.0, 7.0)
+
+
+def test_back_to_back_serializes():
+    t = Timeline()
+    t.reserve(0.0, 3.0)
+    start, end = t.reserve(1.0, 2.0)  # wants 1.0 but resource busy to 3.0
+    assert start == 3.0 and end == 5.0
+
+
+def test_gap_preserved_when_idle():
+    t = Timeline()
+    t.reserve(0.0, 1.0)
+    start, _ = t.reserve(10.0, 1.0)
+    assert start == 10.0
+
+
+def test_zero_duration_ok():
+    t = Timeline()
+    start, end = t.reserve(2.0, 0.0)
+    assert start == end == 2.0
+
+
+def test_rejects_negative():
+    t = Timeline()
+    with pytest.raises(ValueError):
+        t.reserve(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        t.reserve(0.0, -1.0)
+
+
+def test_accounting():
+    t = Timeline("x")
+    t.reserve(0.0, 2.0)
+    t.reserve(0.0, 3.0)
+    assert t.busy_time == 5.0
+    assert t.reservations == 2
+    t.reset()
+    assert t.busy_time == 0.0
+    assert t.next_free == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    reqs=st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 10)), min_size=1, max_size=40
+    )
+)
+def test_reservations_never_overlap(reqs):
+    t = Timeline()
+    intervals = [t.reserve(e, d) for e, d in reqs]
+    intervals.sort()
+    for (s0, e0), (s1, e1) in zip(intervals, intervals[1:]):
+        assert e0 <= s1 + 1e-9
+
+
+def test_thread_safety_total_busy():
+    t = Timeline()
+    n_threads, per_thread = 8, 200
+
+    def worker():
+        for _ in range(per_thread):
+            t.reserve(0.0, 1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert t.busy_time == pytest.approx(n_threads * per_thread)
+    assert t.next_free == pytest.approx(n_threads * per_thread)

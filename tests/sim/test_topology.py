@@ -1,0 +1,84 @@
+"""Machine descriptions and PE placement."""
+
+import pytest
+
+from repro.sim.machines import STAMPEDE
+from repro.sim.topology import Machine, Topology
+
+
+def test_blocked_placement():
+    topo = Topology(STAMPEDE, 40)
+    assert topo.num_nodes == 3
+    assert topo.node_of(0) == 0
+    assert topo.node_of(15) == 0
+    assert topo.node_of(16) == 1
+    assert topo.node_of(39) == 2
+
+
+def test_same_node():
+    topo = Topology(STAMPEDE, 32)
+    assert topo.same_node(0, 15)
+    assert not topo.same_node(15, 16)
+
+
+def test_pes_on_node():
+    topo = Topology(STAMPEDE, 20)
+    assert topo.pes_on_node(0) == list(range(16))
+    assert topo.pes_on_node(1) == [16, 17, 18, 19]
+    with pytest.raises(ValueError):
+        topo.pes_on_node(2)
+
+
+def test_node_of_bounds():
+    topo = Topology(STAMPEDE, 4)
+    with pytest.raises(ValueError):
+        topo.node_of(4)
+    with pytest.raises(ValueError):
+        topo.node_of(-1)
+
+
+def test_too_many_pes_rejected(test_machine):
+    with pytest.raises(ValueError):
+        Topology(test_machine, test_machine.nodes * test_machine.cores_per_node + 1)
+
+
+def test_zero_pes_rejected():
+    with pytest.raises(ValueError):
+        Topology(STAMPEDE, 0)
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        Machine(
+            name="bad",
+            nodes=0,
+            processor="p",
+            cores_per_node=16,
+            interconnect="i",
+            link_latency_us=1,
+            link_bandwidth_Bpus=1,
+            intra_latency_us=1,
+            intra_bandwidth_Bpus=1,
+            amo_process_us=1,
+            cpu_am_process_us=1,
+            am_attentiveness_us=1,
+        )
+    with pytest.raises(ValueError):
+        Machine(
+            name="bad",
+            nodes=1,
+            processor="p",
+            cores_per_node=16,
+            interconnect="i",
+            link_latency_us=-1,
+            link_bandwidth_Bpus=1,
+            intra_latency_us=1,
+            intra_bandwidth_Bpus=1,
+            amo_process_us=1,
+            cpu_am_process_us=1,
+            am_attentiveness_us=1,
+        )
+
+
+def test_total_cores():
+    assert STAMPEDE.total_cores == 6400 * 16

@@ -1,0 +1,77 @@
+"""Trace save/load round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import shmem, trace
+from repro.runtime.launcher import Job
+from repro.trace import serialize
+
+
+def _make_trace():
+    job = Job(3)
+    shmem.attach(job)
+    tracer = trace.attach(job)
+
+    def kernel():
+        me, n = shmem.my_pe(), shmem.num_pes()
+        x = shmem.shmalloc_array((32,), np.int64)
+        shmem.barrier_all()
+        shmem.put(x, np.zeros(32, dtype=np.int64), (me + 1) % n)
+        shmem.atomic_fadd(x, 1, pe=0)
+        shmem.barrier_all()
+
+    job.run(kernel)
+    return tracer
+
+
+def test_roundtrip(tmp_path):
+    tracer = _make_trace()
+    path = tmp_path / "trace.json"
+    serialize.save(tracer, path)
+    events = serialize.load(path)
+    assert len(events) == tracer.count()
+    originals = tracer.all_events()
+    assert events == originals
+
+
+def test_document_shape(tmp_path):
+    tracer = _make_trace()
+    doc = serialize.to_dict(tracer)
+    assert doc["format"] == serialize.FORMAT_VERSION
+    assert doc["num_pes"] == 3
+    assert doc["machine"] == "Stampede"
+    assert all(len(rec) == 6 for rec in doc["events"])
+    # the document is valid JSON end to end
+    assert json.loads(json.dumps(doc)) == doc
+
+
+def test_load_validates(tmp_path):
+    tracer = _make_trace()
+    doc = serialize.to_dict(tracer)
+
+    bad = dict(doc, format=99)
+    with pytest.raises(ValueError, match="format"):
+        serialize.events_from_dict(bad)
+
+    bad = dict(doc, events=[[7, "put", 0, 8, 0.0, 1.0]])
+    with pytest.raises(ValueError, match="outside"):
+        serialize.events_from_dict(bad)
+
+    bad = dict(doc, events=[[0, "warp", 0, 8, 0.0, 1.0]])
+    with pytest.raises(ValueError, match="unknown op"):
+        serialize.events_from_dict(bad)
+
+    bad = dict(doc, events=[[0, "put", 1, 8, 5.0, 1.0]])
+    with pytest.raises(ValueError, match="ends before"):
+        serialize.events_from_dict(bad)
+
+
+def test_loaded_events_are_ordered(tmp_path):
+    tracer = _make_trace()
+    path = tmp_path / "t.json"
+    serialize.save(tracer, path)
+    events = serialize.load(path)
+    assert all(a.t_start <= b.t_start for a, b in zip(events, events[1:]))

@@ -1,0 +1,114 @@
+"""Free-list allocator invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.allocator import FreeListAllocator, OutOfMemoryError
+
+
+def test_basic_alloc_free():
+    a = FreeListAllocator(1024)
+    off = a.malloc(100)
+    assert off % 16 == 0
+    assert a.size_of(off) == 112  # rounded to alignment
+    a.free(off)
+    assert a.bytes_allocated == 0
+    assert a.bytes_free == 1024
+
+
+def test_offsets_disjoint():
+    a = FreeListAllocator(4096)
+    offs = [a.malloc(64) for _ in range(16)]
+    spans = sorted((o, o + a.size_of(o)) for o in offs)
+    for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+        assert e0 <= s1
+
+
+def test_zero_size_allocations_are_distinct():
+    a = FreeListAllocator(256)
+    x = a.malloc(0)
+    y = a.malloc(0)
+    assert x != y
+
+
+def test_exhaustion_raises():
+    a = FreeListAllocator(128)
+    a.malloc(64)
+    a.malloc(48)
+    with pytest.raises(OutOfMemoryError):
+        a.malloc(64)
+
+
+def test_free_then_reuse():
+    a = FreeListAllocator(128)
+    off = a.malloc(128)
+    with pytest.raises(OutOfMemoryError):
+        a.malloc(16)
+    a.free(off)
+    assert a.malloc(128) == off
+
+
+def test_coalescing_recovers_full_block():
+    a = FreeListAllocator(4096)
+    offs = [a.malloc(256) for _ in range(16)]
+    # Free in an interleaved order to exercise both merge directions.
+    for o in offs[::2] + offs[1::2]:
+        a.free(o)
+    a.check_invariants()
+    assert a.malloc(4096) == 0  # fully coalesced
+
+
+def test_double_free_rejected():
+    a = FreeListAllocator(256)
+    off = a.malloc(16)
+    a.free(off)
+    with pytest.raises(ValueError):
+        a.free(off)
+
+
+def test_free_of_bogus_offset_rejected():
+    a = FreeListAllocator(256)
+    with pytest.raises(ValueError):
+        a.free(13)
+
+
+def test_bad_construction():
+    with pytest.raises(ValueError):
+        FreeListAllocator(0)
+    with pytest.raises(ValueError):
+        FreeListAllocator(100, alignment=3)
+    with pytest.raises(ValueError):
+        FreeListAllocator(7, alignment=16)  # smaller than one unit
+
+
+def test_negative_size_rejected():
+    a = FreeListAllocator(256)
+    with pytest.raises(ValueError):
+        a.malloc(-1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(0, 300)),
+            st.tuples(st.just("free"), st.integers(0, 40)),
+        ),
+        max_size=80,
+    )
+)
+def test_random_workload_invariants(ops):
+    """Any malloc/free interleaving preserves accounting invariants."""
+    a = FreeListAllocator(8192, alignment=8)
+    live: list[int] = []
+    for op, arg in ops:
+        if op == "malloc":
+            try:
+                live.append(a.malloc(arg))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            a.free(live.pop(arg % len(live)))
+        a.check_invariants()
+    assert a.bytes_allocated == sum(a.size_of(o) for o in live)

@@ -1,0 +1,87 @@
+"""Remote-pointer packing (paper Section IV-D's 20/36/8 layout)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitpack import (
+    FLAG_BITS,
+    IMAGE_BITS,
+    MAX_FLAGS,
+    MAX_IMAGE,
+    MAX_OFFSET,
+    NIL,
+    OFFSET_BITS,
+    RemotePointer,
+    pack_remote_pointer,
+    unpack_remote_pointer,
+)
+
+
+def test_layout_is_the_papers():
+    assert (IMAGE_BITS, OFFSET_BITS, FLAG_BITS) == (20, 36, 8)
+    assert MAX_IMAGE == 2**20 - 1
+    assert MAX_OFFSET == 2**36 - 1
+    assert MAX_FLAGS == 255
+
+
+def test_nil_is_zero_word():
+    assert NIL == 0
+    ptr = unpack_remote_pointer(NIL)
+    assert ptr.is_nil
+    assert ptr.image == 0 and ptr.offset == 0 and ptr.flags == 0
+
+
+def test_pack_known_value():
+    word = pack_remote_pointer(1, 0, 0)
+    assert word == 1 << 44  # image in the top 20 bits
+    assert pack_remote_pointer(0, 1, 0) == 1 << 8
+    assert pack_remote_pointer(0, 0, 1) == 1
+
+
+def test_fits_64_bits_at_extremes():
+    word = pack_remote_pointer(MAX_IMAGE, MAX_OFFSET, MAX_FLAGS)
+    assert word == 2**64 - 1
+
+
+@given(
+    image=st.integers(0, MAX_IMAGE),
+    offset=st.integers(0, MAX_OFFSET),
+    flags=st.integers(0, MAX_FLAGS),
+)
+def test_roundtrip(image, offset, flags):
+    word = pack_remote_pointer(image, offset, flags)
+    assert 0 <= word < 2**64
+    ptr = unpack_remote_pointer(word)
+    assert (ptr.image, ptr.offset, ptr.flags) == (image, offset, flags)
+    assert ptr.pack() == word
+
+
+@given(
+    a=st.tuples(st.integers(0, MAX_IMAGE), st.integers(0, MAX_OFFSET)),
+    b=st.tuples(st.integers(0, MAX_IMAGE), st.integers(0, MAX_OFFSET)),
+)
+def test_injective(a, b):
+    """Distinct (image, offset) pairs never collide — required for the
+    MCS tail compare-and-swap to identify qnodes."""
+    wa = pack_remote_pointer(a[0], a[1])
+    wb = pack_remote_pointer(b[0], b[1])
+    assert (wa == wb) == (a == b)
+
+
+@pytest.mark.parametrize(
+    "image,offset,flags",
+    [(-1, 0, 0), (MAX_IMAGE + 1, 0, 0), (0, -1, 0), (0, MAX_OFFSET + 1, 0), (0, 0, 256)],
+)
+def test_out_of_range_rejected(image, offset, flags):
+    with pytest.raises(ValueError):
+        pack_remote_pointer(image, offset, flags)
+    with pytest.raises(ValueError):
+        RemotePointer(image=image, offset=offset, flags=flags)
+
+
+def test_unpack_rejects_non_64bit():
+    with pytest.raises(ValueError):
+        unpack_remote_pointer(-1)
+    with pytest.raises(ValueError):
+        unpack_remote_pointer(1 << 64)

@@ -1,0 +1,58 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import geomean, percent_gain, speedup, summarize
+
+
+def test_summarize_basic():
+    s = summarize([1.0, 2.0, 3.0])
+    assert s.n == 3
+    assert s.mean == pytest.approx(2.0)
+    assert s.minimum == 1.0
+    assert s.maximum == 3.0
+    assert s.stddev == pytest.approx(math.sqrt(2 / 3))
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_geomean_known():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([3.0]) == pytest.approx(3.0)
+
+
+def test_geomean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geomean([1.0, 0.0])
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_speedup_and_gain():
+    assert speedup(10.0, 5.0) == pytest.approx(2.0)
+    assert percent_gain(10.0, 8.0) == pytest.approx(20.0)
+    with pytest.raises(ValueError):
+        speedup(0.0, 1.0)
+
+
+@given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=30))
+def test_geomean_between_min_and_max(values):
+    g = geomean(values)
+    assert min(values) * 0.999 <= g <= max(values) * 1.001
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+def test_summary_bounds(values):
+    s = summarize(values)
+    # allow a few ulps: float summation can round the mean marginally
+    # past an extremum when all values are nearly identical
+    tol = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+    assert s.minimum - tol <= s.mean <= s.maximum + tol
+    assert s.stddev >= 0

@@ -1,0 +1,72 @@
+"""Table / figure rendering."""
+
+import pytest
+
+from repro.util.tables import Series, Table, format_bytes, render_figure
+
+
+def test_format_bytes_powers():
+    assert format_bytes(8) == "8B"
+    assert format_bytes(1024) == "1KB"
+    assert format_bytes(4096) == "4KB"
+    assert format_bytes(1048576) == "1MB"
+    assert format_bytes(3 * 1024**3) == "3GB"
+
+
+def test_format_bytes_non_power():
+    assert format_bytes(1536) == "1.5KB"
+
+
+def test_table_renders_all_rows():
+    t = Table("Title", ["a", "b"])
+    t.add_row(1, "x")
+    t.add_row(22, "yy")
+    text = t.render()
+    assert "Title" in text
+    lines = text.splitlines()
+    assert len(lines) == 2 + 1 + 1 + 2  # title, rule, header, sep, rows
+    assert "22" in text and "yy" in text
+
+
+def test_table_rejects_wrong_arity():
+    t = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_series_accessors():
+    s = Series("lbl")
+    s.add(1, 2.0)
+    s.add(2, 3.0)
+    assert s.xs == [1, 2]
+    assert s.ys == [2.0, 3.0]
+
+
+def test_render_figure_aligns_series():
+    a = Series("A")
+    b = Series("B")
+    for x in (1, 2, 3):
+        a.add(x, float(x))
+        b.add(x, float(x * 10))
+    text = render_figure("Fig", "n", "y", [a, b])
+    assert "A" in text and "B" in text and "30" in text
+
+
+def test_render_figure_rejects_mismatched_x():
+    a = Series("A")
+    b = Series("B")
+    a.add(1, 1.0)
+    b.add(2, 1.0)
+    with pytest.raises(ValueError):
+        render_figure("Fig", "n", "y", [a, b])
+
+
+def test_float_formatting_compact():
+    t = Table("T", ["v"])
+    t.add_row(0.000123456)
+    t.add_row(123456.789)
+    t.add_row(1.5)
+    text = t.render()
+    assert "1.235e-04" in text
+    assert "1.235e+05" in text
+    assert "1.5" in text
