@@ -1,18 +1,21 @@
 """Command-line figure runner: ``python -m repro.bench [target ...]``.
 
-Targets: ``tables``, ``fig2`` ... ``fig10``, or ``all``.  Add
-``--full`` for the paper-scale sweeps (minutes of wall time) instead of
-the quick CI-sized ones.
+Targets: ``tables``, ``fig2`` ... ``fig10``, ``wallclock``, or ``all``.
+Add ``--full`` for the paper-scale sweeps (minutes of wall time)
+instead of the quick CI-sized ones.  Every target reports the host
+wall-clock seconds it took alongside its virtual-time results, so perf
+changes are measurable from one run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.bench import figures
 
-TARGETS = ("tables", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10")
+TARGETS = ("tables", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "wallclock")
 
 
 def _render(result) -> None:
@@ -64,10 +67,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     for target in targets:
         print(f"=== {target} " + "=" * (68 - len(target)))
+        t0 = time.perf_counter()
         if target == "tables":
             _render(figures.tables())
+        elif target == "wallclock":
+            from repro.bench import wallclock
+
+            results = wallclock.run_suite(quick=quick)
+            print(wallclock.render(results))
+            print(f"\nwrote {wallclock.write_json(results, 'BENCH_wallclock.json')}")
+            print()
         else:
             _render(getattr(figures, target)(quick=quick))
+        print(f"--- {target}: {time.perf_counter() - t0:.2f}s wall-clock")
     return 0
 
 

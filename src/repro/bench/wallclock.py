@@ -1,0 +1,273 @@
+"""Wall-clock benchmarks of the batched RMA engine.
+
+Every case runs the same workload twice — batching on (the default) and
+off (``REPRO_NO_BATCH=1``) — and reports host wall-clock seconds for
+each, the speedup, and whether the two runs produced identical virtual
+times and stats counters (they must: the fast path is required to be
+bit-identical in simulated time).
+
+Cases, per the paper's own motivating example (Section IV-C):
+
+* ``naive-50x40x25`` — the 3-D section ``A(1:100:2, 1:80:2, 1:100:4)``
+  under the ``naive`` strided policy: 50 x 40 x 25 = 50,000 logical RMA
+  calls for one assignment, the workload the batched path exists for.
+* ``2dim-sweep`` — the Figs 6/7 2-D strided put over several strides
+  with the ``2dim`` translation (few calls, each a strided line).
+* ``himeno-quick`` — a small Himeno run (halo-exchange cadence).
+
+``python -m repro.bench.wallclock`` writes ``BENCH_wallclock.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro import caf
+from repro.bench import microbench
+from repro.bench.harness import (
+    CafConfig,
+    UHCAF_CRAY_SHMEM_2DIM,
+    UHCAF_CRAY_SHMEM_NAIVE,
+    pair_partner,
+    pair_world_size,
+)
+from repro.bench.himeno import himeno_caf
+from repro.runtime.context import current
+
+
+@dataclass
+class WallclockCase:
+    """One workload, timed with batching on and off."""
+
+    name: str
+    description: str
+    batched_s: float
+    unbatched_s: float
+    speedup: float
+    virtual_identical: bool
+    stats_identical: bool
+
+
+def _timed(fn, *, no_batch: bool):
+    """Run ``fn`` with batching forced on/off; return (seconds, result)."""
+    saved = os.environ.pop("REPRO_NO_BATCH", None)
+    try:
+        if no_batch:
+            os.environ["REPRO_NO_BATCH"] = "1"
+        t0 = time.perf_counter()
+        result = fn()
+        return time.perf_counter() - t0, result
+    finally:
+        os.environ.pop("REPRO_NO_BATCH", None)
+        if saved is not None:
+            os.environ["REPRO_NO_BATCH"] = saved
+
+
+def _case(name, description, fn, *, virtual_eq, stats_eq) -> WallclockCase:
+    batched_s, batched = _timed(fn, no_batch=False)
+    unbatched_s, oracle = _timed(fn, no_batch=True)
+    return WallclockCase(
+        name=name,
+        description=description,
+        batched_s=round(batched_s, 4),
+        unbatched_s=round(unbatched_s, 4),
+        speedup=round(unbatched_s / batched_s, 2) if batched_s > 0 else float("inf"),
+        virtual_identical=virtual_eq(batched, oracle),
+        stats_identical=stats_eq(batched, oracle),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case 1: the Section IV-C naive 50x40x25 section assignment
+# ---------------------------------------------------------------------------
+
+
+def _section_put_fingerprints(
+    shape: tuple[int, ...],
+    key: tuple[slice, ...],
+    config: CafConfig,
+    machine: str = "stampede",
+    dtype=np.float32,
+    iters: int = 1,
+):
+    """One inter-node pair; image 1 assigns ``a[key]`` on its partner
+    ``iters`` times (as a figure sweep would).
+
+    Returns per-image ``(clock_now, stats, checksum)`` fingerprints.
+    """
+    num_pes = pair_world_size(1)
+    nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    heap = max(1 << 22, 2 * nbytes + (1 << 18))
+
+    def kernel():
+        ctx = current()
+        a = caf.coarray(shape, dtype)
+        a[...] = 0
+        caf.sync_all()
+        partner = pair_partner(ctx.pe, 1)
+        if partner is not None:
+            for _ in range(iters):
+                a.on(partner + 1)[key] = 7
+        caf.sync_all()
+        from repro.caf.runtime import current_runtime
+
+        stats = {
+            k: v
+            for k, v in current_runtime().my_stats.items()
+            if not k.startswith("plan_cache")
+        }
+        return ctx.clock.now, stats, float(a.local.sum())
+
+    return caf.launch(kernel, num_pes, machine, heap_bytes=heap, **config.launch_kwargs())
+
+
+def naive_section_case(quick: bool = False) -> WallclockCase:
+    """The paper's 50,000-call example (scaled down when ``quick``)."""
+    if quick:
+        shape, key, calls = (20, 16, 20), np.s_[0:20:2, 0:16:2, 0:20:4], 10 * 8 * 5
+        iters = 2
+    else:
+        shape, key, calls = (100, 80, 100), np.s_[0:100:2, 0:80:2, 0:100:4], 50 * 40 * 25
+        iters = 10
+    counts = "x".join(str(len(range(*s.indices(d)))) for s, d in zip(key, shape))
+    fn = lambda: _section_put_fingerprints(shape, key, UHCAF_CRAY_SHMEM_NAIVE, iters=iters)
+    return _case(
+        f"naive-{counts}",
+        f"3-D section {counts} under the naive policy: {calls} logical puts "
+        f"per assignment x {iters} assignments (paper Section IV-C)",
+        fn,
+        virtual_eq=lambda a, b: all(x[0] == y[0] for x, y in zip(a, b)),
+        stats_eq=lambda a, b: all(x[1] == y[1] and x[2] == y[2] for x, y in zip(a, b)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case 2: the Figs 6/7 2-D strided sweep under the 2dim translation
+# ---------------------------------------------------------------------------
+
+
+def strided_2dim_sweep_case(quick: bool = False) -> WallclockCase:
+    strides = (2, 16) if quick else (2, 16, 128)
+    rows, cols = (32, 128) if quick else (128, 1024)
+    iters = 2 if quick else 5
+
+    def fn():
+        return [
+            microbench.caf_strided_put_bandwidth(
+                "stampede", UHCAF_CRAY_SHMEM_2DIM, s, iters=iters, rows=rows, cols=cols
+            )
+            for s in strides
+        ]
+
+    return _case(
+        "2dim-sweep",
+        f"2-D strided puts (rows={rows}, cols={cols}) over strides {strides} "
+        "with the 2dim translation (Figs 6/7)",
+        fn,
+        virtual_eq=lambda a, b: a == b,  # bandwidths derive from virtual time
+        stats_eq=lambda a, b: True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case 3: a quick Himeno run
+# ---------------------------------------------------------------------------
+
+
+def himeno_case(quick: bool = False) -> WallclockCase:
+    grid = (17, 17, 17) if quick else (33, 33, 65)
+    iters = 2 if quick else 4
+
+    def fn():
+        return himeno_caf(
+            machine="stampede",
+            config=UHCAF_CRAY_SHMEM_2DIM,
+            num_images=4,
+            grid=grid,
+            iterations=iters,
+        )
+
+    return _case(
+        "himeno-quick",
+        f"Himeno {grid[0]}x{grid[1]}x{grid[2]}, 4 images, {iters} iterations "
+        "(halo-exchange cadence)",
+        fn,
+        virtual_eq=lambda a, b: a.elapsed_us == b.elapsed_us and a.gosa == b.gosa,
+        stats_eq=lambda a, b: a.mflops == b.mflops,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suite driver
+# ---------------------------------------------------------------------------
+
+CASES = {
+    "naive": naive_section_case,
+    "2dim": strided_2dim_sweep_case,
+    "himeno": himeno_case,
+}
+
+
+def run_suite(quick: bool = False, cases=None) -> list[WallclockCase]:
+    names = list(CASES) if cases is None else list(cases)
+    return [CASES[n](quick=quick) for n in names]
+
+
+def write_json(results: list[WallclockCase], path: str | Path) -> Path:
+    path = Path(path)
+    doc = {
+        "benchmark": "wallclock",
+        "generated_by": "python -m repro.bench.wallclock",
+        "cases": [asdict(c) for c in results],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return path
+
+
+def render(results: list[WallclockCase]) -> str:
+    lines = [
+        f"{'case':<18} {'batched (s)':>12} {'unbatched (s)':>14} {'speedup':>8}  invariant"
+    ]
+    for c in results:
+        ok = "yes" if (c.virtual_identical and c.stats_identical) else "NO"
+        lines.append(
+            f"{c.name:<18} {c.batched_s:>12.4f} {c.unbatched_s:>14.4f} "
+            f"{c.speedup:>7.2f}x  {ok}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.wallclock",
+        description="Wall-clock timings of the batched RMA engine vs REPRO_NO_BATCH=1.",
+    )
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument(
+        "--out", default="BENCH_wallclock.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--cases", nargs="*", choices=sorted(CASES), help="subset of cases to run"
+    )
+    args = parser.parse_args(argv)
+    results = run_suite(quick=args.quick, cases=args.cases)
+    print(render(results))
+    out = write_json(results, args.out)
+    print(f"\nwrote {out}")
+    bad = [c.name for c in results if not (c.virtual_identical and c.stats_identical)]
+    if bad:
+        print(f"ERROR: virtual-time invariance broken in: {bad}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

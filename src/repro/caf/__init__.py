@@ -142,6 +142,7 @@ def launch(
     managed_heap_bytes: int | None = None,
     lock_algorithm: str | None = None,
     use_shmem_ptr: bool = False,
+    plan_cache_size: int | None = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -153,6 +154,8 @@ def launch(
     ``strided`` (``naive``/``2dim``/``alldim``/``lastdim``/``matrix``/
     ``auto``), ``ordering`` (``caf`` inserts the Section IV-B quiets,
     ``relaxed`` does not), and ``lock_algorithm`` (``mcs``/``tas``).
+    ``plan_cache_size`` caps the runtime's LRU transfer-plan cache
+    (``None`` keeps the default of 128; ``0`` disables caching).
     Returns the per-image return values of ``fn``.
     """
     job_kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -167,6 +170,8 @@ def launch(
     }
     if managed_heap_bytes is not None:
         rt_kwargs["managed_heap_bytes"] = managed_heap_bytes
+    if plan_cache_size is not None:
+        rt_kwargs["plan_cache_size"] = plan_cache_size
     rt = attach(job, **rt_kwargs)
 
     def spmd_main(*a: Any, **kw: Any) -> Any:

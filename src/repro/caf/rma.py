@@ -6,25 +6,86 @@ become ``shmem_iput``/``shmem_iget``.  Payload marshalling keeps line
 chunks aligned with plan order by moving the base dimension last (plans
 enumerate lines in C order over the remaining dimensions).
 
+Execution normally goes through the layer's **batched fast path**
+(:meth:`~repro.comm.base.OneSidedLayer.execute_plan_put` /
+``execute_plan_get``): one aggregate network pricing, one scatter/gather
+through a precomputed index array, one tracer record.  Virtual
+timestamps and all stats are bit-identical to the per-call loop, which
+is kept both as the ``REPRO_NO_BATCH=1`` escape hatch (set the
+environment variable to force the sequential path) and as the oracle
+the invariance tests compare against.
+
 ``stats`` is a :class:`collections.Counter` the runtime passes in; it
-records the number of underlying calls — the quantity the paper's
-50 x 40 x 25 example counts — and is what the strided benchmarks and
-tests assert on.
+records the number of *logical* underlying calls — the quantity the
+paper's 50 x 40 x 25 example counts — and is what the strided
+benchmarks and tests assert on, batched or not.
 """
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 
 import numpy as np
 
 from repro.caf.strided import DimSel, TransferPlan
-from repro.comm.base import OneSidedLayer
+from repro.comm.base import BatchSpec, OneSidedLayer
 from repro.comm.heap import SymmetricArray
+
+
+def batching_enabled() -> bool:
+    """The batched fast path is on unless ``REPRO_NO_BATCH`` is set."""
+    return not os.environ.get("REPRO_NO_BATCH")
+
+
+def build_spec(plan: TransferPlan, itemsize: int) -> BatchSpec | None:
+    """Compile ``plan`` into a :class:`BatchSpec` (per-element byte
+    offsets relative to the array base, in plan order).
+
+    Returns ``None`` for empty plans; every non-empty plan qualifies
+    because planners emit uniform runs (one shared length) or uniform
+    lines (one shared count and stride).
+    """
+    if plan.lines:
+        count = plan.lines[0].count
+        stride = plan.lines[0].stride
+        offs = np.fromiter(
+            (ln.offset for ln in plan.lines), dtype=np.int64, count=len(plan.lines)
+        )
+        elems = (
+            offs[:, None] + np.arange(count, dtype=np.int64)[None, :] * stride
+        ).reshape(-1)
+        kind, ncalls, per_call = "lines", len(plan.lines), count
+    elif plan.runs:
+        length = plan.runs[0].length
+        offs = np.fromiter(
+            (r.offset for r in plan.runs), dtype=np.int64, count=len(plan.runs)
+        )
+        elems = (offs[:, None] + np.arange(length, dtype=np.int64)[None, :]).reshape(-1)
+        kind, ncalls, per_call, stride = "runs", len(plan.runs), length, 1
+    else:
+        return None
+    return BatchSpec(
+        kind=kind,
+        ncalls=ncalls,
+        nelems_per_call=per_call,
+        stride=stride,
+        rel_index=elems * itemsize,
+        min_elem=int(elems.min()),
+        max_elem=int(elems.max()),
+    )
 
 
 def _sel_shape(sels: list[DimSel]) -> tuple[int, ...]:
     return tuple(s.count for s in sels)
+
+
+def _count_put_stats(plan: TransferPlan, nelems: int, stats: Counter) -> None:
+    if plan.lines:
+        stats["iput_calls"] += len(plan.lines)
+    else:
+        stats["putmem_calls"] += len(plan.runs)
+    stats["put_elems"] += nelems
 
 
 def execute_put(
@@ -35,14 +96,29 @@ def execute_put(
     sels: list[DimSel],
     data: np.ndarray,
     stats: Counter,
+    spec: BatchSpec | None = None,
 ) -> None:
-    """Write ``data`` (shaped like the selection) to ``pe`` under ``plan``."""
+    """Write ``data`` (shaped like the selection) to ``pe`` under ``plan``.
+
+    ``spec`` is the plan's compiled :class:`BatchSpec` (pass a cached
+    one to skip recompiling); built on the fly when omitted.
+    """
     shape = _sel_shape(sels)
     payload = np.ascontiguousarray(np.broadcast_to(data, shape), dtype=handle.dtype)
     if plan.lines:
         moved = np.moveaxis(payload, plan.base_dim, -1)
         flat = np.ascontiguousarray(moved).reshape(-1)
-        pos = 0
+    else:
+        flat = payload.reshape(-1)
+    if batching_enabled():
+        if spec is None:
+            spec = build_spec(plan, handle.itemsize)
+        if spec is not None:
+            layer.execute_plan_put(handle, flat, pe, spec)
+        _count_put_stats(plan, int(payload.size), stats)
+        return
+    pos = 0
+    if plan.lines:
         for line in plan.lines:
             layer.iput(
                 handle,
@@ -54,15 +130,11 @@ def execute_put(
                 offset=line.offset,
             )
             pos += line.count
-        stats["iput_calls"] += len(plan.lines)
     else:
-        flat = payload.reshape(-1)
-        pos = 0
         for run in plan.runs:
             layer.put(handle, flat[pos : pos + run.length], pe, offset=run.offset)
             pos += run.length
-        stats["putmem_calls"] += len(plan.runs)
-    stats["put_elems"] += int(payload.size)
+    _count_put_stats(plan, int(payload.size), stats)
 
 
 def execute_get(
@@ -72,30 +144,40 @@ def execute_get(
     plan: TransferPlan,
     sels: list[DimSel],
     stats: Counter,
+    spec: BatchSpec | None = None,
 ) -> np.ndarray:
     """Read the selection from ``pe`` under ``plan``; returns an array
     shaped like the (unsqueezed) selection."""
     shape = _sel_shape(sels)
+    use_batch = batching_enabled()
+    if use_batch and spec is None:
+        spec = build_spec(plan, handle.itemsize)
     if plan.lines:
         base = plan.base_dim
         moved_shape = tuple(c for d, c in enumerate(shape) if d != base) + (shape[base],)
-        gathered = np.empty(moved_shape, dtype=handle.dtype)
-        flat = gathered.reshape(-1)
-        pos = 0
-        for line in plan.lines:
-            flat[pos : pos + line.count] = layer.iget(
-                handle, tst=1, sst=line.stride, nelems=line.count, pe=pe, offset=line.offset
-            )
-            pos += line.count
+        if use_batch and spec is not None:
+            gathered = layer.execute_plan_get(handle, pe, spec).reshape(moved_shape)
+        else:
+            gathered = np.empty(moved_shape, dtype=handle.dtype)
+            flat = gathered.reshape(-1)
+            pos = 0
+            for line in plan.lines:
+                flat[pos : pos + line.count] = layer.iget(
+                    handle, tst=1, sst=line.stride, nelems=line.count, pe=pe, offset=line.offset
+                )
+                pos += line.count
         stats["iget_calls"] += len(plan.lines)
         result = np.ascontiguousarray(np.moveaxis(gathered, -1, base))
     else:
-        result = np.empty(shape, dtype=handle.dtype)
-        flat = result.reshape(-1)
-        pos = 0
-        for run in plan.runs:
-            flat[pos : pos + run.length] = layer.get(handle, run.length, pe, offset=run.offset)
-            pos += run.length
+        if use_batch and spec is not None:
+            result = layer.execute_plan_get(handle, pe, spec).reshape(shape)
+        else:
+            result = np.empty(shape, dtype=handle.dtype)
+            flat = result.reshape(-1)
+            pos = 0
+            for run in plan.runs:
+                flat[pos : pos + run.length] = layer.get(handle, run.length, pe, offset=run.offset)
+                pos += run.length
         stats["getmem_calls"] += len(plan.runs)
     stats["get_elems"] += int(result.size)
     return result

@@ -25,7 +25,8 @@ the backend boundary.
 
 from __future__ import annotations
 
-from collections import Counter
+import threading
+from collections import Counter, OrderedDict
 from typing import Any
 
 import numpy as np
@@ -50,6 +51,35 @@ CRITICAL_SLOTS = 64
 
 ORDERINGS = ("caf", "relaxed")
 
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+
+def _canonical_key(key) -> tuple | None:
+    """A hashable, canonical form of a subscript, or ``None`` if the
+    subscript contains anything uncacheable (slices are not hashable on
+    older Pythons, so they are re-encoded as tuples)."""
+    if not isinstance(key, tuple):
+        key = (key,)
+    out = []
+    for k in key:
+        if isinstance(k, (int, np.integer)):
+            out.append(int(k))
+        elif isinstance(k, slice):
+            parts = []
+            for p in (k.start, k.stop, k.step):
+                if p is None:
+                    parts.append(None)
+                elif isinstance(p, (int, np.integer)):
+                    parts.append(int(p))
+                else:
+                    return None
+            out.append(("s", *parts))
+        elif k is Ellipsis:
+            out.append("...")
+        else:
+            return None
+    return tuple(out)
+
 
 class CafError(RuntimeError):
     """Errors in CAF semantics (bad image index, misuse of locks, ...)."""
@@ -69,6 +99,7 @@ class CafRuntime:
         managed_heap_bytes: int | None = None,
         lock_algorithm: str | None = None,
         use_shmem_ptr: bool = False,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
         if ordering not in ORDERINGS:
             raise ValueError(f"ordering must be one of {ORDERINGS}")
@@ -116,6 +147,16 @@ class CafRuntime:
         # Call-count instrumentation, kept per image (threads must not
         # share a Counter: += is a racy read-modify-write).
         self._stats = [Counter() for _ in range(job.num_pes)]
+        # LRU cache of (sels, result_shape, plan, batch spec) per
+        # section signature.  Specs hold *relative* byte offsets, so an
+        # entry stays valid for any array of matching shape/dtype —
+        # including a reallocation at a different base offset.  Shared
+        # across images (one lock; entries are immutable once inserted).
+        if plan_cache_size < 0:
+            raise ValueError("plan_cache_size must be >= 0")
+        self._plan_cache_size = plan_cache_size
+        self._plan_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._plan_cache_lock = threading.Lock()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -319,6 +360,59 @@ class CafRuntime:
             + nbytes / m.intra_bandwidth_Bpus
         )
 
+    def _plan_for(self, handle: SymmetricArray, shape: tuple[int, ...], key, algorithm):
+        """Plan (and compile) a section access, via the LRU plan cache.
+
+        Returns ``(sels, result_shape, plan, spec)``.  Only default-
+        policy accesses are cached: an explicit per-call ``algorithm``
+        override bypasses the cache entirely.  Keys include the dtype
+        itemsize and the conduit's ``iput_native`` flag because both
+        change the compiled spec (and, for ``auto``/``model``, the plan).
+        """
+        itemsize = handle.itemsize
+        native = self.layer.profile.iput_native
+        cache_key = None
+        if algorithm is None and self._plan_cache_size > 0:
+            ck = _canonical_key(key)
+            if ck is not None:
+                cache_key = (shape, ck, self.strided_policy, itemsize, native)
+                with self._plan_cache_lock:
+                    entry = self._plan_cache.get(cache_key)
+                    if entry is not None:
+                        self._plan_cache.move_to_end(cache_key)
+                self.my_stats["plan_cache_hits" if entry is not None else "plan_cache_misses"] += 1
+                if entry is not None:
+                    return entry
+        sels, rshape = normalize_selection(shape, key)
+        algo = algorithm or self.strided_policy
+        plan = make_plan(
+            sels,
+            shape,
+            algo,
+            iput_native=native,
+            model_params=self._model_params(handle) if algo == "model" else None,
+        )
+        entry = (sels, rshape, plan, rma.build_spec(plan, itemsize))
+        if cache_key is not None:
+            with self._plan_cache_lock:
+                self._plan_cache[cache_key] = entry
+                self._plan_cache.move_to_end(cache_key)
+                while len(self._plan_cache) > self._plan_cache_size:
+                    self._plan_cache.popitem(last=False)
+        return entry
+
+    def plan_cache_info(self) -> dict:
+        """Cache occupancy plus merged hit/miss counters (for tests)."""
+        with self._plan_cache_lock:
+            entries = len(self._plan_cache)
+        merged = self.stats
+        return {
+            "entries": entries,
+            "capacity": self._plan_cache_size,
+            "hits": merged["plan_cache_hits"],
+            "misses": merged["plan_cache_misses"],
+        }
+
     def put_section(
         self,
         handle: SymmetricArray,
@@ -332,9 +426,9 @@ class CafRuntime:
         """``coarray(section)[image] = value``."""
         self._check_started()
         pe = self.image_to_pe(image)
-        sels, rshape = normalize_selection(shape, key)
         view = self._ptr_view(handle, pe)
         if view is not None:
+            sels, rshape = normalize_selection(shape, key)
             # Intra-node direct store: one memcpy, no NIC, immediately
             # remotely complete (so no quiet needed).  Stores through
             # the pointer do not wake wait_until sleepers — same caveat
@@ -346,14 +440,7 @@ class CafRuntime:
             ctx.clock.advance(self._ptr_cost(int(np.prod(rshape, dtype=np.int64)) * handle.itemsize if rshape else handle.itemsize))
             self.my_stats["ptr_put_calls"] += 1
             return
-        algo = algorithm or self.strided_policy
-        plan = make_plan(
-            sels,
-            shape,
-            algo,
-            iput_native=self.layer.profile.iput_native,
-            model_params=self._model_params(handle) if algo == "model" else None,
-        )
+        sels, rshape, plan, spec = self._plan_for(handle, shape, key, algorithm)
         data = np.asarray(value, dtype=handle.dtype)
         if data.shape not in (rshape, tuple(s.count for s in sels)):
             try:
@@ -363,7 +450,7 @@ class CafRuntime:
                     f"cannot broadcast value of shape {data.shape} to section {rshape}"
                 ) from None
         data = data.reshape(tuple(s.count for s in sels))
-        rma.execute_put(self.layer, handle, pe, plan, sels, data, self.my_stats)
+        rma.execute_put(self.layer, handle, pe, plan, sels, data, self.my_stats, spec=spec)
         if self.ordering == "caf":
             # Paper Section IV-B: quiet after each put restores CAF's
             # ordered-RMA guarantee on OpenSHMEM's weaker model.
@@ -381,27 +468,20 @@ class CafRuntime:
         """``value = coarray(section)[image]``."""
         self._check_started()
         pe = self.image_to_pe(image)
-        sels, rshape = normalize_selection(shape, key)
         view = self._ptr_view(handle, pe)
         if view is not None:
+            sels, rshape = normalize_selection(shape, key)
             result = np.array(view.reshape(shape)[key], copy=True)
             ctx = current()
             ctx.clock.advance(self._ptr_cost(result.size * handle.itemsize))
             self.my_stats["ptr_get_calls"] += 1
             return result[()] if rshape == () else result.reshape(rshape)
-        algo = algorithm or self.strided_policy
-        plan = make_plan(
-            sels,
-            shape,
-            algo,
-            iput_native=self.layer.profile.iput_native,
-            model_params=self._model_params(handle) if algo == "model" else None,
-        )
+        sels, rshape, plan, spec = self._plan_for(handle, shape, key, algorithm)
         if self.ordering == "caf":
             # Paper Section IV-B: quiet before each get so a prior put to
             # the same location is remotely complete first.
             self.layer.quiet()
-        result = rma.execute_get(self.layer, handle, pe, plan, sels, self.my_stats)
+        result = rma.execute_get(self.layer, handle, pe, plan, sels, self.my_stats, spec=spec)
         result = result.reshape(rshape)
         if rshape == ():
             return result[()]

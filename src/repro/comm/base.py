@@ -22,6 +22,8 @@ observable through :meth:`quiet` (or a barrier, which includes one).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.comm.heap import SymmetricArray
@@ -29,6 +31,35 @@ from repro.runtime.context import current
 from repro.runtime.launcher import Job
 from repro.comm.constants import comparator
 from repro.sim.netmodel import ConduitProfile, get_conduit
+
+
+@dataclass(frozen=True, eq=False)
+class BatchSpec:
+    """A batch of identical RMA calls, in layer-level terms.
+
+    Produced by :mod:`repro.caf.rma` from a transfer plan (every plan's
+    runs share one length and its lines one count and stride, so a whole
+    plan is one spec).  ``rel_index`` holds the byte offset of every
+    transferred element *relative to the array base*, in plan order —
+    relative so a cached spec stays valid across deallocate/reallocate
+    cycles that move the array.
+    """
+
+    kind: str  # "runs" (contiguous) | "lines" (1-D strided)
+    ncalls: int  # logical library calls (len(runs) or len(lines))
+    nelems_per_call: int  # run length, or line element count
+    stride: int  # element stride within a line (1 for runs)
+    rel_index: np.ndarray  # int64 per-element byte offsets, plan order
+    min_elem: int  # smallest touched element index (span check)
+    max_elem: int  # largest touched element index (span check)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("runs", "lines"):
+            raise ValueError(f"unknown batch kind {self.kind!r}")
+
+    @property
+    def total_elems(self) -> int:
+        return self.ncalls * self.nelems_per_call
 
 
 class OneSidedLayer:
@@ -112,11 +143,13 @@ class OneSidedLayer:
         self._check_pe(pe)
         data = self._coerce(dest, value)
         dest.check_span(offset, data.size)
+        if data.size == 0:
+            return  # nothing moves: no pricing, no lock, no clock advance
         ctx = current()
         t_start = ctx.clock.now
         timing = self.job.network.put(ctx.pe, pe, data.nbytes, self.profile, t_start)
         self.job.memories[pe].write(
-            dest.element_offset(offset) if data.size else dest.byte_offset,
+            dest.element_offset(offset),
             data,
             timestamp=timing.remote_complete,
         )
@@ -130,13 +163,13 @@ class OneSidedLayer:
         """Blocking contiguous get; returns the fetched elements."""
         self._check_pe(pe)
         src.check_span(offset, nelems)
+        if nelems == 0:
+            return np.empty(0, dtype=src.dtype)
         ctx = current()
         nbytes = nelems * src.itemsize
         t_start = ctx.clock.now
         done = self.job.network.get(ctx.pe, pe, nbytes, self.profile, t_start)
-        raw = self.job.memories[pe].read(
-            src.element_offset(offset) if nelems else src.byte_offset, nbytes
-        )
+        raw = self.job.memories[pe].read(src.element_offset(offset), nbytes)
         ctx.clock.merge(done)
         if self.job.tracer is not None:
             self.job.tracer.record(ctx.pe, "get", pe, nbytes, t_start, ctx.clock.now)
@@ -247,6 +280,123 @@ class OneSidedLayer:
         for i in range(nelems):
             out[i] = self.get(src, 1, pe, offset + i * sst)[0]
         return out
+
+    # ------------------------------------------------------------------
+    # Batched plan execution
+    # ------------------------------------------------------------------
+    def _price_plan_put(self, spec: BatchSpec, itemsize: int, pe: int, now: float):
+        """Aggregate pricing for a put batch; returns (timing, op, calls).
+
+        The network batch methods replay the exact per-call float
+        arithmetic, so timing is bit-identical to the sequential loop.
+        Non-native line plans degenerate to one put per *element*, just
+        like :meth:`iput` does.
+        """
+        ctx_pe = current().pe
+        if spec.kind == "lines" and self.profile.iput_native:
+            timing = self.job.network.iput_batch(
+                ctx_pe,
+                pe,
+                spec.nelems_per_call,
+                itemsize,
+                spec.ncalls,
+                self.profile,
+                now,
+                stride_bytes=spec.stride * itemsize,
+            )
+            return timing, "iput", spec.ncalls
+        if spec.kind == "lines":
+            timing = self.job.network.put_batch(
+                ctx_pe, pe, itemsize, spec.total_elems, self.profile, now
+            )
+            return timing, "put", spec.total_elems
+        timing = self.job.network.put_batch(
+            ctx_pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, now
+        )
+        return timing, "put", spec.ncalls
+
+    def execute_plan_put(
+        self, dest: SymmetricArray, value, pe: int, spec: BatchSpec
+    ) -> None:
+        """Execute a whole transfer plan's puts in one batched step.
+
+        Equivalent to issuing ``spec.ncalls`` :meth:`put`/:meth:`iput`
+        calls in plan order — same final clock, same pending-completion
+        state, same target bytes, same timeline counters — but with one
+        aggregate network pricing, one target-lock acquisition, and one
+        tracer record carrying the logical call count.
+        """
+        self._check_pe(pe)
+        data = self._coerce(dest, value, spec.total_elems)
+        dest.check_span(spec.min_elem, 1)
+        dest.check_span(spec.max_elem, 1)
+        if data.size == 0:
+            return
+        ctx = current()
+        t_start = ctx.clock.now
+        itemsize = dest.itemsize
+        timing, op, calls = self._price_plan_put(spec, itemsize, pe, t_start)
+        self.job.memories[pe].write_at(
+            spec.rel_index + dest.byte_offset,
+            itemsize,
+            data,
+            timestamp=timing.remote_complete,
+            aligned=dest.byte_offset % itemsize == 0,
+        )
+        ctx.clock.merge(timing.local_complete)
+        if timing.remote_complete > self._pending[ctx.pe]:
+            self._pending[ctx.pe] = timing.remote_complete
+        if self.job.tracer is not None:
+            self.job.tracer.record(
+                ctx.pe, op, pe, data.nbytes, t_start, ctx.clock.now, calls=calls
+            )
+
+    def execute_plan_get(
+        self, src: SymmetricArray, pe: int, spec: BatchSpec
+    ) -> np.ndarray:
+        """Batched counterpart of a whole plan's gets; returns the
+        gathered elements as a flat array in plan order."""
+        self._check_pe(pe)
+        src.check_span(spec.min_elem, 1)
+        src.check_span(spec.max_elem, 1)
+        if spec.total_elems == 0:
+            return np.empty(0, dtype=src.dtype)
+        ctx = current()
+        t_start = ctx.clock.now
+        itemsize = src.itemsize
+        if spec.kind == "lines" and self.profile.iput_native:
+            done = self.job.network.iget_batch(
+                ctx.pe,
+                pe,
+                spec.nelems_per_call,
+                itemsize,
+                spec.ncalls,
+                self.profile,
+                t_start,
+                stride_bytes=spec.stride * itemsize,
+            )
+            op, calls = "iget", spec.ncalls
+        elif spec.kind == "lines":
+            done = self.job.network.get_batch(
+                ctx.pe, pe, itemsize, spec.total_elems, self.profile, t_start
+            )
+            op, calls = "get", spec.total_elems
+        else:
+            done = self.job.network.get_batch(
+                ctx.pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, t_start
+            )
+            op, calls = "get", spec.ncalls
+        raw = self.job.memories[pe].read_at(
+            spec.rel_index + src.byte_offset,
+            itemsize,
+            aligned=src.byte_offset % itemsize == 0,
+        )
+        ctx.clock.merge(done)
+        if self.job.tracer is not None:
+            self.job.tracer.record(
+                ctx.pe, op, pe, raw.size, t_start, ctx.clock.now, calls=calls
+            )
+        return raw.view(src.dtype)
 
     # ------------------------------------------------------------------
     # Ordering / completion

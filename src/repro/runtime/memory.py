@@ -45,6 +45,22 @@ class PEMemory:
                 f"access [{offset}, {offset + length}) outside heap of {self.nbytes} bytes"
             )
 
+    def _check_strided(
+        self,
+        offset: int,
+        stride_bytes: int,
+        elem_size: int,
+        nelems: int,
+        kind: str = "write",
+    ) -> None:
+        """Bounds check for a strided access, computed arithmetically —
+        no index array is materialized just to take its min/max."""
+        last = offset + (nelems - 1) * stride_bytes
+        lo = offset if offset <= last else last
+        hi = (offset if offset >= last else last) + elem_size
+        if lo < 0 or hi > self.nbytes:
+            raise IndexError(f"strided {kind} escapes the heap")
+
     # ------------------------------------------------------------------
     def write(self, offset: int, data: np.ndarray | bytes, timestamp: float) -> None:
         """Deposit ``data`` at ``offset`` and wake any waiters.
@@ -82,11 +98,18 @@ class PEMemory:
         nelems = raw.size // elem_size
         if nelems == 0:
             return
-        idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
-        if idx.min() < 0 or idx.max() >= self.nbytes:
-            raise IndexError("strided write escapes the heap")
+        self._check_strided(offset, stride_bytes, elem_size, nelems)
         with self._cond:
-            self._buf[idx.ravel()] = raw
+            if stride_bytes >= elem_size:
+                dst = np.lib.stride_tricks.as_strided(
+                    self._buf[offset:],
+                    shape=(nelems, elem_size),
+                    strides=(stride_bytes, 1),
+                )
+                dst[:, :] = raw.reshape(nelems, elem_size)
+            else:
+                idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
+                self._buf[idx.ravel()] = raw
             if timestamp > self._last_write_time:
                 self._last_write_time = timestamp
             self._cond.notify_all()
@@ -100,11 +123,101 @@ class PEMemory:
             raise ValueError("nelems must be >= 0 and elem_size > 0")
         if nelems == 0:
             return np.empty(0, dtype=np.uint8)
-        idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
-        if idx.min() < 0 or idx.max() >= self.nbytes:
-            raise IndexError("strided read escapes the heap")
+        self._check_strided(offset, stride_bytes, elem_size, nelems, kind="read")
         with self._cond:
+            if stride_bytes >= elem_size:
+                src = np.lib.stride_tricks.as_strided(
+                    self._buf[offset:],
+                    shape=(nelems, elem_size),
+                    strides=(stride_bytes, 1),
+                )
+                return np.ascontiguousarray(src).reshape(-1)
+            idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
             return self._buf[idx.ravel()].copy()
+
+    _VIEW_DTYPES = {2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+    def _scatter_index(self, offsets: np.ndarray, elem_size: int) -> np.ndarray:
+        """Byte-expand element offsets for the unaligned fallback."""
+        return (offsets[:, None] + np.arange(elem_size)[None, :]).ravel()
+
+    def _check_at(self, offsets: np.ndarray, elem_size: int) -> None:
+        lo = int(offsets.min())
+        hi = int(offsets.max()) + elem_size
+        if lo < 0 or hi > self.nbytes:
+            raise IndexError(
+                f"batched access [{lo}, {hi}) outside heap of {self.nbytes} bytes"
+            )
+
+    def write_at(
+        self,
+        offsets: np.ndarray,
+        elem_size: int,
+        data: np.ndarray | bytes,
+        timestamp: float,
+        *,
+        aligned: bool | None = None,
+    ) -> None:
+        """Scatter one ``elem_size``-byte element per entry of ``offsets``
+        (absolute byte offsets) under a **single** lock acquisition and
+        one ``notify_all`` — the functional half of a whole batched
+        transfer plan.
+
+        ``aligned`` may assert that every offset is a multiple of
+        ``elem_size`` (callers with cached index arrays know this);
+        ``None`` means check here.
+        """
+        raw = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        )
+        if elem_size <= 0 or raw.size != offsets.shape[0] * elem_size:
+            raise ValueError("data length must equal len(offsets) * elem_size")
+        if offsets.shape[0] == 0:
+            return
+        self._check_at(offsets, elem_size)
+        if aligned is None:
+            aligned = elem_size in self._VIEW_DTYPES and not (offsets % elem_size).any()
+        with self._cond:
+            if elem_size == 1:
+                self._buf[offsets] = raw
+            elif aligned and elem_size in self._VIEW_DTYPES:
+                dt = self._VIEW_DTYPES[elem_size]
+                usable = self.nbytes - self.nbytes % elem_size
+                self._buf[:usable].view(dt)[offsets // elem_size] = raw.view(dt)
+            else:
+                self._buf[self._scatter_index(offsets, elem_size)] = raw
+            if timestamp > self._last_write_time:
+                self._last_write_time = timestamp
+            self._cond.notify_all()
+
+    def read_at(
+        self,
+        offsets: np.ndarray,
+        elem_size: int,
+        *,
+        aligned: bool | None = None,
+    ) -> np.ndarray:
+        """Gather one element per entry of ``offsets`` into a contiguous
+        ``uint8`` copy (element order preserved), under one lock."""
+        if elem_size <= 0:
+            raise ValueError("elem_size must be positive")
+        if offsets.shape[0] == 0:
+            return np.empty(0, dtype=np.uint8)
+        self._check_at(offsets, elem_size)
+        if aligned is None:
+            aligned = elem_size in self._VIEW_DTYPES and not (offsets % elem_size).any()
+        with self._cond:
+            # Fancy indexing already yields a fresh contiguous copy.
+            if elem_size == 1:
+                return self._buf[offsets]
+            if aligned and elem_size in self._VIEW_DTYPES:
+                dt = self._VIEW_DTYPES[elem_size]
+                usable = self.nbytes - self.nbytes % elem_size
+                out = self._buf[:usable].view(dt)[offsets // elem_size]
+                return out.view(np.uint8).reshape(-1)
+            return self._buf[self._scatter_index(offsets, elem_size)]
 
     def read(self, offset: int, nbytes: int) -> np.ndarray:
         """Copy ``nbytes`` starting at ``offset`` out of the heap."""

@@ -47,8 +47,26 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sim.resources import Timeline
 from repro.sim.topology import Topology
+
+
+def _alternating_chain(start: float, deltas: tuple[float, ...], reps: int) -> np.ndarray:
+    """``cumsum([start, *deltas, *deltas, ...])`` with ``reps`` repetitions.
+
+    ``np.cumsum`` accumulates strictly left to right, so the result is
+    bit-for-bit the value chain a scalar loop applying ``deltas`` in
+    order ``reps`` times would produce — the backbone of every batch
+    pricing method below.
+    """
+    k = len(deltas)
+    seq = np.empty(1 + k * reps, dtype=np.float64)
+    seq[0] = start
+    if reps:
+        seq[1:] = np.tile(np.asarray(deltas, dtype=np.float64), reps)
+    return np.cumsum(seq)
 
 
 @dataclass(frozen=True, slots=True)
@@ -369,6 +387,244 @@ class NetworkModel:
         tx_start, _ = self._tx[dst_node].reserve(request_arrival, duration)
         _, rx_end = self._rx[src_node].reserve(tx_start + m.link_latency_us, duration)
         return rx_end
+
+    # -- batched one-sided data movement -------------------------------
+    #
+    # Each *_batch method prices ``count`` identical back-to-back calls
+    # issued by one initiator whose clock merges each call's local
+    # completion before the next call (exactly what OneSidedLayer does),
+    # returning the timing of the *final* call.  Within such a chain the
+    # intermediate local/remote times increase monotonically, so callers
+    # that only need the final clock value, the final pending-remote
+    # time, and a single max-stamped memory update lose nothing.  All
+    # arithmetic replays the scalar path's additions in the same order
+    # (cumsum chains + the timelines' batch primitives), making every
+    # returned time and every timeline counter bit-identical to ``count``
+    # sequential calls.  The whole chain is priced atomically; under
+    # multi-initiator contention the scalar path could interleave with
+    # other PEs' reservations, but that interleaving is scheduler-
+    # dependent (nondeterministic) either way.
+
+    def put_batch(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        count: int,
+        conduit: ConduitProfile,
+        now: float,
+    ) -> TransferTiming:
+        """Price ``count`` identical contiguous puts; final call's timing."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:
+            return self.put(src, dst, nbytes, conduit, now)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            # done_k = ((now_k + 0.5*o) + lat) + nbytes/bw; now_{k+1} = done_k
+            full = _alternating_chain(
+                now,
+                (
+                    0.5 * conduit.o_put_us,
+                    m.intra_latency_us,
+                    nbytes / m.intra_bandwidth_Bpus,
+                ),
+                count,
+            )
+            done = float(full[-1])
+            return TransferTiming(local_complete=done, remote_complete=done)
+        wire = self._wire_time(nbytes, conduit)
+        if nbytes <= conduit.eager_threshold:
+            # Eager: local_k = ready_k = now_k + o, so the ready chain is
+            # independent of the timelines and fully precomputable.
+            ready = _alternating_chain(now, (conduit.o_put_us,), count)[1:]
+            tx_starts = self._tx[src_node].reserve_batch(ready, wire)
+            rx_starts = self._rx[dst_node].reserve_batch(
+                tx_starts + m.link_latency_us, wire
+            )
+            return TransferTiming(
+                local_complete=float(ready[-1]),
+                remote_complete=float(rx_starts[-1] + wire),
+            )
+        # Rendezvous: local_k = tx_end_k, so ready_{k+1} = tx_end_k + o_r
+        # >= tx_end_k = tx next_free — only the first call can queue.
+        o_r = conduit.o_put_us + conduit.rendezvous_extra_us
+        s1, _ = self._tx[src_node].reserve(now + o_r, wire)
+        full = _alternating_chain(s1, (wire, o_r), count - 1)
+        tx_starts = full[0::2]
+        tx_end_last = float(tx_starts[-1] + wire)
+        self._tx[src_node].push_batch(tx_end_last, count - 1, wire)
+        rx_starts = self._rx[dst_node].reserve_batch(
+            tx_starts + m.link_latency_us, wire
+        )
+        return TransferTiming(
+            local_complete=tx_end_last,
+            remote_complete=float(rx_starts[-1] + wire),
+        )
+
+    def get_batch(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        count: int,
+        conduit: ConduitProfile,
+        now: float,
+    ) -> float:
+        """Price ``count`` identical blocking gets; final completion time."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:
+            return self.get(src, dst, nbytes, conduit, now)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            full = _alternating_chain(
+                now,
+                (
+                    0.5 * conduit.o_get_us,
+                    m.intra_latency_us,
+                    nbytes / m.intra_bandwidth_Bpus,
+                ),
+                count,
+            )
+            return float(full[-1])
+        wire = self._wire_time(nbytes, conduit)
+        # First call can queue on both timelines; reserve it for real.
+        s1, _ = self._tx[dst_node].reserve(
+            now + conduit.o_get_us + m.link_latency_us, wire
+        )
+        _, done1 = self._rx[src_node].reserve(s1 + m.link_latency_us, wire)
+        # done_{k-1} -> +o_get -> +L -> tx_start_k -> +L -> rx_start_k
+        # -> +wire -> done_k; each earliest provably >= the timeline's
+        # next_free left by the previous call, so no re-queueing.
+        full = _alternating_chain(
+            done1,
+            (conduit.o_get_us, m.link_latency_us, m.link_latency_us, wire),
+            count - 1,
+        )
+        tx_starts = full[2::4]
+        self._tx[dst_node].push_batch(float(tx_starts[-1] + wire), count - 1, wire)
+        self._rx[src_node].push_batch(float(full[-1]), count - 1, wire)
+        return float(full[-1])
+
+    def iput_batch(
+        self,
+        src: int,
+        dst: int,
+        nelems: int,
+        elem_size: int,
+        count: int,
+        conduit: ConduitProfile,
+        now: float,
+        stride_bytes: int | None = None,
+    ) -> TransferTiming:
+        """Price ``count`` identical native strided puts; final timing."""
+        if not conduit.iput_native:
+            raise ValueError(
+                f"{conduit.name} has no native iput; caller must loop over put()"
+            )
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:
+            return self.iput(src, dst, nelems, elem_size, conduit, now, stride_bytes)
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        m = self._machine
+        nbytes = nelems * elem_size
+        gap = self._gather_gap(conduit, elem_size, stride_bytes)
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            full = _alternating_chain(
+                now,
+                (
+                    0.5 * conduit.o_put_us,
+                    m.intra_latency_us,
+                    nbytes / m.intra_bandwidth_Bpus,
+                    nelems * gap,
+                ),
+                count,
+            )
+            done = float(full[-1])
+            return TransferTiming(local_complete=done, remote_complete=done)
+        duration = self._wire_time(nbytes, conduit) + nelems * gap
+        # local_k = tx_end_k, so ready_{k+1} = tx_end_k + o >= next_free:
+        # only the first descriptor can queue on the injection engine.
+        s1, _ = self._tx[src_node].reserve(now + conduit.o_put_us, duration)
+        full = _alternating_chain(s1, (duration, conduit.o_put_us), count - 1)
+        tx_starts = full[0::2]
+        tx_end_last = float(tx_starts[-1] + duration)
+        self._tx[src_node].push_batch(tx_end_last, count - 1, duration)
+        rx_starts = self._rx[dst_node].reserve_batch(
+            tx_starts + m.link_latency_us, duration
+        )
+        return TransferTiming(
+            local_complete=tx_end_last,
+            remote_complete=float(rx_starts[-1] + duration),
+        )
+
+    def iget_batch(
+        self,
+        src: int,
+        dst: int,
+        nelems: int,
+        elem_size: int,
+        count: int,
+        conduit: ConduitProfile,
+        now: float,
+        stride_bytes: int | None = None,
+    ) -> float:
+        """Price ``count`` identical native strided gets; final completion."""
+        if not conduit.iput_native:
+            raise ValueError(
+                f"{conduit.name} has no native iget; caller must loop over get()"
+            )
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:
+            return self.iget(src, dst, nelems, elem_size, conduit, now, stride_bytes)
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        m = self._machine
+        nbytes = nelems * elem_size
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        if src_node == dst_node:
+            full = _alternating_chain(
+                now,
+                (
+                    0.5 * conduit.o_get_us,
+                    m.intra_latency_us,
+                    nbytes / m.intra_bandwidth_Bpus,
+                ),
+                count,
+            )
+            return float(full[-1])
+        gap = self._gather_gap(conduit, elem_size, stride_bytes)
+        duration = self._wire_time(nbytes, conduit) + nelems * gap
+        s1, _ = self._tx[dst_node].reserve(
+            now + conduit.o_get_us + m.link_latency_us, duration
+        )
+        _, done1 = self._rx[src_node].reserve(s1 + m.link_latency_us, duration)
+        full = _alternating_chain(
+            done1,
+            (conduit.o_get_us, m.link_latency_us, m.link_latency_us, duration),
+            count - 1,
+        )
+        tx_starts = full[2::4]
+        self._tx[dst_node].push_batch(
+            float(tx_starts[-1] + duration), count - 1, duration
+        )
+        self._rx[src_node].push_batch(float(full[-1]), count - 1, duration)
+        return float(full[-1])
 
     # -- atomics -------------------------------------------------------
     def amo(self, src: int, dst: int, conduit: ConduitProfile, now: float) -> float:

@@ -14,6 +14,59 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
+
+
+def _chain_starts(
+    earliest: np.ndarray, duration: float, next_free: float
+) -> np.ndarray:
+    """Start times of back-to-back FCFS reservations, bit-for-bit equal
+    to calling :meth:`Timeline.reserve` once per element.
+
+    The recurrence is ``start[k] = max(earliest[k], start[k-1] +
+    duration)`` with ``start[-1] + duration`` seeded by ``next_free``.
+    Floating-point addition is not associative, so a closed form like
+    ``start[0] + k*duration`` would drift by ULPs from the sequential
+    path; instead each queue-bound stretch is materialized with
+    ``np.cumsum``, whose running sum performs exactly the repeated
+    additions the scalar loop would.  Each pass handles one stretch; the
+    batch shapes the network model produces resolve in one or two.
+    """
+    n = earliest.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    free = float(next_free)
+    i = 0
+    passes = 0
+    while i < n:
+        passes += 1
+        if passes > 32:
+            # Pathological alternation between queue-bound and
+            # earliest-bound elements: finish with the scalar loop
+            # (identical arithmetic, just slower).
+            for j in range(i, n):
+                e = earliest[j]
+                s = e if e >= free else free
+                out[j] = s
+                free = s + duration
+            return out
+        e0 = earliest[i]
+        start = e0 if e0 >= free else free
+        seg = np.empty(n - i, dtype=np.float64)
+        seg[0] = start
+        seg[1:] = duration
+        chain = np.cumsum(seg)
+        # chain[j] assumes the queue never drains; valid while the next
+        # element's earliest time does not exceed it.
+        late = np.nonzero(earliest[i + 1 : n] > chain[1:])[0]
+        if late.size == 0:
+            out[i:] = chain
+            return out
+        j = int(late[0]) + 1
+        out[i : i + j] = chain[:j]
+        free = chain[j]  # == chain[j-1] + duration, the drained queue end
+        i += j
+    return out
+
 
 class Timeline:
     """First-come-first-served resource reservation in virtual time."""
@@ -45,6 +98,50 @@ class Timeline:
             self._busy_time += duration
             self._reservations += 1
             return start, end
+
+    def reserve_batch(self, earliest: np.ndarray, duration: float) -> np.ndarray:
+        """Reserve ``len(earliest)`` back-to-back intervals of ``duration``
+        each; returns the array of start times.
+
+        Bit-identical to calling :meth:`reserve` once per element in
+        order (same ``_next_free``, ``_busy_time`` and start times), but
+        under one lock acquisition and vectorized chain arithmetic.
+        """
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        n = earliest.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        with self._lock:
+            starts = _chain_starts(earliest, duration, self._next_free)
+            self._next_free = float(starts[-1] + duration)
+            # busy_time accumulates by repeated addition in the scalar
+            # path; replay the same additions via cumsum.
+            busy = np.empty(n + 1, dtype=np.float64)
+            busy[0] = self._busy_time
+            busy[1:] = duration
+            self._busy_time = float(np.cumsum(busy)[-1])
+            self._reservations += n
+            return starts
+
+    def push_batch(self, final_next_free: float, count: int, duration: float) -> None:
+        """Account ``count`` reservations whose start times the caller
+        already computed (self-synchronized chains that provably never
+        queue behind ``_next_free``).
+
+        ``final_next_free`` is the end of the last reservation; the
+        caller guarantees it is ``>=`` the current ``_next_free``.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            if final_next_free > self._next_free:
+                self._next_free = float(final_next_free)
+            busy = np.empty(count + 1, dtype=np.float64)
+            busy[0] = self._busy_time
+            busy[1:] = duration
+            self._busy_time = float(np.cumsum(busy)[-1])
+            self._reservations += count
 
     @property
     def next_free(self) -> float:

@@ -20,7 +20,12 @@ OPS = ("put", "get", "iput", "iget", "atomic", "quiet", "barrier", "am")
 
 @dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One communication operation, in virtual time."""
+    """One communication operation, in virtual time.
+
+    ``calls`` is the number of logical library calls the event covers:
+    1 for ordinary operations, N for one aggregated record emitted by
+    the batched plan-execution path in place of N per-call records.
+    """
 
     pe: int
     op: str
@@ -28,6 +33,7 @@ class TraceEvent:
     nbytes: int
     t_start: float
     t_end: float
+    calls: int = 1
 
     @property
     def duration(self) -> float:
@@ -49,11 +55,20 @@ class Tracer:
         nbytes: int,
         t_start: float,
         t_end: float,
+        calls: int = 1,
     ) -> None:
         if op not in OPS:
             raise ValueError(f"unknown trace op {op!r}; expected {OPS}")
         self.events[pe].append(
-            TraceEvent(pe=pe, op=op, target=target, nbytes=nbytes, t_start=t_start, t_end=t_end)
+            TraceEvent(
+                pe=pe,
+                op=op,
+                target=target,
+                nbytes=nbytes,
+                t_start=t_start,
+                t_end=t_end,
+                calls=calls,
+            )
         )
 
     # ------------------------------------------------------------------

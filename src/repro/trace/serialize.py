@@ -13,7 +13,7 @@ from pathlib import Path
 
 from repro.trace.events import OPS, TraceEvent, Tracer
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2  # v2 appends the per-event logical call count
 
 
 def to_dict(tracer: Tracer) -> dict:
@@ -23,7 +23,7 @@ def to_dict(tracer: Tracer) -> dict:
         "num_pes": tracer.job.num_pes,
         "machine": tracer.job.machine.name,
         "events": [
-            [e.pe, e.op, e.target, e.nbytes, e.t_start, e.t_end]
+            [e.pe, e.op, e.target, e.nbytes, e.t_start, e.t_end, e.calls]
             for per_pe in tracer.events
             for e in per_pe
         ],
@@ -37,21 +37,30 @@ def save(tracer: Tracer, path: str | Path) -> None:
 
 def events_from_dict(doc: dict) -> list[TraceEvent]:
     """Decode a document back into a flat, start-time-ordered event list."""
-    if doc.get("format") != FORMAT_VERSION:
+    if doc.get("format") not in (1, FORMAT_VERSION):
         raise ValueError(f"unsupported trace format {doc.get('format')!r}")
     num_pes = doc["num_pes"]
     out = []
     for rec in doc["events"]:
-        pe, op, target, nbytes, t_start, t_end = rec
+        pe, op, target, nbytes, t_start, t_end = rec[:6]
+        calls = rec[6] if len(rec) > 6 else 1  # v1 records carry no count
         if not 0 <= pe < num_pes:
             raise ValueError(f"event names PE {pe} outside [0, {num_pes})")
         if op not in OPS:
             raise ValueError(f"unknown op {op!r} in trace")
         if t_end < t_start:
             raise ValueError(f"event ends before it starts: {rec}")
+        if calls < 1:
+            raise ValueError(f"event covers {calls} calls: {rec}")
         out.append(
             TraceEvent(
-                pe=pe, op=op, target=target, nbytes=nbytes, t_start=t_start, t_end=t_end
+                pe=pe,
+                op=op,
+                target=target,
+                nbytes=nbytes,
+                t_start=t_start,
+                t_end=t_end,
+                calls=calls,
             )
         )
     out.sort(key=lambda e: (e.t_start, e.pe))

@@ -12,6 +12,7 @@ def test_tables_target(capsys):
     assert main(["tables"]) == 0
     out = capsys.readouterr().out
     assert "Table I" in out and "Table III" in out
+    assert "wall-clock" in out  # every target reports host time too
 
 
 def test_unknown_target_errors():
@@ -20,7 +21,9 @@ def test_unknown_target_errors():
 
 
 def test_all_targets_registered():
-    assert TARGETS == ("tables", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10")
+    assert TARGETS == (
+        "tables", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "wallclock"
+    )
 
 
 def test_module_invocation():

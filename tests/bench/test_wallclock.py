@@ -1,0 +1,58 @@
+"""Smoke tests for the wall-clock benchmark of the batched RMA engine."""
+
+import json
+
+import numpy as np
+
+from repro.bench import wallclock
+from repro.bench.harness import UHCAF_CRAY_SHMEM_NAIVE
+
+
+def test_small_instance_matches_unbatched_oracle():
+    """Stats counters and virtual clocks of a small naive-section run
+    are identical with batching on and off."""
+    case = wallclock.naive_section_case(quick=True)
+    assert case.stats_identical
+    assert case.virtual_identical
+    assert case.batched_s > 0 and case.unbatched_s > 0
+    # the quick instance is too small to promise a speedup, only sanity
+    assert case.speedup > 0
+
+
+def test_fingerprints_report_logical_call_counts():
+    """The naive policy still counts one putmem per selected element."""
+    shape, key = (20, 16, 20), np.s_[0:20:2, 0:16:2, 0:20:4]
+    res = wallclock._section_put_fingerprints(shape, key, UHCAF_CRAY_SHMEM_NAIVE)
+    initiator_stats = res[0][1]
+    assert initiator_stats["putmem_calls"] == 10 * 8 * 5
+    assert initiator_stats["put_elems"] == 10 * 8 * 5
+    # every non-initiator image issued nothing
+    assert all(not r[1] for r in res[1:])
+
+
+def test_write_json_document_shape(tmp_path):
+    case = wallclock.WallclockCase(
+        name="x",
+        description="d",
+        batched_s=0.1,
+        unbatched_s=0.9,
+        speedup=9.0,
+        virtual_identical=True,
+        stats_identical=True,
+    )
+    out = wallclock.write_json([case], tmp_path / "BENCH_wallclock.json")
+    doc = json.loads(out.read_text())
+    assert doc["benchmark"] == "wallclock"
+    assert doc["cases"][0]["speedup"] == 9.0
+    assert doc["cases"][0]["virtual_identical"] is True
+    assert "x" in wallclock.render([case])
+
+
+def test_cli_quick_subset(tmp_path, capsys):
+    out = tmp_path / "bw.json"
+    rc = wallclock.main(["--quick", "--cases", "2dim", "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert [c["name"] for c in doc["cases"]] == ["2dim-sweep"]
+    assert doc["cases"][0]["virtual_identical"] is True
+    assert "2dim-sweep" in capsys.readouterr().out

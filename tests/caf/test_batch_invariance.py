@@ -1,0 +1,133 @@
+"""Virtual-time invariance of the batched RMA fast path.
+
+Each scenario runs twice — batching on (default) and off (the
+``REPRO_NO_BATCH=1`` escape hatch) — and must produce *identical*
+virtual clocks, stats counters, and data.  Scenarios are restricted to
+deterministic schedules (single RMA initiator for inter-node traffic,
+or all-intra-node traffic, where no shared timeline ordering depends on
+the thread scheduler).
+"""
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.bench.harness import UHCAF_CRAY_SHMEM_2DIM
+from repro.bench.himeno import himeno_caf
+from repro.caf.runtime import current_runtime
+from repro.runtime.context import current
+
+
+def _strided_roundtrip_kernel():
+    """Image 1 puts/gets strided sections to image num_images (a
+    different node when num_images > 16 on stampede)."""
+    me, n = caf.this_image(), caf.num_images()
+    a = caf.coarray((40, 40), np.float64)
+    a[...] = 0.0
+    caf.sync_all()
+    if me == 1:
+        tgt = n
+        # strided in both dims -> line plan (iput path on native conduits)
+        a.on(tgt).put((slice(0, 40, 2), slice(0, 40, 4)), np.arange(200.0).reshape(20, 10))
+        # big contiguous runs -> rendezvous-sized putmem batch
+        a.on(tgt).put((slice(0, 40, 2), slice(None)), np.arange(800.0).reshape(20, 40))
+        got_lines = a.on(tgt).get((slice(1, 40, 3), slice(0, 40, 4)))
+        got_runs = a.on(tgt).get((slice(0, 40, 2), slice(None)))
+    else:
+        got_lines = got_runs = None
+    caf.sync_all()
+    rt = current_runtime()
+    stats = {
+        k: v
+        for k, v in rt.my_stats.items()
+        if not k.startswith("plan_cache")  # cache warmth differs by design
+    }
+    return (
+        current().clock.now,
+        stats,
+        a.local.copy(),
+        None if got_lines is None else np.asarray(got_lines),
+        None if got_runs is None else np.asarray(got_runs),
+    )
+
+
+def _run(monkeypatch, batched, fn, **kw):
+    if batched:
+        monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    return caf.launch(fn, **kw)
+
+
+def _assert_same(res_a, res_b):
+    for (ca, sa, la, gla, gra), (cb, sb, lb, glb, grb) in zip(res_a, res_b):
+        assert ca == cb  # virtual clock, bitwise
+        assert sa == sb  # stats counters
+        assert np.array_equal(la, lb)
+        assert (gla is None) == (glb is None)
+        if gla is not None:
+            assert np.array_equal(gla, glb)
+            assert np.array_equal(gra, grb)
+
+
+@pytest.mark.parametrize(
+    "profile,strided",
+    [
+        ("cray-shmem", "2dim"),  # native iput lines + rendezvous runs
+        ("cray-shmem", "naive"),  # per-element runs
+        ("mvapich2x-shmem", "2dim"),  # non-native iput -> per-element puts
+        ("gasnet", "naive"),
+    ],
+)
+def test_strided_rma_virtual_time_invariant(monkeypatch, profile, strided):
+    kw = dict(num_images=17, machine="stampede", profile=profile, strided=strided)
+    batched = _run(monkeypatch, True, _strided_roundtrip_kernel, **kw)
+    oracle = _run(monkeypatch, False, _strided_roundtrip_kernel, **kw)
+    _assert_same(batched, oracle)
+
+
+def test_intra_node_rma_invariant(monkeypatch):
+    """All-images intra-node traffic (no shared timelines => still
+    deterministic with many initiators)."""
+
+    def kernel():
+        me, n = caf.this_image(), caf.num_images()
+        a = caf.coarray((12, 12), np.float64)
+        a[...] = float(me)
+        caf.sync_all()
+        nxt = me % n + 1
+        a.on(nxt).put((slice(0, 12, 3), slice(0, 12, 2)), np.full((4, 6), me * 10.0))
+        caf.sync_all()
+        got = a.on(nxt).get((slice(0, 12, 3), slice(0, 12, 2)))
+        caf.sync_all()
+        rt = current_runtime()
+        stats = {k: v for k, v in rt.my_stats.items() if not k.startswith("plan_cache")}
+        return current().clock.now, stats, a.local.copy(), np.asarray(got), None
+
+    kw = dict(num_images=4, machine="stampede", profile="cray-shmem", strided="2dim")
+    batched = _run(monkeypatch, True, kernel, **kw)
+    oracle = _run(monkeypatch, False, kernel, **kw)
+    for (ca, sa, la, ga, _), (cb, sb, lb, gb, _) in zip(batched, oracle):
+        assert ca == cb
+        assert sa == sb
+        assert np.array_equal(la, lb)
+        assert np.array_equal(ga, gb)
+
+
+def test_himeno_step_virtual_time_invariant(monkeypatch):
+    """One Himeno halo-exchange cadence, 4 images on one node: gosa,
+    MFLOPS and elapsed virtual time must match bit-for-bit."""
+    kw = dict(
+        machine="stampede",
+        config=UHCAF_CRAY_SHMEM_2DIM,
+        num_images=4,
+        grid=(17, 17, 17),
+        iterations=2,
+    )
+    monkeypatch.delenv("REPRO_NO_BATCH", raising=False)
+    batched = himeno_caf(**kw)
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    oracle = himeno_caf(**kw)
+    assert batched.gosa == oracle.gosa
+    assert batched.elapsed_us == oracle.elapsed_us
+    assert batched.mflops == oracle.mflops

@@ -1,0 +1,83 @@
+"""Zero-length RMA is free: no network pricing, no clock advance, no
+trace record, no timestamp publication — across put/get/iput/iget."""
+
+import numpy as np
+import pytest
+
+from repro import shmem, trace
+from repro.runtime.context import current
+from repro.runtime.launcher import Job
+
+
+def _reservation_count(job):
+    return sum(t.reservations for tls in job.network.timelines().values() for t in tls)
+
+
+@pytest.mark.parametrize("op", ["put", "get", "iput", "iget"])
+def test_zero_length_rma_is_free(op):
+    job = Job(2)
+    layer = shmem.attach(job)
+    tracer = trace.attach(job)
+
+    def kernel():
+        arr = layer.alloc_array((16,), np.int64)
+        # alloc barriers may price; snapshot after them
+        reservations_before = _reservation_count(job)
+        before = current().clock.now
+        if op == "put":
+            layer.put(arr, np.empty(0, dtype=np.int64), 1)
+        elif op == "get":
+            got = layer.get(arr, 0, 1)
+            assert got.size == 0 and got.dtype == np.int64
+        elif op == "iput":
+            layer.iput(arr, np.empty(0, dtype=np.int64), tst=2, sst=1, nelems=0, pe=1)
+        else:
+            got = layer.iget(arr, tst=1, sst=2, nelems=0, pe=1)
+            assert got.size == 0 and got.dtype == np.int64
+        assert current().clock.now == before  # nothing priced, nothing merged
+        assert layer._pending[current().pe] == 0.0  # no remote completion pending
+        assert _reservation_count(job) == reservations_before
+        return True
+
+    assert all(job.run(kernel))
+    # no RMA event was recorded for the empty transfers (barriers may be)
+    for rma_op in ("put", "get", "iput", "iget"):
+        assert tracer.count(rma_op) == 0
+
+
+def test_zero_length_put_does_not_publish_timestamp():
+    job = Job(2)
+    layer = shmem.attach(job)
+
+    def kernel():
+        arr = layer.alloc_array((4,), np.int64)
+        me = current().pe
+        if me == 0:
+            layer.put(arr, np.empty(0, dtype=np.int64), 1)
+            layer.iput(arr, np.empty(0, dtype=np.int64), tst=1, sst=1, nelems=0, pe=1)
+        return True
+
+    assert all(job.run(kernel))
+    # nothing was deposited at PE 1, so its memory saw no write at all
+    assert job.memories[1].last_write_time == 0.0
+
+
+def test_zero_length_rma_still_validates_arguments():
+    job = Job(2)
+    layer = shmem.attach(job)
+
+    def kernel():
+        arr = layer.alloc_array((4,), np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            layer.put(arr, empty, 99)  # PE out of range
+        with pytest.raises(ValueError):
+            layer.iput(arr, empty, tst=1, sst=1, nelems=-1, pe=1)
+        with pytest.raises(ValueError):
+            layer.iget(arr, tst=1, sst=1, nelems=-1, pe=1)
+        # the zero-length span itself is always in bounds (nothing is
+        # addressed), even at the end of the array
+        assert layer.get(arr, 0, 1, offset=arr.size).size == 0
+        return True
+
+    assert all(job.run(kernel))

@@ -1,0 +1,116 @@
+"""Batched scatter/gather (``write_at``/``read_at``) and the arithmetic
+bounds checks of the strided paths."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.memory import PEMemory
+
+
+def test_write_at_read_at_roundtrip_aligned():
+    mem = PEMemory(4096)
+    offsets = np.array([8, 64, 16, 1024, 40], dtype=np.int64)  # unsorted on purpose
+    data = np.arange(5, dtype=np.int64)
+    mem.write_at(offsets, 8, data, timestamp=1.5)
+    got = mem.read_at(offsets, 8).view(np.int64)
+    assert np.array_equal(got, data)
+    # order preserved: element i landed at offsets[i]
+    for off, val in zip(offsets, data):
+        assert mem.read_scalar(int(off), np.int64) == val
+    assert mem.last_write_time == 1.5
+
+
+@pytest.mark.parametrize("elem_size", [1, 2, 3, 4, 8, 16])
+def test_write_at_matches_per_element_writes(elem_size):
+    rng = np.random.default_rng(elem_size)
+    a, b = PEMemory(2048), PEMemory(2048)
+    n = 37
+    offsets = rng.choice(np.arange(0, 2048 - elem_size, elem_size), n, replace=False).astype(np.int64)
+    payload = rng.integers(0, 256, n * elem_size, dtype=np.uint8)
+    for i, off in enumerate(offsets):
+        a.write(int(off), payload[i * elem_size : (i + 1) * elem_size], timestamp=2.0)
+    b.write_at(offsets, elem_size, payload, timestamp=2.0)
+    assert np.array_equal(a.local_view(0, 2048), b.local_view(0, 2048))
+    assert a.last_write_time == b.last_write_time
+    assert np.array_equal(b.read_at(offsets, elem_size), payload)
+
+
+def test_write_at_unaligned_offsets_fall_back():
+    mem = PEMemory(256)
+    offsets = np.array([1, 9, 18], dtype=np.int64)  # not multiples of 4
+    payload = np.arange(12, dtype=np.uint8)
+    mem.write_at(offsets, 4, payload, timestamp=0.5)
+    assert np.array_equal(mem.read_at(offsets, 4), payload)
+    assert np.array_equal(mem.local_view(1, 4), payload[:4])
+
+
+def test_write_at_bounds_and_validation():
+    mem = PEMemory(128)
+    with pytest.raises(IndexError):
+        mem.write_at(np.array([124], dtype=np.int64), 8, np.zeros(8, np.uint8), 0.0)
+    with pytest.raises(IndexError):
+        mem.write_at(np.array([-8], dtype=np.int64), 8, np.zeros(8, np.uint8), 0.0)
+    with pytest.raises(ValueError):
+        mem.write_at(np.array([0, 8], dtype=np.int64), 8, np.zeros(8, np.uint8), 0.0)
+    with pytest.raises(IndexError):
+        mem.read_at(np.array([121], dtype=np.int64), 8)
+
+
+def test_write_at_zero_elements_is_a_noop():
+    mem = PEMemory(64)
+    mem.write_at(np.empty(0, dtype=np.int64), 8, np.empty(0, np.uint8), timestamp=9.0)
+    assert mem.last_write_time == 0.0  # no spurious timestamp publication
+    assert mem.read_at(np.empty(0, dtype=np.int64), 8).size == 0
+
+
+def test_write_at_wakes_waiters():
+    import threading
+
+    mem = PEMemory(64)
+    seen = {}
+
+    def waiter():
+        ts = mem.wait_until(
+            lambda: mem.read_scalar(8, np.int64) == 7, aborted=lambda: False
+        )
+        seen["ts"] = ts
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    mem.write_at(np.array([8], dtype=np.int64), 8, np.array([7], dtype=np.int64), 3.25)
+    t.join(timeout=5)
+    assert seen["ts"] == 3.25
+
+
+# ---------------------------------------------------------------------------
+# Strided paths: arithmetic bounds + as_strided fast path equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("stride_bytes,elem_size", [(8, 8), (24, 8), (3, 2), (5, 5)])
+def test_write_strided_roundtrip(stride_bytes, elem_size):
+    mem = PEMemory(1024)
+    nelems = 11
+    payload = np.arange(nelems * elem_size, dtype=np.uint8)
+    mem.write_strided(16, stride_bytes, elem_size, payload, timestamp=1.0)
+    got = mem.read_strided(16, stride_bytes, elem_size, nelems)
+    assert np.array_equal(got, payload)
+
+
+def test_strided_bounds_reject_escapes():
+    mem = PEMemory(100)
+    with pytest.raises(IndexError, match="escapes"):
+        mem.write_strided(90, 8, 8, np.zeros(16, np.uint8), 0.0)  # 90+8+8 > 100
+    with pytest.raises(IndexError, match="escapes"):
+        mem.read_strided(96, 8, 8, 2)
+    # exactly at the edge is fine
+    mem.write_strided(84, 8, 8, np.zeros(16, np.uint8), 0.0)  # last byte = 99
+    assert mem.read_strided(84, 8, 8, 2).size == 16
+
+
+def test_strided_bounds_are_arithmetic_not_materialized():
+    # A huge stride would need a gigantic index array if bounds were
+    # computed by materializing indices; arithmetic bounds just reject.
+    mem = PEMemory(1 << 16)
+    with pytest.raises(IndexError, match="escapes"):
+        mem.write_strided(0, 1 << 40, 8, np.zeros(64, np.uint8), 0.0)

@@ -1,0 +1,233 @@
+"""Bit-identity of the batched network pricing vs. sequential loops.
+
+Every ``*_batch`` method must return exactly the final times that N
+scalar calls produce under the layer's clock-merge recurrence
+(``now_{k+1} = max(now_k, local_k)``), and must leave every resource
+timeline in exactly the state the scalar loop leaves it in — down to
+the last ULP, since float addition is not associative and the virtual
+timestamps downstream are compared bitwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.machines import MACHINES
+from repro.sim.netmodel import NetworkModel, get_conduit
+from repro.sim.resources import Timeline, _chain_starts
+from repro.sim.topology import Topology
+
+NOW = 3.7254101001  # deliberately un-round starting clock
+
+
+def fresh_model(machine="stampede", num_pes=48):
+    return NetworkModel(Topology(MACHINES[machine], num_pes))
+
+
+def preload(model, backlog):
+    """Create queueing pressure on node 0/1/2 NICs before the batch."""
+    if not backlog:
+        return
+    tls = model.timelines()
+    for node in (0, 1, 2):
+        tls["tx"][node].reserve(0.0, 41.03)
+        tls["rx"][node].reserve(0.0, 67.9)
+
+
+def timeline_state(model):
+    out = {}
+    for name, tls in model.timelines().items():
+        out[name] = [(t.next_free, t.busy_time, t.reservations) for t in tls]
+    return out
+
+
+def seq_put(model, src, dst, nbytes, count, conduit, now):
+    timing = None
+    for _ in range(count):
+        timing = model.put(src, dst, nbytes, conduit, now)
+        now = max(now, timing.local_complete)
+    return timing
+
+
+def seq_get(model, src, dst, nbytes, count, conduit, now):
+    done = None
+    for _ in range(count):
+        done = model.get(src, dst, nbytes, conduit, now)
+        now = max(now, done)
+    return done
+
+
+def seq_iput(model, src, dst, nelems, elem_size, count, conduit, now, stride_bytes):
+    timing = None
+    for _ in range(count):
+        timing = model.iput(src, dst, nelems, elem_size, conduit, now, stride_bytes)
+        now = max(now, timing.local_complete)
+    return timing
+
+
+def seq_iget(model, src, dst, nelems, elem_size, count, conduit, now, stride_bytes):
+    done = None
+    for _ in range(count):
+        done = model.iget(src, dst, nelems, elem_size, conduit, now, stride_bytes)
+        now = max(now, done)
+    return done
+
+
+# PEs 0 and 1 share node 0; PE 20 lives on node 1 (16 cores/node).
+PAIRS = {"intra": (0, 1), "inter": (0, 20)}
+COUNTS = [1, 2, 7, 50]
+CONDUITS = ["cray-shmem", "mvapich2x-shmem", "gasnet", "mpi3"]
+
+
+@pytest.mark.parametrize("conduit_name", CONDUITS)
+@pytest.mark.parametrize("pair", ["intra", "inter"])
+@pytest.mark.parametrize("nbytes", [8, 512, 8192, 65536])  # eager + rendezvous
+@pytest.mark.parametrize("backlog", [False, True])
+def test_put_batch_bit_identical(conduit_name, pair, nbytes, backlog):
+    conduit = get_conduit(conduit_name)
+    src, dst = PAIRS[pair]
+    for count in COUNTS:
+        a, b = fresh_model(), fresh_model()
+        preload(a, backlog)
+        preload(b, backlog)
+        want = seq_put(a, src, dst, nbytes, count, conduit, NOW)
+        got = b.put_batch(src, dst, nbytes, count, conduit, NOW)
+        assert got.local_complete == want.local_complete, (conduit_name, pair, nbytes, count)
+        assert got.remote_complete == want.remote_complete
+        assert timeline_state(a) == timeline_state(b)
+
+
+@pytest.mark.parametrize("conduit_name", CONDUITS)
+@pytest.mark.parametrize("pair", ["intra", "inter"])
+@pytest.mark.parametrize("nbytes", [8, 4096, 100000])
+@pytest.mark.parametrize("backlog", [False, True])
+def test_get_batch_bit_identical(conduit_name, pair, nbytes, backlog):
+    conduit = get_conduit(conduit_name)
+    src, dst = PAIRS[pair]
+    for count in COUNTS:
+        a, b = fresh_model(), fresh_model()
+        preload(a, backlog)
+        preload(b, backlog)
+        want = seq_get(a, src, dst, nbytes, count, conduit, NOW)
+        got = b.get_batch(src, dst, nbytes, count, conduit, NOW)
+        assert got == want, (conduit_name, pair, nbytes, count)
+        assert timeline_state(a) == timeline_state(b)
+
+
+@pytest.mark.parametrize("conduit_name", ["cray-shmem", "dmapp-caf"])
+@pytest.mark.parametrize("pair", ["intra", "inter"])
+@pytest.mark.parametrize("stride_bytes", [8, 160, 4096])
+@pytest.mark.parametrize("backlog", [False, True])
+def test_iput_batch_bit_identical(conduit_name, pair, stride_bytes, backlog):
+    conduit = get_conduit(conduit_name)
+    src, dst = PAIRS[pair]
+    for count in COUNTS:
+        a, b = fresh_model(), fresh_model()
+        preload(a, backlog)
+        preload(b, backlog)
+        want = seq_iput(a, src, dst, 25, 8, count, conduit, NOW, stride_bytes)
+        got = b.iput_batch(src, dst, 25, 8, count, conduit, NOW, stride_bytes)
+        assert got.local_complete == want.local_complete
+        assert got.remote_complete == want.remote_complete
+        assert timeline_state(a) == timeline_state(b)
+
+
+@pytest.mark.parametrize("conduit_name", ["cray-shmem", "dmapp-caf"])
+@pytest.mark.parametrize("pair", ["intra", "inter"])
+@pytest.mark.parametrize("backlog", [False, True])
+def test_iget_batch_bit_identical(conduit_name, pair, backlog):
+    conduit = get_conduit(conduit_name)
+    src, dst = PAIRS[pair]
+    for count in COUNTS:
+        a, b = fresh_model(), fresh_model()
+        preload(a, backlog)
+        preload(b, backlog)
+        want = seq_iget(a, src, dst, 25, 8, count, conduit, NOW, 200)
+        got = b.iget_batch(src, dst, 25, 8, count, conduit, NOW, 200)
+        assert got == want
+        assert timeline_state(a) == timeline_state(b)
+
+
+def test_batch_rejects_nonpositive_count():
+    model = fresh_model()
+    conduit = get_conduit("cray-shmem")
+    with pytest.raises(ValueError):
+        model.put_batch(0, 20, 8, 0, conduit, 0.0)
+    with pytest.raises(ValueError):
+        model.get_batch(0, 20, 8, -1, conduit, 0.0)
+
+
+def test_iput_batch_requires_native():
+    model = fresh_model()
+    with pytest.raises(ValueError, match="native"):
+        model.iput_batch(0, 20, 4, 8, 3, get_conduit("mvapich2x-shmem"), 0.0)
+    with pytest.raises(ValueError, match="native"):
+        model.iget_batch(0, 20, 4, 8, 3, get_conduit("gasnet"), 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Timeline batch primitives
+# ---------------------------------------------------------------------------
+
+
+def seq_reserve(tl, earliest, duration):
+    return np.array([tl.reserve(e, duration)[0] for e in earliest])
+
+
+@pytest.mark.parametrize(
+    "earliest",
+    [
+        np.full(40, 5.0),  # pure queueing
+        np.linspace(0.3, 400.0, 40),  # earliest-bound tail
+        np.array([10.0, 10.1, 50.0, 50.05, 120.0, 120.2, 121.0]),  # mixed
+    ],
+)
+@pytest.mark.parametrize("duration", [0.0, 0.7531, 13.0])
+@pytest.mark.parametrize("backlog", [0.0, 37.7])
+def test_reserve_batch_matches_scalar(earliest, duration, backlog):
+    a, b = Timeline("a"), Timeline("b")
+    if backlog:
+        a.reserve(0.0, backlog)
+        b.reserve(0.0, backlog)
+    want = seq_reserve(a, earliest, duration)
+    got = b.reserve_batch(np.asarray(earliest, dtype=np.float64), duration)
+    assert np.array_equal(want, got)
+    assert a.next_free == b.next_free
+    assert a.busy_time == b.busy_time
+    assert a.reservations == b.reservations
+
+
+def test_reserve_batch_scalar_fallback_path():
+    # Every element starts a new segment (earliest always beats the
+    # drained queue), forcing > 32 passes and the scalar fallback.
+    earliest = np.arange(64, dtype=np.float64) * 10.0
+    a, b = Timeline("a"), Timeline("b")
+    want = seq_reserve(a, earliest, 1.0)
+    got = b.reserve_batch(earliest, 1.0)
+    assert np.array_equal(want, got)
+    assert a.next_free == b.next_free
+    assert a.busy_time == b.busy_time
+
+
+def test_chain_starts_random_fuzz():
+    rng = np.random.default_rng(42)
+    for _ in range(50):
+        n = int(rng.integers(1, 80))
+        earliest = rng.uniform(0.0, 200.0, n)  # non-monotone on purpose
+        duration = float(abs(rng.normal(1.0, 3.0)))
+        free = float(abs(rng.normal(20, 30)))
+        got = _chain_starts(earliest, duration, free)
+        # scalar oracle
+        out = np.empty(n)
+        f = free
+        for i, e in enumerate(earliest):
+            s = max(e, f)
+            out[i] = s
+            f = s + duration
+        assert np.array_equal(got, out)
+
+
+def test_reserve_batch_empty():
+    tl = Timeline("t")
+    got = tl.reserve_batch(np.empty(0), 1.0)
+    assert got.size == 0
+    assert tl.reservations == 0

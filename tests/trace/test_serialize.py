@@ -43,9 +43,19 @@ def test_document_shape(tmp_path):
     assert doc["format"] == serialize.FORMAT_VERSION
     assert doc["num_pes"] == 3
     assert doc["machine"] == "Stampede"
-    assert all(len(rec) == 6 for rec in doc["events"])
+    assert all(len(rec) == 7 for rec in doc["events"])
+    assert all(rec[6] >= 1 for rec in doc["events"])
     # the document is valid JSON end to end
     assert json.loads(json.dumps(doc)) == doc
+
+
+def test_loads_v1_documents_without_calls():
+    tracer = _make_trace()
+    doc = serialize.to_dict(tracer)
+    v1 = dict(doc, format=1, events=[rec[:6] for rec in doc["events"]])
+    events = serialize.events_from_dict(v1)
+    assert len(events) == tracer.count()
+    assert all(e.calls == 1 for e in events)
 
 
 def test_load_validates(tmp_path):
