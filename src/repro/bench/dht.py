@@ -74,6 +74,18 @@ class DistributedHashTable:
     def _lock_index(self, slot: int) -> int:
         return slot * self.locks_per_image // self.slots_per_image
 
+    def _lock_span(self, lock_idx: int) -> int:
+        """Number of slots guarded by bucket ``lock_idx``.
+
+        When ``slots_per_image`` is not a multiple of ``locks_per_image``
+        the spans are uneven, so the span must be counted from the slot
+        mapping rather than derived from the floor quotient.
+        """
+        s, n = self.slots_per_image, self.locks_per_image
+        first = (lock_idx * s + n - 1) // n
+        end = ((lock_idx + 1) * s + n - 1) // n
+        return end - first
+
     def update(self, key: int, delta: int = 1) -> int:
         """Add ``delta`` to ``key``'s counter; returns the new value.
 
@@ -106,7 +118,7 @@ class DistributedHashTable:
                 slot = nxt
         raise DhtFullError(
             f"bucket {lock_idx} on image {image} is full "
-            f"({self.slots_per_image // self.locks_per_image} slots)"
+            f"({self._lock_span(lock_idx)} slots)"
         )
 
     def lookup(self, key: int) -> int | None:
@@ -149,6 +161,7 @@ def dht_benchmark(
     slots_per_image: int = 64,
     key_space: int = 1 << 30,
     seed: int = 2015,
+    sanitize: bool = False,
 ) -> float:
     """Fig 9 cell: each image applies ``updates_per_image`` random
     updates; returns total elapsed virtual microseconds (max over
@@ -166,5 +179,7 @@ def dht_benchmark(
         caf.sync_all()
         return ctx.clock.now - t0
 
-    results = caf.launch(kernel, num_images, machine, **config.launch_kwargs())
+    results = caf.launch(
+        kernel, num_images, machine, sanitize=sanitize, **config.launch_kwargs()
+    )
     return max(results)

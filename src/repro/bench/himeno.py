@@ -179,6 +179,7 @@ def himeno_caf(
     omega: float = 0.8,
     strided_override: str | None = None,
     coef: HimenoCoefficients = STANDARD_COEFFICIENTS,
+    sanitize: bool = False,
 ) -> HimenoResult:
     """Run the CAF Himeno and report MFLOPS (one Fig 10 cell).
 
@@ -267,6 +268,7 @@ def himeno_caf(
             # slab coarray (max planes + halos) + scratch + managed heap
             3 * nx * (-(-(ny - 2) // num_images) + 2) * nz * 8 + (1 << 20),
         ),
+        sanitize=sanitize,
         **config.launch_kwargs(),
     )
     # All images report the same global MFLOPS figure modulo clock skew;

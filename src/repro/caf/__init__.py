@@ -143,6 +143,7 @@ def launch(
     lock_algorithm: str | None = None,
     use_shmem_ptr: bool = False,
     plan_cache_size: int | None = None,
+    sanitize: bool = False,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -156,6 +157,10 @@ def launch(
     ``relaxed`` does not), and ``lock_algorithm`` (``mcs``/``tas``).
     ``plan_cache_size`` caps the runtime's LRU transfer-plan cache
     (``None`` keeps the default of 128; ``0`` disables caching).
+    ``sanitize=True`` attaches a sync-capture tracer, runs the program,
+    and then replays the trace through the happens-before ordering
+    sanitizer (:mod:`repro.trace.sanitizer`), raising
+    :class:`~repro.trace.sanitizer.OrderingViolation` on any finding.
     Returns the per-image return values of ``fn``.
     """
     job_kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -173,12 +178,24 @@ def launch(
     if plan_cache_size is not None:
         rt_kwargs["plan_cache_size"] = plan_cache_size
     rt = attach(job, **rt_kwargs)
+    tracer = None
+    if sanitize:
+        from repro.trace.events import attach as trace_attach
+
+        tracer = trace_attach(job, capture_sync=True)
 
     def spmd_main(*a: Any, **kw: Any) -> Any:
         rt.startup()
         return fn(*a, **kw)
 
-    return job.run(spmd_main, args=args, kwargs=kwargs or {})
+    results = job.run(spmd_main, args=args, kwargs=kwargs or {})
+    if tracer is not None:
+        from repro.trace.sanitizer import OrderingViolation, check_tracer
+
+        report = check_tracer(tracer)
+        if not report.ok:
+            raise OrderingViolation(report)
+    return results
 
 
 # ---------------------------------------------------------------------------

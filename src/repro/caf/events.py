@@ -11,6 +11,8 @@ and ``wait_until`` the rest of the translation uses.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.caf.runtime import CafError, CafRuntime
@@ -20,6 +22,8 @@ from repro.runtime.context import current
 
 class CafEvent:
     """A coarray of event variables (one counter per image per index)."""
+
+    _ids = itertools.count(1)
 
     def __init__(self, runtime: CafRuntime, shape=()) -> None:
         if isinstance(shape, (int, np.integer)):
@@ -31,6 +35,23 @@ class CafEvent:
             n *= s
         self.size = n
         self.handle = runtime.alloc_symmetric((max(n, 1),), np.int64)
+        # A collectively-agreed identity naming this event variable in
+        # sanitizer post/wait channel records.
+        self.event_id = runtime.agree(
+            f"cafevent:{self.handle.byte_offset}", lambda: next(CafEvent._ids)
+        )
+
+    def _record(self, op: str, tag: str, target_pe: int, channel: str, t_start: float) -> None:
+        tracer = self.runtime.job.tracer
+        if tracer is None or not tracer.capture_sync:
+            return
+        ctx = current()
+        # Ticket -1: event ordering is carried by the counter's atomic
+        # sequence chain; the record is for lock-step reporting only.
+        tracer.record(
+            ctx.pe, op, target_pe, 0, t_start, ctx.clock.now,
+            meta=(tag, channel, -1),
+        )
 
     def _flat(self, index) -> int:
         if isinstance(index, (int, np.integer)):
@@ -55,8 +76,12 @@ class CafEvent:
         waiter that sees the post).
         """
         rt = self.runtime
+        flat = self._flat(index)
+        target_pe = rt.image_to_pe(image)
+        t_start = current().clock.now
         rt.layer.quiet()
-        rt.layer.atomic(self.handle, rt.image_to_pe(image), self._flat(index), "fadd", 1)
+        rt.layer.atomic(self.handle, target_pe, flat, "fadd", 1)
+        self._record("post", "po", target_pe, f"ev:{self.event_id}:{target_pe}:{flat}", t_start)
 
     def wait(self, index=(), until_count: int = 1) -> None:
         """``event wait (ev, until_count=n)`` on the *local* event."""
@@ -64,9 +89,12 @@ class CafEvent:
             raise CafError("until_count must be >= 1")
         rt = self.runtime
         flat = self._flat(index)
+        me = current().pe
+        t_start = current().clock.now
         rt.layer.wait_until(self.handle, CMP_GE, until_count, offset=flat)
         # Consume the posts we waited for (local atomic keeps posters safe).
-        rt.layer.atomic(self.handle, current().pe, flat, "fadd", -until_count)
+        rt.layer.atomic(self.handle, me, flat, "fadd", -until_count)
+        self._record("wait", "wa", me, f"ev:{self.event_id}:{me}:{flat}", t_start)
 
     def query(self, index=()) -> int:
         """``call event_query(ev, count)`` — local count, no blocking."""

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -148,6 +149,36 @@ def _held_key(lck: CafLock, image: int, flat: int) -> tuple[int, int, int]:
     return (lck.lock_id, image, flat)
 
 
+def _machinery(rt: CafRuntime):
+    """Context marking traced operations as lock-protocol machinery.
+
+    The tail swaps, link puts, and handoff traffic synchronize *through*
+    the lock word; the sanitizer must not treat them as user data
+    conflicts.  Quiets issued inside remain quiesce points.
+    """
+    tracer = rt.job.tracer
+    return tracer.sync_internal() if tracer is not None else nullcontext()
+
+
+def _record_lock(rt, op, tag, target_pe, t_start, lck, image, flat) -> None:
+    """Emit a ``lock_acquire``/``lock_release`` sync record (sync-capture
+    mode only) carrying the lock identity and the global acquisition
+    ticket, which the sanitizer chains into release->acquire edges."""
+    tracer = rt.job.tracer
+    if tracer is None or not tracer.capture_sync:
+        return
+    ctx = current()
+    hold_key = ("caf", lck.lock_id, image, flat)
+    if op == "lock_acquire":
+        ticket = tracer.begin_hold(hold_key, ctx.pe)
+    else:
+        ticket = tracer.end_hold(hold_key, ctx.pe)
+    tracer.record(
+        ctx.pe, op, target_pe, 0, t_start, ctx.clock.now,
+        meta=(tag, lck.lock_id, image, flat, ticket), internal=False,
+    )
+
+
 def _mcs_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
     ctx = current()
     me_pe = ctx.pe
@@ -159,34 +190,37 @@ def _mcs_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
         raise LockError(
             f"image {me_image} already holds lock {lck.lock_id}[{flat}] at image {image}"
         )
-    # Allocate and initialize my qnode (locked=1, next=NIL).  The init
-    # goes through the notifying write path because remote PEs will
-    # later read/overwrite these words.
-    qoff = rt.managed_alloc(me_pe, QNODE_BYTES)
-    mem = rt.job.memories[me_pe]
-    mem.write(
-        rt.managed_byte_offset(qoff),
-        np.array([1, NIL], dtype=np.uint64),
-        timestamp=ctx.clock.now,
-    )
-    my_ptr = pack_remote_pointer(me_image, qoff)
-    # Swing the tail to me (atomic fetch-and-store = shmem_swap).
-    pred = int(rt.layer.atomic(lck.handle, target_pe, flat, "swap", my_ptr))
-    if pred != NIL:
-        p = unpack_remote_pointer(pred)
-        # Link behind the predecessor: write my pointer into its next word.
-        rt.layer.put(
-            rt.managed_u64,
-            np.array([my_ptr], dtype=np.uint64),
-            p.image - 1,
-            offset=(p.offset // 8) + _NEXT_WORD,
+    t_start = ctx.clock.now
+    with _machinery(rt):
+        # Allocate and initialize my qnode (locked=1, next=NIL).  The init
+        # goes through the notifying write path because remote PEs will
+        # later read/overwrite these words.
+        qoff = rt.managed_alloc(me_pe, QNODE_BYTES)
+        mem = rt.job.memories[me_pe]
+        mem.write(
+            rt.managed_byte_offset(qoff),
+            np.array([1, NIL], dtype=np.uint64),
+            timestamp=ctx.clock.now,
         )
-        rt.layer.quiet()
-        # Spin locally on my qnode's locked word (the MCS property:
-        # no remote polling while waiting).
-        rt.layer.wait_until(rt.managed_u64, CMP_EQ, 0, offset=qoff // 8 + _LOCKED_WORD)
+        my_ptr = pack_remote_pointer(me_image, qoff)
+        # Swing the tail to me (atomic fetch-and-store = shmem_swap).
+        pred = int(rt.layer.atomic(lck.handle, target_pe, flat, "swap", my_ptr))
+        if pred != NIL:
+            p = unpack_remote_pointer(pred)
+            # Link behind the predecessor: write my pointer into its next word.
+            rt.layer.put(
+                rt.managed_u64,
+                np.array([my_ptr], dtype=np.uint64),
+                p.image - 1,
+                offset=(p.offset // 8) + _NEXT_WORD,
+            )
+            rt.layer.quiet()
+            # Spin locally on my qnode's locked word (the MCS property:
+            # no remote polling while waiting).
+            rt.layer.wait_until(rt.managed_u64, CMP_EQ, 0, offset=qoff // 8 + _LOCKED_WORD)
     held[key] = qoff
     rt.my_stats["lock_acquires"] += 1
+    _record_lock(rt, "lock_acquire", "la", target_pe, t_start, lck, image, flat)
 
 
 def _mcs_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
@@ -202,29 +236,35 @@ def _mcs_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
             f"image {me_image} does not hold lock {lck.lock_id}[{flat}] at image {image}"
         )
     my_ptr = pack_remote_pointer(me_image, qoff)
+    t_start = ctx.clock.now
     # Writes from the critical section must be remotely complete before
     # the lock is visibly released.
     rt.layer.quiet()
-    old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", NIL, my_ptr))
-    if old != my_ptr:
-        # A successor swung the tail past me; wait for it to link itself.
-        rt.layer.wait_until(rt.managed_u64, CMP_NE, NIL, offset=qoff // 8 + _NEXT_WORD)
-        nxt_word = int(
-            rt.job.memories[me_pe].read_scalar(
-                rt.managed_byte_offset(qoff) + 8 * _NEXT_WORD, np.uint64
+    with _machinery(rt):
+        old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", NIL, my_ptr))
+        if old != my_ptr:
+            # A successor swung the tail past me; wait for it to link itself.
+            rt.layer.wait_until(rt.managed_u64, CMP_NE, NIL, offset=qoff // 8 + _NEXT_WORD)
+            # Read my qnode's next link through the layer's local-read
+            # path: a bare PEMemory.read_scalar here would be invisible
+            # to the tracer, the stats, and the sanitizer.
+            nxt_word = int(
+                rt.layer.local_read_scalar(
+                    rt.managed_u64, offset=qoff // 8 + _NEXT_WORD
+                )
             )
-        )
-        nxt = unpack_remote_pointer(nxt_word)
-        # Hand the lock over: reset the successor's locked word.
-        rt.layer.put(
-            rt.managed_u64,
-            np.array([0], dtype=np.uint64),
-            nxt.image - 1,
-            offset=(nxt.offset // 8) + _LOCKED_WORD,
-        )
-        rt.layer.quiet()
+            nxt = unpack_remote_pointer(nxt_word)
+            # Hand the lock over: reset the successor's locked word.
+            rt.layer.put(
+                rt.managed_u64,
+                np.array([0], dtype=np.uint64),
+                nxt.image - 1,
+                offset=(nxt.offset // 8) + _LOCKED_WORD,
+            )
+            rt.layer.quiet()
     rt.managed_free(me_pe, qoff)
     rt.my_stats["lock_releases"] += 1
+    _record_lock(rt, "lock_release", "lr", target_pe, t_start, lck, image, flat)
 
 
 # ---------------------------------------------------------------------------
@@ -242,18 +282,23 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
         raise LockError(
             f"image {me_image} already holds lock {lck.lock_id}[{flat}] at image {image}"
         )
+    t_start = ctx.clock.now
     backoff = _TAS_BACKOFF_START_US
-    while True:
-        old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", me_image, NIL))
-        if old == NIL:
-            break
-        ctx.clock.advance(backoff)
-        backoff = min(backoff * 2, _TAS_BACKOFF_MAX_US)
-        if rt.job.aborted():
-            raise JobAborted("job aborted while acquiring CAF lock")
-        time.sleep(0.0002)  # wall-clock yield; the delay cost is virtual
+    with _machinery(rt):
+        while True:
+            # Check abort *before* each attempt: an aborted job must exit
+            # promptly, not issue one more remote atomic first.
+            if rt.job.aborted():
+                raise JobAborted("job aborted while acquiring CAF lock")
+            old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", me_image, NIL))
+            if old == NIL:
+                break
+            ctx.clock.advance(backoff)
+            backoff = min(backoff * 2, _TAS_BACKOFF_MAX_US)
+            time.sleep(0.0002)  # wall-clock yield; the delay cost is virtual
     held[key] = -1  # no qnode for TAS
     rt.my_stats["lock_acquires"] += 1
+    _record_lock(rt, "lock_acquire", "la", target_pe, t_start, lck, image, flat)
 
 
 def _tas_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
@@ -266,10 +311,13 @@ def _tas_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
         raise LockError(
             f"image {me_image} does not hold lock {lck.lock_id}[{flat}] at image {image}"
         )
+    t_start = ctx.clock.now
     rt.layer.quiet()
-    old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", NIL, me_image))
+    with _machinery(rt):
+        old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", NIL, me_image))
     if old != me_image:
         raise LockError(
             f"lock word corrupted: expected holder {me_image}, found {old}"
         )
     rt.my_stats["lock_releases"] += 1
+    _record_lock(rt, "lock_release", "lr", target_pe, t_start, lck, image, flat)

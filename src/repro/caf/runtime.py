@@ -142,6 +142,7 @@ class CafRuntime:
         # Per-image sync_images bookkeeping: how many syncs I have posted
         # to image j / consumed from image j.
         self._sync_expected: list[dict[int, int]] = [{} for _ in range(job.num_pes)]
+        self._sync_posted: list[dict[int, int]] = [{} for _ in range(job.num_pes)]
         # Per-image current team (None = the initial team of all images).
         self._team: list = [None] * job.num_pes
         # Call-count instrumentation, kept per image (threads must not
@@ -266,12 +267,15 @@ class CafRuntime:
         self.layer.quiet()
         if team is None:
             cost = self.job.network.barrier_cost(self.job.num_pes, self.layer.profile)
-            self.job.barrier.wait(ctx, cost)
+            bar = self.job.barrier
         else:
             cost = self.job.network.barrier_cost(team.num_images, self.layer.profile)
-            team.group.barrier.wait(ctx, cost)
-        if self.job.tracer is not None:
-            self.job.tracer.record(ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now)
+            bar = team.group.barrier
+        _, gen = bar.wait_gen(ctx, cost)
+        tracer = self.job.tracer
+        if tracer is not None:
+            meta = ("b", bar.sync_id, gen) if tracer.capture_sync else ()
+            tracer.record(ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now, meta=meta)
 
     def alloc_symmetric(self, shape, dtype) -> SymmetricArray:
         """Collective symmetric allocation over the current team.
@@ -510,18 +514,37 @@ class CafRuntime:
         else:
             targets = sorted({self.image_to_pe(i) for i in images})
         expected = self._sync_expected[me]
+        posted = self._sync_posted[me]
+        tracer = self.job.tracer
+        capture = tracer is not None and tracer.capture_sync
         # Post my arrival to every partner (their slot index = my pe).
         self.layer.quiet()  # my prior puts are visible before I signal
         for p in targets:
             if p == me:
                 continue
+            t_start = ctx.clock.now
             self.layer.atomic(self._sync_counters, p, me, "fadd", 1)
+            posted[p] = posted.get(p, 0) + 1
+            if capture:
+                # Channel "si:<waiter>:<poster>" with a cumulative ticket:
+                # the sanitizer draws an edge from each post to the wait
+                # whose expected count covers it.
+                tracer.record(
+                    ctx.pe, "post", p, 0, t_start, ctx.clock.now,
+                    meta=("po", f"si:{p}:{me}", posted[p]),
+                )
         # Wait for every partner's matching arrival.
         for p in targets:
             if p == me:
                 continue
             expected[p] = expected.get(p, 0) + 1
+            t_start = ctx.clock.now
             self.layer.wait_until(self._sync_counters, CMP_GE, expected[p], offset=p)
+            if capture:
+                tracer.record(
+                    ctx.pe, "wait", p, 0, t_start, ctx.clock.now,
+                    meta=("wa", f"si:{me}:{p}", expected[p]),
+                )
 
     def sync_memory(self) -> None:
         """``sync memory`` — the F2008 memory fence: completes this

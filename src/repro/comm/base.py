@@ -31,6 +31,11 @@ from repro.runtime.context import current
 from repro.runtime.launcher import Job
 from repro.comm.constants import comparator
 from repro.sim.netmodel import ConduitProfile, get_conduit
+from repro.trace.events import (
+    contiguous_footprint,
+    offsets_footprint,
+    strided_footprint,
+)
 
 
 @dataclass(frozen=True, eq=False)
@@ -156,8 +161,14 @@ class OneSidedLayer:
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
-        if self.job.tracer is not None:
-            self.job.tracer.record(ctx.pe, "put", pe, data.nbytes, t_start, ctx.clock.now)
+        tracer = self.job.tracer
+        if tracer is not None:
+            addr = dest.element_offset(offset)
+            fp = contiguous_footprint(addr, data.nbytes) if tracer.capture_sync else ()
+            tracer.record(
+                ctx.pe, "put", pe, data.nbytes, t_start, ctx.clock.now,
+                addr=addr, footprint=fp,
+            )
 
     def get(self, src: SymmetricArray, nelems: int, pe: int, offset: int = 0) -> np.ndarray:
         """Blocking contiguous get; returns the fetched elements."""
@@ -171,8 +182,14 @@ class OneSidedLayer:
         done = self.job.network.get(ctx.pe, pe, nbytes, self.profile, t_start)
         raw = self.job.memories[pe].read(src.element_offset(offset), nbytes)
         ctx.clock.merge(done)
-        if self.job.tracer is not None:
-            self.job.tracer.record(ctx.pe, "get", pe, nbytes, t_start, ctx.clock.now)
+        tracer = self.job.tracer
+        if tracer is not None:
+            addr = src.element_offset(offset)
+            fp = contiguous_footprint(addr, nbytes) if tracer.capture_sync else ()
+            tracer.record(
+                ctx.pe, "get", pe, nbytes, t_start, ctx.clock.now,
+                addr=addr, footprint=fp,
+            )
         return raw.view(src.dtype).copy()
 
     # ------------------------------------------------------------------
@@ -233,9 +250,17 @@ class OneSidedLayer:
             ctx.clock.merge(timing.local_complete)
             if timing.remote_complete > self._pending[ctx.pe]:
                 self._pending[ctx.pe] = timing.remote_complete
-            if self.job.tracer is not None:
-                self.job.tracer.record(
-                    ctx.pe, "iput", pe, nelems * itemsize, t_start, ctx.clock.now
+            tracer = self.job.tracer
+            if tracer is not None:
+                addr = dest.element_offset(offset)
+                fp = (
+                    strided_footprint(addr, tst * itemsize, itemsize, nelems)
+                    if tracer.capture_sync
+                    else ()
+                )
+                tracer.record(
+                    ctx.pe, "iput", pe, nelems * itemsize, t_start, ctx.clock.now,
+                    addr=addr, footprint=fp,
                 )
         else:
             for i in range(nelems):
@@ -271,9 +296,17 @@ class OneSidedLayer:
                 src.element_offset(offset), sst * itemsize, itemsize, nelems
             )
             ctx.clock.merge(done)
-            if self.job.tracer is not None:
-                self.job.tracer.record(
-                    ctx.pe, "iget", pe, nelems * itemsize, t_start, ctx.clock.now
+            tracer = self.job.tracer
+            if tracer is not None:
+                addr = src.element_offset(offset)
+                fp = (
+                    strided_footprint(addr, sst * itemsize, itemsize, nelems)
+                    if tracer.capture_sync
+                    else ()
+                )
+                tracer.record(
+                    ctx.pe, "iget", pe, nelems * itemsize, t_start, ctx.clock.now,
+                    addr=addr, footprint=fp,
                 )
             return raw.view(src.dtype).copy()
         out = np.empty(nelems, dtype=src.dtype)
@@ -336,8 +369,9 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         timing, op, calls = self._price_plan_put(spec, itemsize, pe, t_start)
+        abs_index = spec.rel_index + dest.byte_offset
         self.job.memories[pe].write_at(
-            spec.rel_index + dest.byte_offset,
+            abs_index,
             itemsize,
             data,
             timestamp=timing.remote_complete,
@@ -346,9 +380,12 @@ class OneSidedLayer:
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
-        if self.job.tracer is not None:
-            self.job.tracer.record(
-                ctx.pe, op, pe, data.nbytes, t_start, ctx.clock.now, calls=calls
+        tracer = self.job.tracer
+        if tracer is not None:
+            fp = offsets_footprint(abs_index, itemsize) if tracer.capture_sync else ()
+            tracer.record(
+                ctx.pe, op, pe, data.nbytes, t_start, ctx.clock.now, calls=calls,
+                addr=dest.byte_offset + spec.min_elem * itemsize, footprint=fp,
             )
 
     def execute_plan_get(
@@ -386,15 +423,19 @@ class OneSidedLayer:
                 ctx.pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, t_start
             )
             op, calls = "get", spec.ncalls
+        abs_index = spec.rel_index + src.byte_offset
         raw = self.job.memories[pe].read_at(
-            spec.rel_index + src.byte_offset,
+            abs_index,
             itemsize,
             aligned=src.byte_offset % itemsize == 0,
         )
         ctx.clock.merge(done)
-        if self.job.tracer is not None:
-            self.job.tracer.record(
-                ctx.pe, op, pe, raw.size, t_start, ctx.clock.now, calls=calls
+        tracer = self.job.tracer
+        if tracer is not None:
+            fp = offsets_footprint(abs_index, itemsize) if tracer.capture_sync else ()
+            tracer.record(
+                ctx.pe, op, pe, raw.size, t_start, ctx.clock.now, calls=calls,
+                addr=src.byte_offset + spec.min_elem * itemsize, footprint=fp,
             )
         return raw.view(src.dtype)
 
@@ -408,12 +449,20 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         ctx.clock.merge(self._pending[ctx.pe])
         self._pending[ctx.pe] = 0.0
-        if self.job.tracer is not None and ctx.clock.now > t_start:
-            self.job.tracer.record(ctx.pe, "quiet", -1, 0, t_start, ctx.clock.now)
+        tracer = self.job.tracer
+        if tracer is not None and (ctx.clock.now > t_start or tracer.capture_sync):
+            # In sync-capture mode even a no-op quiet is recorded: it is
+            # a quiesce point the sanitizer's ordering checks rely on.
+            tracer.record(ctx.pe, "quiet", -1, 0, t_start, ctx.clock.now)
 
     def fence(self) -> None:
         """Order (but do not complete) outstanding puts per target."""
-        current().clock.advance(self.FENCE_COST_US)
+        ctx = current()
+        t_start = ctx.clock.now
+        ctx.clock.advance(self.FENCE_COST_US)
+        tracer = self.job.tracer
+        if tracer is not None and tracer.capture_sync:
+            tracer.record(ctx.pe, "fence", -1, 0, t_start, ctx.clock.now)
 
     def barrier_all(self) -> None:
         """Quiet + dissemination barrier over all PEs."""
@@ -421,9 +470,13 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         self.quiet()
         cost = self.job.network.barrier_cost(self.job.num_pes, self.profile)
-        self.job.barrier.wait(ctx, cost)
-        if self.job.tracer is not None:
-            self.job.tracer.record(ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now)
+        _, gen = self.job.barrier.wait_gen(ctx, cost)
+        tracer = self.job.tracer
+        if tracer is not None:
+            meta = ("b", self.job.barrier.sync_id, gen) if tracer.capture_sync else ()
+            tracer.record(
+                ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now, meta=meta
+            )
 
     # ------------------------------------------------------------------
     # 8-byte atomics
@@ -450,8 +503,9 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         done = self.job.network.amo(ctx.pe, pe, self.profile, t_start)
         fn = self._amo_fn(op, dtype, operands)
-        old, prev_time = self.job.memories[pe].atomic_rmw_timed(
-            target.element_offset(offset), dtype, fn, timestamp=done
+        elem_offset = target.element_offset(offset)
+        old, prev_time, seq = self.job.memories[pe].atomic_rmw_timed(
+            elem_offset, dtype, fn, timestamp=done
         )
         if prev_time > 0.0:
             # Causality: we observed a value deposited at prev_time, so
@@ -473,8 +527,17 @@ class OneSidedLayer:
                 )
             done = max(done, prev_time + proc + back)
         ctx.clock.merge(done)
-        if self.job.tracer is not None:
-            self.job.tracer.record(ctx.pe, "atomic", pe, 8, t_start, ctx.clock.now)
+        tracer = self.job.tracer
+        if tracer is not None:
+            if tracer.capture_sync:
+                fp = contiguous_footprint(elem_offset, 8)
+                meta = ("a", seq)
+            else:
+                fp, meta = (), ()
+            tracer.record(
+                ctx.pe, "atomic", pe, 8, t_start, ctx.clock.now,
+                addr=elem_offset, footprint=fp, meta=meta,
+            )
         return old
 
     @staticmethod
@@ -507,6 +570,35 @@ class OneSidedLayer:
             bitop = {"and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor}[op]
             return lambda old: dtype.type(bitop(old, v))
         raise ValueError(f"unknown atomic op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Local reads
+    # ------------------------------------------------------------------
+    def local_read_scalar(self, array: SymmetricArray, offset: int = 0) -> np.generic:
+        """Traced read of one element of this PE's own copy of ``array``.
+
+        Runtime-internal protocol loads (e.g. the MCS release path
+        reading its qnode's ``next`` link) must come through here rather
+        than poking :class:`~repro.runtime.memory.PEMemory` directly, so
+        the access is visible to the tracer and the sanitizer.  A local
+        load is free in virtual time.
+        """
+        array.check_span(offset, 1)
+        ctx = current()
+        elem_offset = array.element_offset(offset)
+        value = self.job.memories[ctx.pe].read_scalar(elem_offset, array.dtype)
+        tracer = self.job.tracer
+        if tracer is not None:
+            fp = (
+                contiguous_footprint(elem_offset, array.itemsize)
+                if tracer.capture_sync
+                else ()
+            )
+            tracer.record(
+                ctx.pe, "get", ctx.pe, array.itemsize, ctx.clock.now, ctx.clock.now,
+                addr=elem_offset, footprint=fp,
+            )
+        return value
 
     # ------------------------------------------------------------------
     # Point-to-point synchronization

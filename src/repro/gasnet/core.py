@@ -104,12 +104,21 @@ class GasnetLayer(OneSidedLayer):
         fn = self._resolve_handler(handler)
         ctx = current()
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
-        timing = self.job.network.am_request(ctx.pe, pe, nbytes, self.profile, ctx.clock.now)
+        t_start = ctx.clock.now
+        timing = self.job.network.am_request(ctx.pe, pe, nbytes, self.profile, t_start)
         token = Token(self, ctx.pe, pe, timing.remote_complete)
         result = fn(token, *args) if payload is None else fn(token, *args, payload=payload)
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
+        tracer = self.job.tracer
+        if tracer is not None and tracer.capture_sync:
+            # Handler effects land through Token (its stores/atomics are
+            # the target PE's, not traced per byte); the AM itself is
+            # recorded as machinery so it never counts as a data conflict.
+            tracer.record(
+                ctx.pe, "am", pe, nbytes, t_start, ctx.clock.now, internal=True
+            )
         return result
 
     def am_roundtrip(
@@ -121,9 +130,15 @@ class GasnetLayer(OneSidedLayer):
         fn = self._resolve_handler(handler)
         ctx = current()
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
-        done = self.job.network.am_roundtrip(ctx.pe, pe, nbytes, self.profile, ctx.clock.now)
+        t_start = ctx.clock.now
+        done = self.job.network.am_roundtrip(ctx.pe, pe, nbytes, self.profile, t_start)
         # The handler logically runs on arrival, before the reply.
         token = Token(self, ctx.pe, pe, done)
         result = fn(token, *args) if payload is None else fn(token, *args, payload=payload)
         ctx.clock.merge(done)
+        tracer = self.job.tracer
+        if tracer is not None and tracer.capture_sync:
+            tracer.record(
+                ctx.pe, "am", pe, nbytes, t_start, ctx.clock.now, internal=True
+            )
         return result

@@ -20,6 +20,7 @@ from repro.comm.base import OneSidedLayer
 from repro.comm.heap import SymmetricArray
 from repro.runtime.context import current
 from repro.runtime.launcher import Job
+from repro.trace.events import contiguous_footprint
 
 LAYER_NAME = "mpirma"
 
@@ -113,16 +114,18 @@ class Window:
         data = layer._coerce(self.array, value)
         self.array.check_span(offset, data.size)
         ctx = current()
+        t_start = ctx.clock.now
         # Priced as a put plus per-element service on the target's
         # atomic unit (MPI implementations funnel accumulates through
         # an ordering point to guarantee element-wise atomicity).
-        timing = layer.job.network.put(ctx.pe, rank, data.nbytes, layer.profile, ctx.clock.now)
+        timing = layer.job.network.put(ctx.pe, rank, data.nbytes, layer.profile, t_start)
         node = layer.job.topology.node_of(rank)
         _, amo_end = layer.job.network.timelines()["amo"][node].reserve(
             timing.remote_complete, data.size * layer.job.machine.amo_process_us
         )
+        addr = self.array.element_offset(offset) if data.size else self.array.byte_offset
         layer.job.memories[rank].accumulate(
-            self.array.element_offset(offset) if data.size else self.array.byte_offset,
+            addr,
             self.array.dtype,
             data,
             ufunc,
@@ -131,6 +134,17 @@ class Window:
         ctx.clock.merge(timing.local_complete)
         if amo_end > layer._pending[ctx.pe]:
             layer._pending[ctx.pe] = amo_end
+        tracer = layer.job.tracer
+        if tracer is not None:
+            fp = (
+                contiguous_footprint(addr, data.nbytes)
+                if tracer.capture_sync
+                else ()
+            )
+            tracer.record(
+                ctx.pe, "atomic", rank, data.nbytes, t_start, ctx.clock.now,
+                addr=addr, footprint=fp,
+            )
 
     def fetch_and_op(self, value: Any, rank: int, offset: int = 0, op: str = "sum") -> Any:
         """``MPI_Fetch_and_op`` on one element (8-byte dtypes)."""

@@ -37,6 +37,9 @@ class PEMemory:
         # an atomic that *observes* a value cannot logically complete
         # before the write that produced it (lock handoff causality).
         self._word_times: dict[int, float] = {}
+        # Wall-order sequence number of atomic updates per word; the
+        # sanitizer chains same-word atomics into happens-before edges.
+        self._word_seq: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def _check_range(self, offset: int, length: int) -> None:
@@ -255,7 +258,7 @@ class PEMemory:
         hand-off protocols (MCS) release by atomically updating words
         other PEs wait on.
         """
-        old, _ = self.atomic_rmw_timed(offset, dtype, fn, timestamp)
+        old, _, _ = self.atomic_rmw_timed(offset, dtype, fn, timestamp)
         return old
 
     def atomic_rmw_timed(
@@ -264,15 +267,17 @@ class PEMemory:
         dtype: np.dtype,
         fn: Callable[[np.generic], np.generic | int | float],
         timestamp: float,
-    ) -> tuple[np.generic, float]:
+    ) -> tuple[np.generic, float, int]:
         """Like :meth:`atomic_rmw`, additionally returning the virtual
-        timestamp of the previous atomic update to this word.
+        timestamp of the previous atomic update to this word and this
+        update's per-word sequence number (1-based, wall order).
 
-        The caller uses it for causality: an atomic that observed a
-        value deposited at time T cannot complete before T plus the
-        response leg — this is what makes lock handoff chains (MCS
-        release->acquire, test-and-set release->winning retry) consume
-        virtual time instead of being free.
+        The caller uses the timestamp for causality: an atomic that
+        observed a value deposited at time T cannot complete before T
+        plus the response leg — this is what makes lock handoff chains
+        (MCS release->acquire, test-and-set release->winning retry)
+        consume virtual time instead of being free.  The sequence number
+        feeds the sanitizer's same-word atomic ordering edges.
         """
         dt = np.dtype(dtype)
         self._check_range(offset, dt.itemsize)
@@ -282,10 +287,12 @@ class PEMemory:
             view[0] = fn(old)
             prev_time = self._word_times.get(offset, 0.0)
             self._word_times[offset] = max(timestamp, prev_time)
+            seq = self._word_seq.get(offset, 0) + 1
+            self._word_seq[offset] = seq
             if timestamp > self._last_write_time:
                 self._last_write_time = timestamp
             self._cond.notify_all()
-            return old, prev_time
+            return old, prev_time, seq
 
     def accumulate(
         self,

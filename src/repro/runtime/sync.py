@@ -13,6 +13,7 @@
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Callable
 
@@ -26,6 +27,8 @@ class CollectiveMismatch(RuntimeError):
 class VirtualBarrier:
     """Reusable barrier over ``num_pes`` threads with clock reconciliation."""
 
+    _ids = itertools.count(1)
+
     def __init__(self, num_pes: int, *, aborted: Callable[[], bool]) -> None:
         if num_pes <= 0:
             raise ValueError("num_pes must be positive")
@@ -36,6 +39,9 @@ class VirtualBarrier:
         self._count = 0
         self._max_arrival = 0.0
         self._release_time = 0.0
+        #: Job-unique identity; with the generation number it names one
+        #: barrier *episode* for the sanitizer's happens-before graph.
+        self.sync_id = next(VirtualBarrier._ids)
 
     def wait(self, ctx: PEContext, cost: float = 0.0) -> float:
         """Arrive at the barrier; returns the common departure time.
@@ -43,6 +49,15 @@ class VirtualBarrier:
         ``cost`` is the virtual duration of the barrier algorithm itself
         (e.g. ``NetworkModel.barrier_cost``); the last arriver's value
         is used — callers pass the same constant.
+        """
+        return self.wait_gen(ctx, cost)[0]
+
+    def wait_gen(self, ctx: PEContext, cost: float = 0.0) -> tuple[float, int]:
+        """Like :meth:`wait`, also returning the episode's generation.
+
+        The generation is captured at arrival (the last arriver bumps it
+        after capture), so every participant of one episode sees the
+        same number.
         """
         from repro.runtime.launcher import JobAborted
 
@@ -63,7 +78,7 @@ class VirtualBarrier:
                     self._cond.wait(timeout=0.05)
             departure = self._release_time
         ctx.clock.merge(departure)
-        return departure
+        return departure, gen
 
 
 class CollectiveState:

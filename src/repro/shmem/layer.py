@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 import typing
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -127,10 +128,17 @@ class ShmemLayer(OneSidedLayer):
                 f"PE {ctx.pe} called a barrier over active set {members} "
                 f"it does not belong to"
             )
+        t_start = ctx.clock.now
         self.quiet()
         group = self.job.groups.get(members)
         cost = self.job.network.barrier_cost(len(members), self.profile)
-        group.barrier.wait(ctx, cost)
+        _, gen = group.barrier.wait_gen(ctx, cost)
+        tracer = self.job.tracer
+        if tracer is not None and tracer.capture_sync:
+            tracer.record(
+                ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now,
+                meta=("b", group.barrier.sync_id, gen),
+            )
 
     def active_set_to_all(
         self,
@@ -260,35 +268,69 @@ class ShmemLayer(OneSidedLayer):
         if lock.size < 1 or lock.itemsize != 8:
             raise TypeError("a SHMEM lock must be a symmetric 8-byte integer")
 
+    def _record_shlock(self, op: str, tag: str, lock: SymmetricArray, t_start: float) -> None:
+        """Sync-capture record for a SHMEM global lock, keyed by the
+        lock word's heap offset (there is no image/index dimension)."""
+        tracer = self.job.tracer
+        if tracer is None or not tracer.capture_sync:
+            return
+        ctx = current()
+        hold_key = ("shlock", lock.byte_offset)
+        if op == "lock_acquire":
+            ticket = tracer.begin_hold(hold_key, ctx.pe)
+        else:
+            ticket = tracer.end_hold(hold_key, ctx.pe)
+        tracer.record(
+            ctx.pe, op, 0, 0, t_start, ctx.clock.now,
+            meta=(tag, f"sh:{lock.byte_offset}", -1, 0, ticket), internal=False,
+        )
+
     def set_lock(self, lock: SymmetricArray) -> None:
         """Acquire; test-and-set with exponential backoff on PE 0's word."""
         self._check_lock(lock)
         ctx = current()
+        t_start = ctx.clock.now
         backoff = self._LOCK_BACKOFF_START_US
-        while True:
-            old = self.atomic(lock, 0, 0, "cswap", ctx.pe + 1, 0)
-            if int(old) == 0:
-                return
-            ctx.clock.advance(backoff)
-            backoff = min(backoff * 2, self._LOCK_BACKOFF_MAX_US)
-            if self.job.aborted():
-                raise JobAborted("job aborted while acquiring shmem lock")
-            time.sleep(0.0002)  # wall-clock yield only; time cost is virtual
+        tracer = self.job.tracer
+        machinery = tracer.sync_internal() if tracer is not None else nullcontext()
+        with machinery:
+            while True:
+                if self.job.aborted():
+                    raise JobAborted("job aborted while acquiring shmem lock")
+                old = self.atomic(lock, 0, 0, "cswap", ctx.pe + 1, 0)
+                if int(old) == 0:
+                    break
+                ctx.clock.advance(backoff)
+                backoff = min(backoff * 2, self._LOCK_BACKOFF_MAX_US)
+                time.sleep(0.0002)  # wall-clock yield only; time cost is virtual
+        self._record_shlock("lock_acquire", "la", lock, t_start)
 
     def test_lock(self, lock: SymmetricArray) -> bool:
         """One acquisition attempt; True on success."""
         self._check_lock(lock)
         ctx = current()
-        old = self.atomic(lock, 0, 0, "cswap", ctx.pe + 1, 0)
-        return int(old) == 0
+        t_start = ctx.clock.now
+        tracer = self.job.tracer
+        machinery = tracer.sync_internal() if tracer is not None else nullcontext()
+        with machinery:
+            old = self.atomic(lock, 0, 0, "cswap", ctx.pe + 1, 0)
+        if int(old) == 0:
+            self._record_shlock("lock_acquire", "la", lock, t_start)
+            return True
+        return False
 
     def clear_lock(self, lock: SymmetricArray) -> None:
         """Release; must be called by the holder."""
         self._check_lock(lock)
         ctx = current()
+        t_start = ctx.clock.now
         self.quiet()  # writes in the critical section complete before release
-        old = self.atomic(lock, 0, 0, "cswap", 0, ctx.pe + 1)
+        tracer = self.job.tracer
+        machinery = tracer.sync_internal() if tracer is not None else nullcontext()
+        with machinery:
+            old = self.atomic(lock, 0, 0, "cswap", 0, ctx.pe + 1)
         if int(old) != ctx.pe + 1:
             raise RuntimeError(
                 f"PE {ctx.pe} released a shmem lock it does not hold (owner word={int(old)})"
             )
+        self._record_shlock("lock_release", "lr", lock, t_start)

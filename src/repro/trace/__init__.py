@@ -20,5 +20,25 @@ Usage::
 
 from repro.trace.events import TraceEvent, Tracer, attach
 from repro.trace.report import render_profile, render_timeline
+from repro.trace.sanitizer import (
+    Finding,
+    OrderingViolation,
+    SanitizerReport,
+    check_event_lists,
+    check_events,
+    check_tracer,
+)
 
-__all__ = ["TraceEvent", "Tracer", "attach", "render_profile", "render_timeline"]
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "attach",
+    "render_profile",
+    "render_timeline",
+    "Finding",
+    "OrderingViolation",
+    "SanitizerReport",
+    "check_event_lists",
+    "check_events",
+    "check_tracer",
+]

@@ -4,18 +4,56 @@ A :class:`Tracer` keeps one event list per PE (threads never share a
 list, so no locking on the hot path).  The communication layers call
 :meth:`Tracer.record` when a tracer is attached to their job; with no
 tracer attached the cost is one attribute read per operation.
+
+Two capture modes exist:
+
+* **profiling** (default) — data-path operations only, exactly what the
+  per-op profile and timeline reports need;
+* **sync capture** (``capture_sync=True``) — additionally records the
+  synchronization fabric (every ``quiet``/``fence``, barrier episodes
+  with their generation, lock acquire/release with lock identity and
+  a global per-lock ticket, event/sync-images post/wait channels, and
+  per-word atomic sequence numbers) plus precise byte **footprints** on
+  data operations.  This is the input the happens-before sanitizer
+  (:mod:`repro.trace.sanitizer`) consumes.
 """
 
 from __future__ import annotations
 
+import threading
 import typing
+from contextlib import contextmanager
 from dataclasses import dataclass
+
+import numpy as np
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.launcher import Job
 
-#: Operation kinds recorded by the layers.
-OPS = ("put", "get", "iput", "iget", "atomic", "quiet", "barrier", "am")
+#: Operation kinds recorded by the layers.  The first eight are the
+#: data/profiling ops; the rest are sync-capture-only records.
+OPS = (
+    "put",
+    "get",
+    "iput",
+    "iget",
+    "atomic",
+    "quiet",
+    "barrier",
+    "am",
+    "fence",
+    "lock_acquire",
+    "lock_release",
+    "post",
+    "wait",
+)
+
+#: Ops that move payload bytes (conflict candidates for the sanitizer).
+DATA_OPS = frozenset({"put", "get", "iput", "iget", "atomic"})
+
+#: Above this many merged intervals a footprint is coarsened to its
+#: bounding span (conservative: may over-report overlap, never under-).
+FOOTPRINT_CAP = 4096
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,6 +63,20 @@ class TraceEvent:
     ``calls`` is the number of logical library calls the event covers:
     1 for ordinary operations, N for one aggregated record emitted by
     the batched plan-execution path in place of N per-call records.
+
+    Sync-capture fields (all empty/defaulted in profiling mode):
+
+    * ``addr`` — starting byte offset of the access in the target PE's
+      heap (-1 when not applicable);
+    * ``footprint`` — merged, ascending ``(start, length)`` byte
+      intervals the operation touches on the target;
+    * ``internal`` — the operation is synchronization machinery (lock
+      protocol traffic); excluded from data-conflict checks;
+    * ``meta`` — op-specific sync payload, a flat JSON-able tuple:
+      ``("b", sync_id, generation)`` for barriers,
+      ``("la"/"lr", lock_id, image, index, ticket)`` for lock ops,
+      ``("po"/"wa", channel, ticket)`` for post/wait,
+      ``("a", seq)`` for word atomics (per-word sequence number).
     """
 
     pe: int
@@ -34,19 +86,101 @@ class TraceEvent:
     t_start: float
     t_end: float
     calls: int = 1
+    addr: int = -1
+    footprint: tuple = ()
+    internal: bool = False
+    meta: tuple = ()
 
     @property
     def duration(self) -> float:
         return self.t_end - self.t_start
 
 
+# ---------------------------------------------------------------------------
+# Footprint helpers (byte-interval lists over the target heap)
+# ---------------------------------------------------------------------------
+
+
+def contiguous_footprint(addr: int, nbytes: int) -> tuple:
+    """Footprint of a contiguous access."""
+    return ((int(addr), int(nbytes)),) if nbytes else ()
+
+
+def strided_footprint(addr: int, stride_bytes: int, elem_size: int, nelems: int) -> tuple:
+    """Footprint of a 1-D strided access (``shmem_iput`` shape)."""
+    if nelems <= 0:
+        return ()
+    if stride_bytes == elem_size or nelems == 1:
+        return contiguous_footprint(addr, nelems * elem_size)
+    if nelems > FOOTPRINT_CAP:  # coarsen: bounding span
+        return ((int(addr), int((nelems - 1) * stride_bytes + elem_size)),)
+    return tuple((int(addr + i * stride_bytes), int(elem_size)) for i in range(nelems))
+
+
+def offsets_footprint(offsets: np.ndarray, elem_size: int) -> tuple:
+    """Merged footprint of a batched scatter/gather (absolute byte
+    offsets, one element of ``elem_size`` bytes each)."""
+    if offsets.size == 0:
+        return ()
+    s = np.sort(np.asarray(offsets, dtype=np.int64))
+    ends = s + elem_size
+    breaks = np.nonzero(s[1:] > ends[:-1])[0] + 1
+    starts = s[np.concatenate(([0], breaks))]
+    stops = ends[np.concatenate((breaks - 1, [s.size - 1]))]
+    if starts.size > FOOTPRINT_CAP:  # coarsen: bounding span
+        return ((int(s[0]), int(ends[-1] - s[0])),)
+    return tuple((int(a), int(b - a)) for a, b in zip(starts, stops))
+
+
 class Tracer:
     """Per-job event capture."""
 
-    def __init__(self, job: "Job") -> None:
+    def __init__(self, job: "Job", capture_sync: bool = False) -> None:
         self.job = job
+        self.capture_sync = capture_sync
         self.events: list[list[TraceEvent]] = [[] for _ in range(job.num_pes)]
+        # Sync bookkeeping (cold path; one small lock).
+        self._tls = threading.local()
+        self._sync_lock = threading.Lock()
+        self._lock_tickets: dict = {}
+        self._lock_holds: dict = {}
 
+    # ------------------------------------------------------------------
+    # Sync-capture bookkeeping
+    # ------------------------------------------------------------------
+    @contextmanager
+    def sync_internal(self):
+        """Mark operations recorded inside the block as lock/sync
+        machinery (``internal=True``) — excluded from conflict checks."""
+        depth = getattr(self._tls, "depth", 0)
+        self._tls.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._tls.depth = depth
+
+    @property
+    def in_sync_internal(self) -> bool:
+        return getattr(self._tls, "depth", 0) > 0
+
+    def begin_hold(self, key, pe: int) -> int:
+        """Assign the next global acquisition ticket for lock ``key``.
+
+        Callers invoke this while holding the lock, so ticket order
+        equals true acquisition order.
+        """
+        with self._sync_lock:
+            ticket = self._lock_tickets.get(key, 0) + 1
+            self._lock_tickets[key] = ticket
+            self._lock_holds[(key, pe)] = ticket
+            return ticket
+
+    def end_hold(self, key, pe: int) -> int:
+        """The ticket of ``pe``'s current hold of ``key`` (-1 unknown)."""
+        with self._sync_lock:
+            return self._lock_holds.pop((key, pe), -1)
+
+    # ------------------------------------------------------------------
     def record(
         self,
         pe: int,
@@ -56,9 +190,16 @@ class Tracer:
         t_start: float,
         t_end: float,
         calls: int = 1,
+        *,
+        addr: int = -1,
+        footprint: tuple = (),
+        internal: bool | None = None,
+        meta: tuple = (),
     ) -> None:
         if op not in OPS:
             raise ValueError(f"unknown trace op {op!r}; expected {OPS}")
+        if internal is None:
+            internal = self.in_sync_internal
         self.events[pe].append(
             TraceEvent(
                 pe=pe,
@@ -68,6 +209,10 @@ class Tracer:
                 t_start=t_start,
                 t_end=t_end,
                 calls=calls,
+                addr=addr,
+                footprint=footprint,
+                internal=internal,
+                meta=meta,
             )
         )
 
@@ -102,10 +247,16 @@ class Tracer:
         return render_timeline(self, pe, width)
 
 
-def attach(job: "Job") -> Tracer:
-    """Attach (or return the existing) tracer to a job."""
+def attach(job: "Job", capture_sync: bool = False) -> Tracer:
+    """Attach (or return the existing) tracer to a job.
+
+    ``capture_sync=True`` turns on sync-edge capture (see module
+    docstring); on an already-attached tracer it upgrades the mode.
+    """
     tracer = getattr(job, "tracer", None)
     if tracer is None:
-        tracer = Tracer(job)
+        tracer = Tracer(job, capture_sync=capture_sync)
         job.tracer = tracer
+    elif capture_sync:
+        tracer.capture_sync = True
     return tracer

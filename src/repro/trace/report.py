@@ -19,6 +19,11 @@ _TIMELINE_GLYPHS = {
     "quiet": "q",
     "barrier": "B",
     "am": "m",
+    "fence": "f",
+    "lock_acquire": "L",
+    "lock_release": "U",
+    "post": "o",
+    "wait": "w",
 }
 
 

@@ -1,0 +1,464 @@
+"""Trace-based happens-before ordering/race sanitizer.
+
+The paper's correctness argument (Section IV-B, Table II) is that
+inserting ``shmem_quiet`` at the right points bridges CAF's ordered-RMA
+semantics onto OpenSHMEM's weak completion model.  This module makes
+that argument machine-checkable: given a sync-capture trace (see
+:mod:`repro.trace.events`), it reconstructs the happens-before partial
+order and flags
+
+* **unordered-conflict** — two accesses from different PEs touch
+  overlapping symmetric bytes, at least one writes, and neither is
+  ordered before the other (no path of program order, barrier episodes,
+  lock release->acquire handoffs, post->wait channels, or same-word
+  atomic chains);
+* **missing-quiet** — a non-blocking put is ordered before a
+  conflicting access on another PE, but no ``quiet``/``barrier`` on the
+  writer intervenes on that path: under OpenSHMEM's completion model the
+  bytes may not have landed yet, so the ordering is illusory;
+* **unquiesced-release** — a lock release with critical-section puts
+  not covered by a ``quiet`` before the lock word is freed (the next
+  holder could read stale data);
+* **cross-image-unlock** / **unmatched-release** — lock protocol
+  misuse: the release of an acquisition ticket came from a different PE
+  than the acquire, or from nowhere.
+
+Happens-before edge sources (and deliberate non-sources):
+
+* per-PE program order (trace records are written in call order);
+* barrier records grouped into *episodes* by ``(sync_id, generation)``,
+  joined through a synthetic episode node — predecessors of every
+  member reach the episode, the episode reaches every member, and no
+  spurious member<->member cycle appears;
+* ``lock_release(ticket t) -> lock_acquire(ticket t+1)`` on the same
+  lock identity (tickets are assigned in true acquisition order);
+* ``post -> wait`` on the same channel with covering ticket
+  (``sync_images`` pairwise counters);
+* same-word atomic sequence chains (``meta=("a", seq)``) — atomics are
+  treated as synchronizing, ThreadSanitizer-style, which is exactly how
+  the runtime's flag/counter handshakes are meant to be used;
+* ``wait_until`` is intentionally **not** an edge source: spinning on a
+  plain word that a weakly-completed put may deliver early is the very
+  race the sanitizer exists to catch.
+
+Internal (lock-machinery) operations are excluded from data-conflict
+candidacy but their quiets still count as quiesce points.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace.events import TraceEvent, Tracer
+
+#: Non-blocking remote writes: remote completion needs quiet/barrier.
+_WEAK_WRITE_OPS = frozenset({"put", "iput"})
+_READ_OPS = frozenset({"get", "iget"})
+_CONFLICT_OPS = frozenset({"put", "iput", "get", "iget", "atomic"})
+_QUIESCE_OPS = frozenset({"quiet", "barrier"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One sanitizer diagnosis."""
+
+    kind: str  # see module docstring
+    message: str
+    events: tuple = ()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.message}"
+
+
+@dataclass
+class SanitizerReport:
+    """The outcome of one sanitizer pass."""
+
+    findings: list[Finding] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [
+            f"ordering sanitizer: {len(self.findings)} finding(s) "
+            f"over {self.stats.get('events', 0)} events "
+            f"({self.stats.get('sync_edges', 0)} sync edges, "
+            f"{self.stats.get('pairs_checked', 0)} conflicting pairs checked)"
+        ]
+        for i, f in enumerate(self.findings, 1):
+            lines.append(f"  {i}. [{f.kind}] {f.message}")
+        return "\n".join(lines)
+
+
+class OrderingViolation(RuntimeError):
+    """Raised by ``caf.launch(..., sanitize=True)`` when the trace of the
+    finished run contains ordering violations."""
+
+    def __init__(self, report: SanitizerReport) -> None:
+        super().__init__(report.render())
+        self.report = report
+
+
+class _Node:
+    """One trace event as a graph node."""
+
+    __slots__ = ("ev", "pe", "pos", "id")
+
+    def __init__(self, ev: TraceEvent, pe: int, pos: int, id: int) -> None:
+        self.ev = ev
+        self.pe = pe
+        self.pos = pos
+        self.id = id
+
+
+def _describe(n: _Node) -> str:
+    e = n.ev
+    span = ""
+    if e.footprint:
+        lo = e.footprint[0][0]
+        hi = e.footprint[-1][0] + e.footprint[-1][1]
+        span = f" bytes[{lo},{hi})"
+    return (
+        f"PE{e.pe} {e.op}"
+        + (f"->PE{e.target}" if e.target >= 0 else "")
+        + span
+        + f" @t={e.t_start:.3f}us (#{n.pos})"
+    )
+
+
+def check_tracer(tracer: Tracer) -> SanitizerReport:
+    """Run the sanitizer over a live tracer's events."""
+    return check_event_lists([list(per) for per in tracer.events])
+
+
+def check_events(events: list[TraceEvent], num_pes: int) -> SanitizerReport:
+    """Run the sanitizer over a flat (loaded) event list.
+
+    Relies on the serializer's stable ``(t_start, pe)`` ordering keeping
+    each PE's records in program order.
+    """
+    per_pe: list[list[TraceEvent]] = [[] for _ in range(num_pes)]
+    for e in events:
+        per_pe[e.pe].append(e)
+    return check_event_lists(per_pe)
+
+
+def check_event_lists(per_pe: list[list[TraceEvent]]) -> SanitizerReport:
+    num_pes = len(per_pe)
+    report = SanitizerReport()
+    nodes: list[_Node] = []
+    by_pe: list[list[_Node]] = []
+    for pe, evs in enumerate(per_pe):
+        row = []
+        for pos, ev in enumerate(evs):
+            n = _Node(ev, pe, pos, len(nodes))
+            nodes.append(n)
+            row.append(n)
+        by_pe.append(row)
+    report.stats["events"] = len(nodes)
+
+    edges, sync_edges = _build_edges(nodes, by_pe, report)
+    report.stats["sync_edges"] = sync_edges
+
+    vcs, acyclic = _vector_clocks(nodes, by_pe, edges, num_pes)
+    if not acyclic:
+        report.findings.append(
+            Finding(
+                "cyclic-sync",
+                "sync edges form a cycle — the trace is internally "
+                "inconsistent; skipping happens-before checks",
+            )
+        )
+        return report
+
+    def hb(a: _Node, b: _Node) -> bool:
+        """Does ``a`` happen before ``b``?"""
+        return a is not b and vcs[b.id][a.pe] > a.pos
+
+    _check_conflicts(nodes, by_pe, hb, report)
+    _check_lock_discipline(nodes, by_pe, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+
+def _build_edges(nodes, by_pe, report):
+    """Cross-PE sync edges as ``dst_id -> [src_ids]`` (program-order
+    edges are handled implicitly by the topological pass).
+
+    Synthetic barrier-episode nodes get ids past the event range.
+    """
+    preds: dict[int, list[int]] = defaultdict(list)
+    next_id = len(nodes)
+    sync_edges = 0
+
+    # Barrier episodes.
+    episodes: dict[tuple, list[_Node]] = defaultdict(list)
+    for n in nodes:
+        if n.ev.op == "barrier" and len(n.ev.meta) == 3 and n.ev.meta[0] == "b":
+            episodes[(n.ev.meta[1], n.ev.meta[2])].append(n)
+    episode_ids = []
+    for members in episodes.values():
+        ep = next_id
+        next_id += 1
+        episode_ids.append(ep)
+        for m in members:
+            if m.pos > 0:
+                preds[ep].append(by_pe[m.pe][m.pos - 1].id)
+            preds[m.id].append(ep)
+            sync_edges += 1
+
+    # Lock handoff: release(ticket t) -> acquire(ticket t+1).
+    acquires: dict[tuple, dict[int, _Node]] = defaultdict(dict)
+    releases: dict[tuple, dict[int, _Node]] = defaultdict(dict)
+    for n in nodes:
+        m = n.ev.meta
+        if n.ev.op == "lock_acquire" and len(m) == 5:
+            acquires[m[1:4]][m[4]] = n
+        elif n.ev.op == "lock_release" and len(m) == 5:
+            releases[m[1:4]][m[4]] = n
+    for key, rel in releases.items():
+        acq = acquires.get(key, {})
+        for ticket, r in rel.items():
+            a = acq.get(ticket + 1)
+            if a is not None and ticket >= 0:
+                preds[a.id].append(r.id)
+                sync_edges += 1
+
+    # Post/wait channels (sync_images pairwise counters).
+    posts: dict[str, list[tuple[int, _Node]]] = defaultdict(list)
+    waits: list[_Node] = []
+    for n in nodes:
+        m = n.ev.meta
+        if n.ev.op == "post" and len(m) == 3 and m[0] == "po":
+            posts[m[1]].append((m[2], n))
+        elif n.ev.op == "wait" and len(m) == 3 and m[0] == "wa":
+            waits.append(n)
+    for w in waits:
+        _, channel, ticket = w.ev.meta
+        if ticket < 0:
+            continue  # ordering carried by the counter's atomic chain
+        for tp, p in posts.get(channel, ()):
+            if 0 <= tp <= ticket and p.pe != w.pe:
+                preds[w.id].append(p.id)
+                sync_edges += 1
+
+    # Same-word atomic sequence chains.
+    chains: dict[tuple, list[tuple[int, _Node]]] = defaultdict(list)
+    for n in nodes:
+        m = n.ev.meta
+        if n.ev.op == "atomic" and len(m) == 2 and m[0] == "a":
+            chains[(n.ev.target, n.ev.addr)].append((m[1], n))
+    for chain in chains.values():
+        chain.sort(key=lambda t: t[0])
+        for (_, a), (_, b) in zip(chain, chain[1:]):
+            if a.pe != b.pe:  # same-PE order is program order already
+                preds[b.id].append(a.id)
+            sync_edges += 1
+
+    # Record how many synthetic nodes exist for the topo pass.
+    report.stats["episodes"] = len(episode_ids)
+    return (preds, next_id), sync_edges
+
+
+def _vector_clocks(nodes, by_pe, edges, num_pes):
+    """Per-node vector clocks via a Kahn topological pass.
+
+    ``vcs[n][p]`` = number of PE ``p``'s events that happen before (or
+    are) node ``n``; returns ``(vcs, acyclic)``.
+    """
+    preds, total = edges
+    succs: dict[int, list[int]] = defaultdict(list)
+    indeg = np.zeros(total, dtype=np.int64)
+    for dst, srcs in preds.items():
+        for src in srcs:
+            succs[src].append(dst)
+        indeg[dst] += len(srcs)
+    # Implicit program-order edge: each event with pos > 0 depends on
+    # its predecessor in the same PE.
+    for n in nodes:
+        if n.pos > 0:
+            indeg[n.id] += 1
+
+    vcs = np.zeros((total, num_pes), dtype=np.int64)
+    queue = deque(i for i in range(total) if indeg[i] == 0)
+    po_succ = {}
+    for row in by_pe:
+        for a, b in zip(row, row[1:]):
+            po_succ[a.id] = b.id
+    processed = 0
+    is_event = len(nodes)
+    while queue:
+        i = queue.popleft()
+        processed += 1
+        if i < is_event:
+            n = nodes[i]
+            if n.pos > 0:
+                np.maximum(vcs[i], vcs[by_pe[n.pe][n.pos - 1].id], out=vcs[i])
+            for src in preds.get(i, ()):
+                np.maximum(vcs[i], vcs[src], out=vcs[i])
+            vcs[i][n.pe] = n.pos + 1
+            nxt = po_succ.get(i)
+            if nxt is not None:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    queue.append(nxt)
+        else:
+            for src in preds.get(i, ()):
+                np.maximum(vcs[i], vcs[src], out=vcs[i])
+        for dst in succs.get(i, ()):
+            indeg[dst] -= 1
+            if indeg[dst] == 0:
+                queue.append(dst)
+    return vcs, processed == total
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def _check_conflicts(nodes, by_pe, hb, report):
+    """Checks (a) unordered-conflict and (b) missing-quiet."""
+    # Per-PE sorted positions of quiesce events, for "first quiet or
+    # barrier after position i" queries.
+    quiesce_pos: list[list[_Node]] = [
+        [n for n in row if n.ev.op in _QUIESCE_OPS] for row in by_pe
+    ]
+
+    def first_quiesce_after(pe: int, pos: int):
+        row = quiesce_pos[pe]
+        lo, hi = 0, len(row)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if row[mid].pos > pos:
+                hi = mid
+            else:
+                lo = mid + 1
+        return row[lo] if lo < len(row) else None
+
+    # Interval sweep per target PE.
+    by_target: dict[int, list[tuple[int, int, _Node]]] = defaultdict(list)
+    for n in nodes:
+        e = n.ev
+        if e.op in _CONFLICT_OPS and e.footprint and not e.internal and e.target >= 0:
+            for start, length in e.footprint:
+                by_target[e.target].append((start, start + length, n))
+
+    pairs_checked = 0
+    seen_pairs: set[tuple[int, int]] = set()
+    for intervals in by_target.values():
+        intervals.sort(key=lambda t: t[0])
+        active: list[tuple[int, _Node]] = []  # (end, node)
+        for start, end, n in intervals:
+            active = [(e_end, m) for e_end, m in active if e_end > start]
+            for _, m in active:
+                if m is n or m.pe == n.pe:
+                    continue
+                a_op, b_op = m.ev.op, n.ev.op
+                if a_op in _READ_OPS and b_op in _READ_OPS:
+                    continue
+                if a_op == "atomic" and b_op == "atomic":
+                    continue  # atomics are mutually atomic by definition
+                pair = (m.id, n.id) if m.id < n.id else (n.id, m.id)
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                pairs_checked += 1
+                _judge_pair(m, n, hb, first_quiesce_after, report)
+            active.append((end, n))
+    report.stats["pairs_checked"] = pairs_checked
+
+
+def _judge_pair(a, b, hb, first_quiesce_after, report):
+    hb_ab = hb(a, b)
+    hb_ba = hb(b, a)
+    if not hb_ab and not hb_ba:
+        report.findings.append(
+            Finding(
+                "unordered-conflict",
+                f"{_describe(a)} and {_describe(b)} touch overlapping "
+                f"symmetric bytes on PE{a.ev.target} with no "
+                f"happens-before path in either direction",
+                (a.ev, b.ev),
+            )
+        )
+        return
+    first, second = (a, b) if hb_ab else (b, a)
+    if first.ev.op not in _WEAK_WRITE_OPS:
+        return  # gets and atomics are blocking: complete on return
+    q = first_quiesce_after(first.pe, first.pos)
+    if q is None or not hb(q, second):
+        report.findings.append(
+            Finding(
+                "missing-quiet",
+                f"{_describe(first)} is ordered before {_describe(second)} "
+                f"but no quiet/barrier on PE{first.pe} intervenes: under "
+                f"the weak completion model the put may not have landed",
+                (first.ev, second.ev),
+            )
+        )
+
+
+def _check_lock_discipline(nodes, by_pe, report):
+    """Checks (c): unquiesced release, cross-image unlock, unmatched
+    release — over lock records even when machinery-internal."""
+    acquires: dict[tuple, dict[int, _Node]] = defaultdict(dict)
+    release_list: list[tuple[tuple, int, _Node]] = []
+    for n in nodes:
+        m = n.ev.meta
+        if n.ev.op == "lock_acquire" and len(m) == 5:
+            acquires[m[1:4]][m[4]] = n
+        elif n.ev.op == "lock_release" and len(m) == 5:
+            release_list.append((m[1:4], m[4], n))
+    for key, ticket, r in release_list:
+        a = acquires.get(key, {}).get(ticket)
+        if a is None:
+            report.findings.append(
+                Finding(
+                    "unmatched-release",
+                    f"{_describe(r)} releases lock {key} ticket {ticket} "
+                    f"that was never acquired in this trace",
+                    (r.ev,),
+                )
+            )
+            continue
+        if a.pe != r.pe:
+            report.findings.append(
+                Finding(
+                    "cross-image-unlock",
+                    f"{_describe(r)} unlocks lock {key} ticket {ticket} "
+                    f"acquired by PE{a.pe} ({_describe(a)}) — CAF forbids "
+                    f"unlocking another image's acquisition",
+                    (a.ev, r.ev),
+                )
+            )
+            continue
+        # Critical-section writes must be quiesced before the release.
+        row = by_pe[r.pe]
+        last_write = None
+        last_quiesce = -1
+        for n in row[a.pos + 1 : r.pos]:
+            if n.ev.op in _WEAK_WRITE_OPS:
+                last_write = n
+            elif n.ev.op in _QUIESCE_OPS:
+                last_quiesce = n.pos
+        if last_write is not None and last_quiesce < last_write.pos:
+            report.findings.append(
+                Finding(
+                    "unquiesced-release",
+                    f"{_describe(r)} releases lock {key} while "
+                    f"{_describe(last_write)} from the critical section "
+                    f"has no quiet before the lock word is freed",
+                    (last_write.ev, r.ev),
+                )
+            )

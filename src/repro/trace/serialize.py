@@ -3,7 +3,8 @@
 Production profilers persist traces for offline analysis; these helpers
 round-trip a :class:`~repro.trace.events.Tracer`'s events through a
 compact JSON document (one record per event), so traces can be diffed
-across runs or post-processed outside the simulator.
+across runs, post-processed outside the simulator, or fed to the
+ordering sanitizer (``python -m repro.trace.sanitize``).
 """
 
 from __future__ import annotations
@@ -13,7 +14,9 @@ from pathlib import Path
 
 from repro.trace.events import OPS, TraceEvent, Tracer
 
-FORMAT_VERSION = 2  # v2 appends the per-event logical call count
+# v2 appended the per-event logical call count; v3 appends the
+# sync-capture fields (addr, footprint, internal, meta).
+FORMAT_VERSION = 3
 
 
 def to_dict(tracer: Tracer) -> dict:
@@ -23,7 +26,19 @@ def to_dict(tracer: Tracer) -> dict:
         "num_pes": tracer.job.num_pes,
         "machine": tracer.job.machine.name,
         "events": [
-            [e.pe, e.op, e.target, e.nbytes, e.t_start, e.t_end, e.calls]
+            [
+                e.pe,
+                e.op,
+                e.target,
+                e.nbytes,
+                e.t_start,
+                e.t_end,
+                e.calls,
+                e.addr,
+                [list(iv) for iv in e.footprint],
+                int(e.internal),
+                list(e.meta),
+            ]
             for per_pe in tracer.events
             for e in per_pe
         ],
@@ -36,14 +51,26 @@ def save(tracer: Tracer, path: str | Path) -> None:
 
 
 def events_from_dict(doc: dict) -> list[TraceEvent]:
-    """Decode a document back into a flat, start-time-ordered event list."""
-    if doc.get("format") not in (1, FORMAT_VERSION):
+    """Decode a document back into a flat, start-time-ordered event list.
+
+    Accepts formats 1 (no call counts), 2 (call counts), and 3 (sync
+    fields); the sort by ``(t_start, pe)`` is stable, so each PE's
+    program order — the order records were written in — is preserved.
+    """
+    if doc.get("format") not in (1, 2, FORMAT_VERSION):
         raise ValueError(f"unsupported trace format {doc.get('format')!r}")
     num_pes = doc["num_pes"]
     out = []
     for rec in doc["events"]:
         pe, op, target, nbytes, t_start, t_end = rec[:6]
         calls = rec[6] if len(rec) > 6 else 1  # v1 records carry no count
+        if len(rec) > 7:  # v3 sync-capture fields
+            addr = rec[7]
+            footprint = tuple((int(s), int(n)) for s, n in rec[8])
+            internal = bool(rec[9])
+            meta = tuple(rec[10])
+        else:
+            addr, footprint, internal, meta = -1, (), False, ()
         if not 0 <= pe < num_pes:
             raise ValueError(f"event names PE {pe} outside [0, {num_pes})")
         if op not in OPS:
@@ -61,6 +88,10 @@ def events_from_dict(doc: dict) -> list[TraceEvent]:
                 t_start=t_start,
                 t_end=t_end,
                 calls=calls,
+                addr=addr,
+                footprint=footprint,
+                internal=internal,
+                meta=meta,
             )
         )
     out.sort(key=lambda e: (e.t_start, e.pe))

@@ -97,6 +97,31 @@ def test_full_bucket_raises():
     assert 0 < out[0] <= 4
 
 
+def test_full_bucket_reports_actual_span():
+    """With uneven lock spans (5 slots, 2 locks -> spans 3 and 2) the
+    DhtFullError must report the home bucket's real slot count, not the
+    floor quotient (which would claim 2 for both buckets)."""
+    from repro.bench.dht import DhtFullError, _mix
+
+    def kernel():
+        t = DistributedHashTable(slots_per_image=5, locks_per_image=2)
+        assert [t._lock_span(b) for b in range(2)] == [3, 2]
+        # Keys homed exactly at slot 0: inserts occupy slots 0-2 (bucket
+        # 0's whole span), so the 4th exhausts its probe range.
+        keys = [k for k in range(1, 50000) if (_mix(k) >> 20) % 5 == 0][:4]
+        assert len(keys) == 4
+        for k in keys[:3]:
+            t.update(k)
+        try:
+            t.update(keys[3])
+        except DhtFullError as exc:
+            return str(exc)
+        return None
+
+    out = caf.launch(kernel, num_images=1)
+    assert out[0] is not None and "(3 slots)" in out[0]
+
+
 def test_reserved_key_rejected():
     def kernel():
         t = DistributedHashTable(slots_per_image=4)

@@ -1,7 +1,6 @@
 """The F2008 ``critical`` construct and ``sync memory``."""
 
 import numpy as np
-import pytest
 
 from repro import caf
 from repro.runtime.context import current

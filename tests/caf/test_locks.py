@@ -77,26 +77,29 @@ def test_lock_array_indices_are_independent():
     assert all(caf.launch(kernel, num_images=1))
 
 
-def test_double_acquire_rejected():
+@pytest.mark.parametrize("algo", ["mcs", "tas"])
+def test_double_acquire_rejected(algo):
     def kernel():
         lck = caf.lock_type()
         caf.lock(lck, 1)
         caf.lock(lck, 1)
 
     with pytest.raises(RuntimeError, match="already holds"):
-        caf.launch(kernel, num_images=1)
+        caf.launch(kernel, num_images=1, lock_algorithm=algo)
 
 
-def test_unlock_unheld_rejected():
+@pytest.mark.parametrize("algo", ["mcs", "tas"])
+def test_unlock_unheld_rejected(algo):
     def kernel():
         lck = caf.lock_type()
         caf.unlock(lck, 1)
 
     with pytest.raises(RuntimeError, match="does not hold"):
-        caf.launch(kernel, num_images=1)
+        caf.launch(kernel, num_images=1, lock_algorithm=algo)
 
 
-def test_guard_context_manager_releases_on_error():
+@pytest.mark.parametrize("algo", ["mcs", "tas"])
+def test_guard_context_manager_releases_on_error(algo):
     def kernel():
         lck = caf.lock_type()
         try:
@@ -109,7 +112,34 @@ def test_guard_context_manager_releases_on_error():
             assert lck.holding(1)
         return True
 
-    assert all(caf.launch(kernel, num_images=1))
+    assert all(caf.launch(kernel, num_images=1, lock_algorithm=algo))
+
+
+@pytest.mark.parametrize("algo", ["mcs", "tas"])
+def test_holding_is_per_image(algo):
+    """holding() reports only this image's acquisitions: the lock at
+    image 2 held by image 1 is 'held' for image 1 alone, and image 2
+    cannot release it (CAF forbids cross-image unlock)."""
+
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 2)
+        caf.sync_all()
+        held = lck.holding(2)
+        if me == 2:
+            with pytest.raises(RuntimeError, match="does not hold"):
+                caf.unlock(lck, 2)
+        caf.sync_all()
+        if me == 1:
+            caf.unlock(lck, 2)
+        caf.sync_all()
+        return held
+
+    out = caf.launch(kernel, num_images=2, lock_algorithm=algo)
+    assert out == [True, False]
 
 
 def test_qnodes_returned_to_managed_heap():

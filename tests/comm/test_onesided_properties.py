@@ -2,7 +2,6 @@
 through every layer that subclasses it."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

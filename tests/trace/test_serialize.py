@@ -43,7 +43,7 @@ def test_document_shape(tmp_path):
     assert doc["format"] == serialize.FORMAT_VERSION
     assert doc["num_pes"] == 3
     assert doc["machine"] == "Stampede"
-    assert all(len(rec) == 7 for rec in doc["events"])
+    assert all(len(rec) == 11 for rec in doc["events"])
     assert all(rec[6] >= 1 for rec in doc["events"])
     # the document is valid JSON end to end
     assert json.loads(json.dumps(doc)) == doc
@@ -56,6 +56,41 @@ def test_loads_v1_documents_without_calls():
     events = serialize.events_from_dict(v1)
     assert len(events) == tracer.count()
     assert all(e.calls == 1 for e in events)
+
+
+def test_loads_v2_documents_without_sync_fields():
+    tracer = _make_trace()
+    doc = serialize.to_dict(tracer)
+    v2 = dict(doc, format=2, events=[rec[:7] for rec in doc["events"]])
+    events = serialize.events_from_dict(v2)
+    assert len(events) == tracer.count()
+    assert all(e.footprint == () and e.meta == () and not e.internal for e in events)
+
+
+def test_v3_sync_fields_roundtrip(tmp_path):
+    """Footprints, internal flags and sync metadata survive save/load."""
+    job = Job(2)
+    shmem.attach(job)
+    tracer = trace.attach(job, capture_sync=True)
+
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((32,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            shmem.put(x, np.arange(8, dtype=np.int64), 1)
+            shmem.quiet()
+        shmem.barrier_all()
+
+    job.run(kernel)
+    path = tmp_path / "trace.json"
+    serialize.save(tracer, path)
+    events = serialize.load(path)
+    assert events == tracer.all_events()
+    puts = [e for e in events if e.op == "put"]
+    assert puts and puts[0].footprint and puts[0].addr >= 0
+    barriers = [e for e in events if e.op == "barrier"]
+    assert barriers and all(e.meta and e.meta[0] == "b" for e in barriers)
 
 
 def test_load_validates(tmp_path):
