@@ -1,12 +1,15 @@
-"""Wall-clock benchmarks of the batched RMA engine.
+"""Wall-clock benchmarks of the batched + vectorized RMA engine.
 
-Every case runs the same workload twice — batching on (the default) and
-off (``REPRO_NO_BATCH=1``) — and reports host wall-clock seconds for
-each, the speedup, and whether the two runs produced identical virtual
-times and stats counters (they must: the fast path is required to be
-bit-identical in simulated time).
+Every case runs the same workload three ways — the full fast path (the
+default), the plain batched engine (``REPRO_NO_VECTOR=1``), and the
+per-call oracle (``REPRO_NO_BATCH=1``) — and reports host wall-clock
+seconds for each (best of ``--repeats`` runs, to damp scheduler and
+allocator noise), the speedups, and whether all runs produced identical
+virtual times and stats counters (they must: both fast paths are
+required to be bit-identical in simulated time).
 
-Cases, per the paper's own motivating example (Section IV-C):
+Cases, per the paper's own motivating example (Section IV-C) and the
+Figs 8/9 synchronization benchmarks:
 
 * ``naive-50x40x25`` — the 3-D section ``A(1:100:2, 1:80:2, 1:100:4)``
   under the ``naive`` strided policy: 50 x 40 x 25 = 50,000 logical RMA
@@ -14,8 +17,14 @@ Cases, per the paper's own motivating example (Section IV-C):
 * ``2dim-sweep`` — the Figs 6/7 2-D strided put over several strides
   with the ``2dim`` translation (few calls, each a strided line).
 * ``himeno-quick`` — a small Himeno run (halo-exchange cadence).
+* ``locks`` — the Fig 8 lock microbenchmark (contended acquires; the
+  remote-atomic path).
+* ``dht`` — the Fig 9 distributed-hash-table update loop (atomics +
+  fine-grained puts/gets under bucket locks).
 
-``python -m repro.bench.wallclock`` writes ``BENCH_wallclock.json``.
+``python -m repro.bench.wallclock`` writes ``BENCH_wallclock.json``;
+``--min-speedup X`` makes the CLI fail when any case's batched-vs-oracle
+speedup lands below ``X``.
 """
 
 from __future__ import annotations
@@ -32,8 +41,10 @@ import numpy as np
 
 from repro import caf
 from repro.bench import microbench
+from repro.bench.dht import dht_benchmark
 from repro.bench.harness import (
     CafConfig,
+    UHCAF_CRAY_SHMEM,
     UHCAF_CRAY_SHMEM_2DIM,
     UHCAF_CRAY_SHMEM_NAIVE,
     pair_partner,
@@ -45,7 +56,13 @@ from repro.runtime.context import current
 
 @dataclass
 class WallclockCase:
-    """One workload, timed with batching on and off."""
+    """One workload, timed on the fast path and against both oracles.
+
+    ``speedup`` is fast path vs the per-call oracle (``REPRO_NO_BATCH``);
+    ``vector_speedup`` is fast path vs the plain batched engine
+    (``REPRO_NO_VECTOR``) — the before/after of the vectorized data
+    plane alone.
+    """
 
     name: str
     description: str
@@ -54,34 +71,55 @@ class WallclockCase:
     speedup: float
     virtual_identical: bool
     stats_identical: bool
+    novector_s: float = 0.0
+    vector_speedup: float = 0.0
 
 
-def _timed(fn, *, no_batch: bool):
-    """Run ``fn`` with batching forced on/off; return (seconds, result)."""
-    saved = os.environ.pop("REPRO_NO_BATCH", None)
+#: Wall-clock repeats per mode; the minimum is reported (scheduler and
+#: allocator noise only ever adds time).
+DEFAULT_REPEATS = 3
+
+_FLAGS = ("REPRO_NO_BATCH", "REPRO_NO_VECTOR")
+
+
+def _timed(fn, *, no_batch: bool, no_vector: bool = False, repeats: int = 1):
+    """Run ``fn`` with the escape hatches forced on/off; returns
+    ``(best seconds, result)`` over ``repeats`` runs."""
+    saved = {f: os.environ.pop(f, None) for f in _FLAGS}
     try:
         if no_batch:
             os.environ["REPRO_NO_BATCH"] = "1"
-        t0 = time.perf_counter()
-        result = fn()
-        return time.perf_counter() - t0, result
+        if no_vector:
+            os.environ["REPRO_NO_VECTOR"] = "1"
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        return best, result
     finally:
-        os.environ.pop("REPRO_NO_BATCH", None)
-        if saved is not None:
-            os.environ["REPRO_NO_BATCH"] = saved
+        for f in _FLAGS:
+            os.environ.pop(f, None)
+            if saved[f] is not None:
+                os.environ[f] = saved[f]
 
 
-def _case(name, description, fn, *, virtual_eq, stats_eq) -> WallclockCase:
-    batched_s, batched = _timed(fn, no_batch=False)
-    unbatched_s, oracle = _timed(fn, no_batch=True)
+def _case(name, description, fn, *, virtual_eq, stats_eq,
+          repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    batched_s, batched = _timed(fn, no_batch=False, repeats=repeats)
+    novector_s, novector = _timed(fn, no_batch=False, no_vector=True, repeats=repeats)
+    unbatched_s, oracle = _timed(fn, no_batch=True, repeats=repeats)
     return WallclockCase(
         name=name,
         description=description,
         batched_s=round(batched_s, 4),
         unbatched_s=round(unbatched_s, 4),
         speedup=round(unbatched_s / batched_s, 2) if batched_s > 0 else float("inf"),
-        virtual_identical=virtual_eq(batched, oracle),
-        stats_identical=stats_eq(batched, oracle),
+        virtual_identical=virtual_eq(batched, oracle) and virtual_eq(batched, novector),
+        stats_identical=stats_eq(batched, oracle) and stats_eq(batched, novector),
+        novector_s=round(novector_s, 4),
+        vector_speedup=round(novector_s / batched_s, 2) if batched_s > 0 else float("inf"),
     )
 
 
@@ -129,14 +167,17 @@ def _section_put_fingerprints(
     return caf.launch(kernel, num_pes, machine, heap_bytes=heap, **config.launch_kwargs())
 
 
-def naive_section_case(quick: bool = False) -> WallclockCase:
-    """The paper's 50,000-call example (scaled down when ``quick``)."""
+def naive_section_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    """The paper's 50,000-call example (scaled down when ``quick``).
+
+    Both sizes run 10 assignments so the measurement is dominated by the
+    data plane, not by spawning the 17 PE threads.
+    """
     if quick:
         shape, key, calls = (20, 16, 20), np.s_[0:20:2, 0:16:2, 0:20:4], 10 * 8 * 5
-        iters = 2
     else:
         shape, key, calls = (100, 80, 100), np.s_[0:100:2, 0:80:2, 0:100:4], 50 * 40 * 25
-        iters = 10
+    iters = 10
     counts = "x".join(str(len(range(*s.indices(d)))) for s, d in zip(key, shape))
     fn = lambda: _section_put_fingerprints(shape, key, UHCAF_CRAY_SHMEM_NAIVE, iters=iters)
     return _case(
@@ -146,6 +187,7 @@ def naive_section_case(quick: bool = False) -> WallclockCase:
         fn,
         virtual_eq=lambda a, b: all(x[0] == y[0] for x, y in zip(a, b)),
         stats_eq=lambda a, b: all(x[1] == y[1] and x[2] == y[2] for x, y in zip(a, b)),
+        repeats=repeats,
     )
 
 
@@ -154,7 +196,7 @@ def naive_section_case(quick: bool = False) -> WallclockCase:
 # ---------------------------------------------------------------------------
 
 
-def strided_2dim_sweep_case(quick: bool = False) -> WallclockCase:
+def strided_2dim_sweep_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
     strides = (2, 16) if quick else (2, 16, 128)
     rows, cols = (32, 128) if quick else (128, 1024)
     iters = 2 if quick else 5
@@ -174,6 +216,7 @@ def strided_2dim_sweep_case(quick: bool = False) -> WallclockCase:
         fn,
         virtual_eq=lambda a, b: a == b,  # bandwidths derive from virtual time
         stats_eq=lambda a, b: True,
+        repeats=repeats,
     )
 
 
@@ -182,7 +225,7 @@ def strided_2dim_sweep_case(quick: bool = False) -> WallclockCase:
 # ---------------------------------------------------------------------------
 
 
-def himeno_case(quick: bool = False) -> WallclockCase:
+def himeno_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
     grid = (17, 17, 17) if quick else (33, 33, 65)
     iters = 2 if quick else 4
 
@@ -202,6 +245,72 @@ def himeno_case(quick: bool = False) -> WallclockCase:
         fn,
         virtual_eq=lambda a, b: a.elapsed_us == b.elapsed_us and a.gosa == b.gosa,
         stats_eq=lambda a, b: a.mflops == b.mflops,
+        repeats=repeats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case 4: the Fig 8 lock microbenchmark (remote-atomic path)
+# ---------------------------------------------------------------------------
+
+
+def locks_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    """Contended-lock wall-clock cost (Fig 8 shape).
+
+    Every image does identical work on the one shared lock, so the max
+    elapsed virtual time is invariant under the (scheduler-dependent)
+    MCS queue order — safe to compare bitwise across engines.
+    """
+    images = 4 if quick else 8
+    acquires = 64 if quick else 128
+
+    def fn():
+        return microbench.lock_contention_time(
+            "stampede", UHCAF_CRAY_SHMEM, images, acquires=acquires
+        )
+
+    return _case(
+        "locks",
+        f"MCS lock contention, {images} images x {acquires} acquires (Fig 8 shape)",
+        fn,
+        virtual_eq=lambda a, b: a == b,  # elapsed virtual microseconds
+        stats_eq=lambda a, b: True,
+        repeats=repeats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case 5: the Fig 9 DHT insert/update loop
+# ---------------------------------------------------------------------------
+
+
+def dht_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    """DHT update-loop wall-clock cost (Fig 9 shape).
+
+    Runs in ``single_writer`` mode — same lock/atomic/probe code path
+    against a table spread over all images, but one image issues every
+    timed operation in program order, so elapsed virtual time is
+    independent of thread scheduling and can be compared bitwise
+    across engines (concurrent random updates resolve contention in
+    wall-clock arrival order, which differs run to run).
+    """
+    images = 4 if quick else 8
+    updates = 192 if quick else 512
+
+    def fn():
+        return dht_benchmark(
+            "stampede", UHCAF_CRAY_SHMEM, images,
+            updates_per_image=updates, single_writer=True,
+        )
+
+    return _case(
+        "dht",
+        f"DHT, {images} images, {updates} single-writer random "
+        "inserts/updates (Fig 9 shape)",
+        fn,
+        virtual_eq=lambda a, b: a == b,  # elapsed virtual microseconds
+        stats_eq=lambda a, b: True,
+        repeats=repeats,
     )
 
 
@@ -213,12 +322,15 @@ CASES = {
     "naive": naive_section_case,
     "2dim": strided_2dim_sweep_case,
     "himeno": himeno_case,
+    "locks": locks_case,
+    "dht": dht_case,
 }
 
 
-def run_suite(quick: bool = False, cases=None) -> list[WallclockCase]:
+def run_suite(quick: bool = False, cases=None,
+              repeats: int = DEFAULT_REPEATS) -> list[WallclockCase]:
     names = list(CASES) if cases is None else list(cases)
-    return [CASES[n](quick=quick) for n in names]
+    return [CASES[n](quick=quick, repeats=repeats) for n in names]
 
 
 def write_json(results: list[WallclockCase], path: str | Path) -> Path:
@@ -234,13 +346,14 @@ def write_json(results: list[WallclockCase], path: str | Path) -> Path:
 
 def render(results: list[WallclockCase]) -> str:
     lines = [
-        f"{'case':<18} {'batched (s)':>12} {'unbatched (s)':>14} {'speedup':>8}  invariant"
+        f"{'case':<18} {'fast (s)':>10} {'novector (s)':>13} {'unbatched (s)':>14} "
+        f"{'speedup':>8} {'vs novec':>9}  invariant"
     ]
     for c in results:
         ok = "yes" if (c.virtual_identical and c.stats_identical) else "NO"
         lines.append(
-            f"{c.name:<18} {c.batched_s:>12.4f} {c.unbatched_s:>14.4f} "
-            f"{c.speedup:>7.2f}x  {ok}"
+            f"{c.name:<18} {c.batched_s:>10.4f} {c.novector_s:>13.4f} "
+            f"{c.unbatched_s:>14.4f} {c.speedup:>7.2f}x {c.vector_speedup:>8.2f}x  {ok}"
         )
     return "\n".join(lines)
 
@@ -248,7 +361,10 @@ def render(results: list[WallclockCase]) -> str:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.wallclock",
-        description="Wall-clock timings of the batched RMA engine vs REPRO_NO_BATCH=1.",
+        description=(
+            "Wall-clock timings of the vectorized RMA engine vs "
+            "REPRO_NO_VECTOR=1 and REPRO_NO_BATCH=1."
+        ),
     )
     parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
     parser.add_argument(
@@ -257,8 +373,16 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--cases", nargs="*", choices=sorted(CASES), help="subset of cases to run"
     )
+    parser.add_argument(
+        "--repeats", type=int, default=DEFAULT_REPEATS,
+        help="wall-clock repeats per mode (minimum is reported)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None, metavar="X",
+        help="fail (exit 1) if any case's speedup is below X",
+    )
     args = parser.parse_args(argv)
-    results = run_suite(quick=args.quick, cases=args.cases)
+    results = run_suite(quick=args.quick, cases=args.cases, repeats=args.repeats)
     print(render(results))
     out = write_json(results, args.out)
     print(f"\nwrote {out}")
@@ -266,6 +390,14 @@ def main(argv=None) -> int:
     if bad:
         print(f"ERROR: virtual-time invariance broken in: {bad}", file=sys.stderr)
         return 1
+    if args.min_speedup is not None:
+        slow = [c.name for c in results if c.speedup < args.min_speedup]
+        if slow:
+            print(
+                f"ERROR: speedup below {args.min_speedup} in: {slow}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -23,19 +23,21 @@ benchmarks and tests assert on, batched or not.
 
 from __future__ import annotations
 
-import os
 from collections import Counter
 
 import numpy as np
 
 from repro.caf.strided import DimSel, TransferPlan
-from repro.comm.base import BatchSpec, OneSidedLayer
+from repro.comm.base import BatchSpec, OneSidedLayer, batching_enabled
 from repro.comm.heap import SymmetricArray
 
-
-def batching_enabled() -> bool:
-    """The batched fast path is on unless ``REPRO_NO_BATCH`` is set."""
-    return not os.environ.get("REPRO_NO_BATCH")
+__all__ = [
+    "BatchSpec",
+    "batching_enabled",
+    "build_spec",
+    "execute_get",
+    "execute_put",
+]
 
 
 def build_spec(plan: TransferPlan, itemsize: int) -> BatchSpec | None:
@@ -73,6 +75,8 @@ def build_spec(plan: TransferPlan, itemsize: int) -> BatchSpec | None:
         rel_index=elems * itemsize,
         min_elem=int(elems.min()),
         max_elem=int(elems.max()),
+        rel_elem=elems,
+        elem_size=itemsize,
     )
 
 
@@ -111,6 +115,26 @@ def execute_put(
     else:
         flat = payload.reshape(-1)
     if batching_enabled():
+        # Single-call plans skip the batch machinery entirely: one line
+        # is exactly one iput (one run one put), with bit-identical
+        # pricing, stats, and trace — and no index-array construction.
+        # Non-native single lines only qualify when they hold a single
+        # element (otherwise the batch path's aggregate put pricing is
+        # the faster shape).
+        if plan.lines and len(plan.lines) == 1 and (
+            layer.profile.iput_native or plan.lines[0].count == 1
+        ):
+            line = plan.lines[0]
+            layer.iput(
+                handle, flat, tst=line.stride, sst=1,
+                nelems=line.count, pe=pe, offset=line.offset,
+            )
+            _count_put_stats(plan, int(payload.size), stats)
+            return
+        if not plan.lines and len(plan.runs) == 1:
+            layer.put(handle, flat, pe, offset=plan.runs[0].offset)
+            _count_put_stats(plan, int(payload.size), stats)
+            return
         if spec is None:
             spec = build_spec(plan, handle.itemsize)
         if spec is not None:
@@ -150,6 +174,31 @@ def execute_get(
     shaped like the (unsqueezed) selection."""
     shape = _sel_shape(sels)
     use_batch = batching_enabled()
+    if use_batch:
+        # Mirror execute_put's single-call short-circuit (same
+        # bit-identity argument, no index-array construction).
+        if plan.lines and len(plan.lines) == 1 and (
+            layer.profile.iput_native or plan.lines[0].count == 1
+        ):
+            line = plan.lines[0]
+            base = plan.base_dim
+            moved_shape = tuple(
+                c for d, c in enumerate(shape) if d != base
+            ) + (shape[base],)
+            gathered = layer.iget(
+                handle, tst=1, sst=line.stride, nelems=line.count,
+                pe=pe, offset=line.offset,
+            ).reshape(moved_shape)
+            stats["iget_calls"] += 1
+            result = np.ascontiguousarray(np.moveaxis(gathered, -1, base))
+            stats["get_elems"] += int(result.size)
+            return result
+        if not plan.lines and len(plan.runs) == 1:
+            run = plan.runs[0]
+            result = layer.get(handle, run.length, pe, offset=run.offset).reshape(shape)
+            stats["getmem_calls"] += 1
+            stats["get_elems"] += int(result.size)
+            return result
     if use_batch and spec is None:
         spec = build_spec(plan, handle.itemsize)
     if plan.lines:

@@ -22,6 +22,7 @@ observable through :meth:`quiet` (or a barrier, which includes one).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,29 @@ from repro.trace.events import (
     offsets_footprint,
     strided_footprint,
 )
+
+
+def batching_enabled() -> bool:
+    """The batched fast path is on unless ``REPRO_NO_BATCH`` is set."""
+    return not os.environ.get("REPRO_NO_BATCH")
+
+
+def vector_enabled() -> bool:
+    """The vectorized data plane (index-array scatter/gather, memoized
+    pricers, lazy trace footprints) is on unless ``REPRO_NO_VECTOR`` is
+    set.  ``REPRO_NO_VECTOR=1`` falls back to the plain batched engine —
+    same virtual times, stats, and bytes; only more Python work — which
+    isolates this fast path for debugging and benchmarking.
+
+    Both flags are read once per job at layer construction.
+    """
+    return not os.environ.get("REPRO_NO_VECTOR")
+
+
+#: Element sizes the vectorized plane can move via a reinterpret-cast
+#: view (uint8 plus :attr:`PEMemory._VIEW_DTYPES`); other sizes scatter
+#: through a byte-expanded index.
+_VIEWABLE_SIZES = frozenset((1, 2, 4, 8))
 
 
 @dataclass(frozen=True, eq=False)
@@ -57,14 +81,58 @@ class BatchSpec:
     rel_index: np.ndarray  # int64 per-element byte offsets, plan order
     min_elem: int  # smallest touched element index (span check)
     max_elem: int  # largest touched element index (span check)
+    rel_elem: np.ndarray | None = None  # int64 per-element *element* offsets
+    elem_size: int = 0  # itemsize the spec was compiled for
 
     def __post_init__(self) -> None:
         if self.kind not in ("runs", "lines"):
             raise ValueError(f"unknown batch kind {self.kind!r}")
+        # Lazy per-spec caches for the vectorized plane (plain attributes
+        # on a frozen non-slots dataclass; set via object.__setattr__).
+        # Races under the GIL are benign: readers validate the memo's
+        # base offset and a lost race rebuilds an identical array.
+        object.__setattr__(self, "_abs_memo", None)
+        object.__setattr__(self, "_expanded_rel", None)
 
     @property
     def total_elems(self) -> int:
         return self.ncalls * self.nelems_per_call
+
+    def vector_index(self, byte_offset: int) -> tuple[bool, np.ndarray, int, int]:
+        """The precomputed index array for an array based at
+        ``byte_offset``, as ``(expanded, index, lo, hi)`` — the exact
+        argument set of :meth:`~repro.runtime.memory.PEMemory.scatter_at`
+        / ``gather_at``.
+
+        Memoized per base offset: symmetric arrays share one base across
+        PEs, so after the first touch this is a tuple compare plus an
+        attribute read.  ``expanded=False`` index arrays are element
+        indices into the ``elem_size`` view of the heap; unaligned bases
+        and view-less element sizes get a byte-expanded index.
+        """
+        memo = self._abs_memo
+        if memo is not None and memo[0] == byte_offset:
+            return memo[1], memo[2], memo[3], memo[4]
+        es = self.elem_size
+        if es <= 0:
+            raise ValueError("spec was built without an element size")
+        if es in _VIEWABLE_SIZES and byte_offset % es == 0 and self.rel_elem is not None:
+            index = self.rel_elem + (byte_offset // es)
+            expanded = False
+        else:
+            exp = self._expanded_rel
+            if exp is None:
+                exp = (
+                    self.rel_index[:, None]
+                    + np.arange(es, dtype=np.int64)[None, :]
+                ).reshape(-1)
+                object.__setattr__(self, "_expanded_rel", exp)
+            index = exp + byte_offset
+            expanded = True
+        lo = byte_offset + self.min_elem * es
+        hi = byte_offset + self.max_elem * es + es
+        object.__setattr__(self, "_abs_memo", (byte_offset, expanded, index, lo, hi))
+        return expanded, index, lo, hi
 
 
 class OneSidedLayer:
@@ -83,6 +151,21 @@ class OneSidedLayer:
             profile = get_conduit(profile)
         self.job = job
         self.profile = profile
+        # Escape hatches, sampled once per job (the wallclock bench and
+        # the invariance tests toggle them between launches, never
+        # mid-job): REPRO_NO_BATCH=1 forces the per-call oracle path,
+        # REPRO_NO_VECTOR=1 keeps batching but disables the vectorized
+        # data plane (memoized pricers, cached index arrays, lazy trace
+        # footprints).
+        self.batching = batching_enabled()
+        self.vectorized = self.batching and vector_enabled()
+        # Flat front-side memo over the network's pricers, keyed by
+        # small int tuples (op tag, src PE, dst PE, sizes).  The
+        # network's own memo keys include the conduit profile, whose
+        # frozen-dataclass hash walks every field — too expensive to
+        # pay per scalar operation.  Plain dict: get/set are GIL-atomic
+        # and a lost race merely builds an equivalent closure twice.
+        self._pricers: dict[tuple, object] = {}
         # Max outstanding remote-completion time of each PE's puts.
         self._pending = [0.0] * job.num_pes
 
@@ -152,7 +235,17 @@ class OneSidedLayer:
             return  # nothing moves: no pricing, no lock, no clock advance
         ctx = current()
         t_start = ctx.clock.now
-        timing = self.job.network.put(ctx.pe, pe, data.nbytes, self.profile, t_start)
+        if self.vectorized:
+            key = ("p", ctx.pe, pe, data.nbytes)
+            pricer = self._pricers.get(key)
+            if pricer is None:
+                if len(self._pricers) > 65536:  # unbounded-growth backstop
+                    self._pricers.clear()
+                pricer = self.job.network.put_pricer(ctx.pe, pe, data.nbytes, self.profile)
+                self._pricers[key] = pricer
+            timing = pricer(t_start)
+        else:
+            timing = self.job.network.put(ctx.pe, pe, data.nbytes, self.profile, t_start)
         self.job.memories[pe].write(
             dest.element_offset(offset),
             data,
@@ -179,7 +272,17 @@ class OneSidedLayer:
         ctx = current()
         nbytes = nelems * src.itemsize
         t_start = ctx.clock.now
-        done = self.job.network.get(ctx.pe, pe, nbytes, self.profile, t_start)
+        if self.vectorized:
+            key = ("g", ctx.pe, pe, nbytes)
+            pricer = self._pricers.get(key)
+            if pricer is None:
+                if len(self._pricers) > 65536:
+                    self._pricers.clear()
+                pricer = self.job.network.get_pricer(ctx.pe, pe, nbytes, self.profile)
+                self._pricers[key] = pricer
+            done = pricer(t_start)
+        else:
+            done = self.job.network.get(ctx.pe, pe, nbytes, self.profile, t_start)
         raw = self.job.memories[pe].read(src.element_offset(offset), nbytes)
         ctx.clock.merge(done)
         tracer = self.job.tracer
@@ -231,15 +334,28 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         if self.profile.iput_native:
-            timing = self.job.network.iput(
-                ctx.pe,
-                pe,
-                nelems,
-                itemsize,
-                self.profile,
-                ctx.clock.now,
-                stride_bytes=tst * itemsize,
-            )
+            if self.vectorized:
+                key = ("ip", ctx.pe, pe, nelems, itemsize, tst)
+                pricer = self._pricers.get(key)
+                if pricer is None:
+                    if len(self._pricers) > 65536:
+                        self._pricers.clear()
+                    pricer = self.job.network.iput_pricer(
+                        ctx.pe, pe, nelems, itemsize, self.profile,
+                        stride_bytes=tst * itemsize,
+                    )
+                    self._pricers[key] = pricer
+                timing = pricer(ctx.clock.now)
+            else:
+                timing = self.job.network.iput(
+                    ctx.pe,
+                    pe,
+                    nelems,
+                    itemsize,
+                    self.profile,
+                    ctx.clock.now,
+                    stride_bytes=tst * itemsize,
+                )
             self.job.memories[pe].write_strided(
                 dest.element_offset(offset),
                 tst * itemsize,
@@ -253,11 +369,13 @@ class OneSidedLayer:
             tracer = self.job.tracer
             if tracer is not None:
                 addr = dest.element_offset(offset)
-                fp = (
-                    strided_footprint(addr, tst * itemsize, itemsize, nelems)
-                    if tracer.capture_sync
-                    else ()
-                )
+                if not tracer.capture_sync:
+                    fp = ()
+                elif self.vectorized:
+                    # Deferred: materialized by the tracer on first read.
+                    fp = ("@str", addr, tst * itemsize, itemsize, nelems)
+                else:
+                    fp = strided_footprint(addr, tst * itemsize, itemsize, nelems)
                 tracer.record(
                     ctx.pe, "iput", pe, nelems * itemsize, t_start, ctx.clock.now,
                     addr=addr, footprint=fp,
@@ -283,15 +401,28 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         itemsize = src.itemsize
         if self.profile.iput_native:
-            done = self.job.network.iget(
-                ctx.pe,
-                pe,
-                nelems,
-                itemsize,
-                self.profile,
-                ctx.clock.now,
-                stride_bytes=sst * itemsize,
-            )
+            if self.vectorized:
+                key = ("ig", ctx.pe, pe, nelems, itemsize, sst)
+                pricer = self._pricers.get(key)
+                if pricer is None:
+                    if len(self._pricers) > 65536:
+                        self._pricers.clear()
+                    pricer = self.job.network.iget_pricer(
+                        ctx.pe, pe, nelems, itemsize, self.profile,
+                        stride_bytes=sst * itemsize,
+                    )
+                    self._pricers[key] = pricer
+                done = pricer(ctx.clock.now)
+            else:
+                done = self.job.network.iget(
+                    ctx.pe,
+                    pe,
+                    nelems,
+                    itemsize,
+                    self.profile,
+                    ctx.clock.now,
+                    stride_bytes=sst * itemsize,
+                )
             raw = self.job.memories[pe].read_strided(
                 src.element_offset(offset), sst * itemsize, itemsize, nelems
             )
@@ -299,11 +430,12 @@ class OneSidedLayer:
             tracer = self.job.tracer
             if tracer is not None:
                 addr = src.element_offset(offset)
-                fp = (
-                    strided_footprint(addr, sst * itemsize, itemsize, nelems)
-                    if tracer.capture_sync
-                    else ()
-                )
+                if not tracer.capture_sync:
+                    fp = ()
+                elif self.vectorized:
+                    fp = ("@str", addr, sst * itemsize, itemsize, nelems)
+                else:
+                    fp = strided_footprint(addr, sst * itemsize, itemsize, nelems)
                 tracer.record(
                     ctx.pe, "iget", pe, nelems * itemsize, t_start, ctx.clock.now,
                     addr=addr, footprint=fp,
@@ -326,6 +458,9 @@ class OneSidedLayer:
         like :meth:`iput` does.
         """
         ctx_pe = current().pe
+        if self.vectorized:
+            pricer, op, calls = self._plan_pricer("put", spec, itemsize, ctx_pe, pe)
+            return pricer(now), op, calls
         if spec.kind == "lines" and self.profile.iput_native:
             timing = self.job.network.iput_batch(
                 ctx_pe,
@@ -348,6 +483,53 @@ class OneSidedLayer:
         )
         return timing, "put", spec.ncalls
 
+    def _plan_pricer(self, direction: str, spec: BatchSpec, itemsize: int,
+                     src: int, dst: int):
+        """Memoized pricer for a whole plan; returns (pricer, op, calls).
+
+        Same branch structure as :meth:`_price_plan_put` (and the
+        inline pricing in :meth:`execute_plan_get`), but routed through
+        :meth:`NetworkModel.batch_pricer` so the now-independent
+        arithmetic is resolved once per (plan shape, placement) and
+        replayed across iterations.  Front-memoized in the layer's flat
+        pricer cache: everything pricing-relevant about a plan is its
+        (kind, ncalls, nelems_per_call, stride) shape.
+        """
+        key = ("pl", direction, src, dst, itemsize, spec.kind,
+               spec.ncalls, spec.nelems_per_call, spec.stride)
+        entry = self._pricers.get(key)
+        if entry is not None:
+            return entry
+        if len(self._pricers) > 65536:
+            self._pricers.clear()
+        entry = self._make_plan_pricer(direction, spec, itemsize, src, dst)
+        self._pricers[key] = entry
+        return entry
+
+    def _make_plan_pricer(self, direction: str, spec: BatchSpec, itemsize: int,
+                          src: int, dst: int):
+        net = self.job.network
+        if spec.kind == "lines" and self.profile.iput_native:
+            op = "iput" if direction == "put" else "iget"
+            pricer = net.batch_pricer(
+                op, src, dst, count=spec.ncalls, conduit=self.profile,
+                nelems=spec.nelems_per_call, elem_size=itemsize,
+                stride_bytes=spec.stride * itemsize,
+            )
+            return pricer, op, spec.ncalls
+        op = "put" if direction == "put" else "get"
+        if spec.kind == "lines":
+            pricer = net.batch_pricer(
+                op, src, dst, count=spec.total_elems, conduit=self.profile,
+                nbytes=itemsize,
+            )
+            return pricer, op, spec.total_elems
+        pricer = net.batch_pricer(
+            op, src, dst, count=spec.ncalls, conduit=self.profile,
+            nbytes=spec.nelems_per_call * itemsize,
+        )
+        return pricer, op, spec.ncalls
+
     def execute_plan_put(
         self, dest: SymmetricArray, value, pe: int, spec: BatchSpec
     ) -> None:
@@ -369,20 +551,33 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         timing, op, calls = self._price_plan_put(spec, itemsize, pe, t_start)
-        abs_index = spec.rel_index + dest.byte_offset
-        self.job.memories[pe].write_at(
-            abs_index,
-            itemsize,
-            data,
-            timestamp=timing.remote_complete,
-            aligned=dest.byte_offset % itemsize == 0,
-        )
+        if self.vectorized:
+            expanded, index, lo, hi = spec.vector_index(dest.byte_offset)
+            self.job.memories[pe].scatter_at(
+                index, data, timestamp=timing.remote_complete,
+                elem_size=itemsize, lo=lo, hi=hi, expanded=expanded,
+            )
+        else:
+            abs_index = spec.rel_index + dest.byte_offset
+            self.job.memories[pe].write_at(
+                abs_index,
+                itemsize,
+                data,
+                timestamp=timing.remote_complete,
+                aligned=dest.byte_offset % itemsize == 0,
+            )
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
         tracer = self.job.tracer
         if tracer is not None:
-            fp = offsets_footprint(abs_index, itemsize) if tracer.capture_sync else ()
+            if not tracer.capture_sync:
+                fp = ()
+            elif self.vectorized:
+                # Deferred: the tracer merges intervals at read time.
+                fp = ("@off", spec.rel_index, dest.byte_offset, itemsize)
+            else:
+                fp = offsets_footprint(spec.rel_index + dest.byte_offset, itemsize)
             tracer.record(
                 ctx.pe, op, pe, data.nbytes, t_start, ctx.clock.now, calls=calls,
                 addr=dest.byte_offset + spec.min_elem * itemsize, footprint=fp,
@@ -401,38 +596,50 @@ class OneSidedLayer:
         ctx = current()
         t_start = ctx.clock.now
         itemsize = src.itemsize
-        if spec.kind == "lines" and self.profile.iput_native:
-            done = self.job.network.iget_batch(
-                ctx.pe,
-                pe,
-                spec.nelems_per_call,
-                itemsize,
-                spec.ncalls,
-                self.profile,
-                t_start,
-                stride_bytes=spec.stride * itemsize,
+        if self.vectorized:
+            pricer, op, calls = self._plan_pricer("get", spec, itemsize, ctx.pe, pe)
+            done = pricer(t_start)
+            expanded, index, lo, hi = spec.vector_index(src.byte_offset)
+            raw = self.job.memories[pe].gather_at(
+                index, elem_size=itemsize, lo=lo, hi=hi, expanded=expanded
             )
-            op, calls = "iget", spec.ncalls
-        elif spec.kind == "lines":
-            done = self.job.network.get_batch(
-                ctx.pe, pe, itemsize, spec.total_elems, self.profile, t_start
-            )
-            op, calls = "get", spec.total_elems
         else:
-            done = self.job.network.get_batch(
-                ctx.pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, t_start
+            if spec.kind == "lines" and self.profile.iput_native:
+                done = self.job.network.iget_batch(
+                    ctx.pe,
+                    pe,
+                    spec.nelems_per_call,
+                    itemsize,
+                    spec.ncalls,
+                    self.profile,
+                    t_start,
+                    stride_bytes=spec.stride * itemsize,
+                )
+                op, calls = "iget", spec.ncalls
+            elif spec.kind == "lines":
+                done = self.job.network.get_batch(
+                    ctx.pe, pe, itemsize, spec.total_elems, self.profile, t_start
+                )
+                op, calls = "get", spec.total_elems
+            else:
+                done = self.job.network.get_batch(
+                    ctx.pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, t_start
+                )
+                op, calls = "get", spec.ncalls
+            raw = self.job.memories[pe].read_at(
+                spec.rel_index + src.byte_offset,
+                itemsize,
+                aligned=src.byte_offset % itemsize == 0,
             )
-            op, calls = "get", spec.ncalls
-        abs_index = spec.rel_index + src.byte_offset
-        raw = self.job.memories[pe].read_at(
-            abs_index,
-            itemsize,
-            aligned=src.byte_offset % itemsize == 0,
-        )
         ctx.clock.merge(done)
         tracer = self.job.tracer
         if tracer is not None:
-            fp = offsets_footprint(abs_index, itemsize) if tracer.capture_sync else ()
+            if not tracer.capture_sync:
+                fp = ()
+            elif self.vectorized:
+                fp = ("@off", spec.rel_index, src.byte_offset, itemsize)
+            else:
+                fp = offsets_footprint(spec.rel_index + src.byte_offset, itemsize)
             tracer.record(
                 ctx.pe, op, pe, raw.size, t_start, ctx.clock.now, calls=calls,
                 addr=src.byte_offset + spec.min_elem * itemsize, footprint=fp,
@@ -501,7 +708,19 @@ class OneSidedLayer:
         dtype = target.dtype
         ctx = current()
         t_start = ctx.clock.now
-        done = self.job.network.amo(ctx.pe, pe, self.profile, t_start)
+        if self.vectorized:
+            key = ("a", ctx.pe, pe)
+            entry = self._pricers.get(key)
+            if entry is None:
+                if len(self._pricers) > 65536:
+                    self._pricers.clear()
+                entry = self.job.network.amo_pricer(ctx.pe, pe, self.profile)
+                self._pricers[key] = entry
+            price, proc, back = entry
+            done = price(t_start)
+        else:
+            proc = back = None
+            done = self.job.network.amo(ctx.pe, pe, self.profile, t_start)
         fn = self._amo_fn(op, dtype, operands)
         elem_offset = target.element_offset(offset)
         old, prev_time, seq = self.job.memories[pe].atomic_rmw_timed(
@@ -514,17 +733,18 @@ class OneSidedLayer:
             # or CPU attentiveness + handler for AM-emulated atomics)
             # plus the return leg.  This is what gives lock handoff
             # chains their cost.
-            m = self.job.machine
-            if self.job.topology.same_node(ctx.pe, pe):
-                back = m.intra_latency_us
-                proc = m.amo_process_us
-            else:
-                back = m.link_latency_us
-                proc = (
-                    m.amo_process_us
-                    if self.profile.amo_offload
-                    else m.am_attentiveness_us + m.cpu_am_process_us
-                )
+            if proc is None:
+                m = self.job.machine
+                if self.job.topology.same_node(ctx.pe, pe):
+                    back = m.intra_latency_us
+                    proc = m.amo_process_us
+                else:
+                    back = m.link_latency_us
+                    proc = (
+                        m.amo_process_us
+                        if self.profile.amo_offload
+                        else m.am_attentiveness_us + m.cpu_am_process_us
+                    )
             done = max(done, prev_time + proc + back)
         ctx.clock.merge(done)
         tracer = self.job.tracer

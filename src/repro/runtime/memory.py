@@ -222,6 +222,70 @@ class PEMemory:
                 return out.view(np.uint8).reshape(-1)
             return self._buf[self._scatter_index(offsets, elem_size)]
 
+    def scatter_at(
+        self,
+        index: np.ndarray,
+        data: np.ndarray,
+        timestamp: float,
+        *,
+        elem_size: int,
+        lo: int,
+        hi: int,
+        expanded: bool = False,
+    ) -> None:
+        """Scatter a whole precompiled plan as one fancy-indexed copy.
+
+        The vectorized counterpart of :meth:`write_at` for callers that
+        hold a *precomputed* index array (a cached
+        :class:`~repro.comm.base.BatchSpec`): ``index`` is already in
+        the granularity the copy needs — element indices into the
+        ``elem_size``-wide view of the heap (``expanded=False``; byte
+        offsets when ``elem_size == 1``), or per-byte offsets
+        (``expanded=True``, the path for unaligned bases and view-less
+        element sizes).  ``[lo, hi)`` are the absolute byte bounds of
+        the access, also precomputed, so the range check is O(1) — no
+        per-call min/max/divmod over the index array.
+        """
+        if lo < 0 or hi > self.nbytes:
+            raise IndexError(
+                f"batched access [{lo}, {hi}) outside heap of {self.nbytes} bytes"
+            )
+        raw = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        with self._cond:
+            if expanded or elem_size == 1:
+                self._buf[index] = raw
+            else:
+                dt = self._VIEW_DTYPES[elem_size]
+                usable = self.nbytes - self.nbytes % elem_size
+                self._buf[:usable].view(dt)[index] = raw.view(dt)
+            if timestamp > self._last_write_time:
+                self._last_write_time = timestamp
+            self._cond.notify_all()
+
+    def gather_at(
+        self,
+        index: np.ndarray,
+        *,
+        elem_size: int,
+        lo: int,
+        hi: int,
+        expanded: bool = False,
+    ) -> np.ndarray:
+        """Gather a whole precompiled plan into a contiguous ``uint8``
+        copy — the vectorized counterpart of :meth:`read_at`; see
+        :meth:`scatter_at` for the ``index``/bounds contract."""
+        if lo < 0 or hi > self.nbytes:
+            raise IndexError(
+                f"batched access [{lo}, {hi}) outside heap of {self.nbytes} bytes"
+            )
+        with self._cond:
+            # Fancy indexing already yields a fresh contiguous copy.
+            if expanded or elem_size == 1:
+                return self._buf[index]
+            dt = self._VIEW_DTYPES[elem_size]
+            usable = self.nbytes - self.nbytes % elem_size
+            return self._buf[:usable].view(dt)[index].view(np.uint8).reshape(-1)
+
     def read(self, offset: int, nbytes: int) -> np.ndarray:
         """Copy ``nbytes`` starting at ``offset`` out of the heap."""
         self._check_range(offset, nbytes)

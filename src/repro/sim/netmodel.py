@@ -235,6 +235,10 @@ class NetworkModel:
         self._amo = [Timeline(f"node{i}.amo") for i in range(n)]
         self._cpu = [Timeline(f"node{i}.amcpu") for i in range(n)]
         self._machine = m
+        # Memoized pricing closures (see the "pricer" section below).
+        # Plain dict; get/set are GIL-atomic and a lost race merely
+        # builds an equivalent closure twice.
+        self._pricers: dict[tuple, object] = {}
 
     # -- helpers ------------------------------------------------------
     def _wire_time(self, nbytes: int, conduit: ConduitProfile) -> float:
@@ -625,6 +629,471 @@ class NetworkModel:
         )
         self._rx[src_node].push_batch(float(full[-1]), count - 1, duration)
         return float(full[-1])
+
+    # -- memoized pricing closures -------------------------------------
+    #
+    # Every pricing method above is a deterministic closed form of
+    # (operation, src/dst *node* pair, sizes/counts/strides, conduit)
+    # plus the initiator clock ``now`` and the mutable timeline state.
+    # The vectorized data plane therefore memoizes *pricers*: closures
+    # with the now-independent pieces resolved once (node lookups, wire
+    # times, gather gaps, overhead sums, tiled delta templates, branch
+    # selection) that replay the remaining arithmetic — the same float
+    # additions in the same order — per call.  Results are bit-identical
+    # to the plain methods; only redundant Python work is removed.
+    # Actual priced times are NOT cached (they depend on ``now`` and on
+    # timeline state, and float addition is not associative).
+
+    def _pricer(self, key: tuple, make):
+        p = self._pricers.get(key)
+        if p is None:
+            if len(self._pricers) > 16384:  # unbounded-growth backstop
+                self._pricers.clear()
+            p = make()
+            self._pricers[key] = p
+        return p
+
+    def put_pricer(self, src: int, dst: int, nbytes: int, conduit: ConduitProfile):
+        """Memoized :meth:`put` closure: ``price(now) -> TransferTiming``."""
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+
+        def make():
+            if nbytes < 0:
+                raise ValueError("nbytes must be non-negative")
+            m = self._machine
+            if src_node == dst_node:
+                half = 0.5 * conduit.o_put_us
+                lat = m.intra_latency_us
+                byte_t = nbytes / m.intra_bandwidth_Bpus
+
+                def price(now: float) -> TransferTiming:
+                    done = now + half + lat + byte_t
+                    return TransferTiming(local_complete=done, remote_complete=done)
+
+                return price
+            overhead = conduit.o_put_us
+            if nbytes > conduit.eager_threshold:
+                overhead += conduit.rendezvous_extra_us
+            eager = nbytes <= conduit.eager_threshold
+            wire = self._wire_time(nbytes, conduit)
+            tx, rx, L = self._tx[src_node], self._rx[dst_node], m.link_latency_us
+
+            def price(now: float) -> TransferTiming:
+                ready = now + overhead
+                tx_start, tx_end = tx.reserve(ready, wire)
+                _, rx_end = rx.reserve(tx_start + L, wire)
+                return TransferTiming(
+                    local_complete=ready if eager else tx_end, remote_complete=rx_end
+                )
+
+            return price
+
+        return self._pricer(("put1", src_node, dst_node, nbytes, conduit), make)
+
+    def get_pricer(self, src: int, dst: int, nbytes: int, conduit: ConduitProfile):
+        """Memoized :meth:`get` closure: ``price(now) -> done``."""
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+
+        def make():
+            if nbytes < 0:
+                raise ValueError("nbytes must be non-negative")
+            m = self._machine
+            if src_node == dst_node:
+                half = 0.5 * conduit.o_get_us
+                lat = m.intra_latency_us
+                byte_t = nbytes / m.intra_bandwidth_Bpus
+                return lambda now: now + half + lat + byte_t
+            o_get = conduit.o_get_us
+            wire = self._wire_time(nbytes, conduit)
+            tx, rx, L = self._tx[dst_node], self._rx[src_node], m.link_latency_us
+
+            def price(now: float) -> float:
+                tx_start, _ = tx.reserve(now + o_get + L, wire)
+                _, rx_end = rx.reserve(tx_start + L, wire)
+                return rx_end
+
+            return price
+
+        return self._pricer(("get1", src_node, dst_node, nbytes, conduit), make)
+
+    def iput_pricer(
+        self,
+        src: int,
+        dst: int,
+        nelems: int,
+        elem_size: int,
+        conduit: ConduitProfile,
+        stride_bytes: int | None = None,
+    ):
+        """Memoized :meth:`iput` closure: ``price(now) -> TransferTiming``."""
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+
+        def make():
+            if not conduit.iput_native:
+                raise ValueError(
+                    f"{conduit.name} has no native iput; caller must loop over put()"
+                )
+            if nelems < 0 or elem_size <= 0:
+                raise ValueError("nelems must be >= 0 and elem_size > 0")
+            m = self._machine
+            nbytes = nelems * elem_size
+            gap = self._gather_gap(conduit, elem_size, stride_bytes)
+            if src_node == dst_node:
+                half = 0.5 * conduit.o_put_us
+                lat = m.intra_latency_us
+                byte_t = nbytes / m.intra_bandwidth_Bpus
+                gap_t = nelems * gap
+
+                def price(now: float) -> TransferTiming:
+                    done = now + half + lat + byte_t + gap_t
+                    return TransferTiming(local_complete=done, remote_complete=done)
+
+                return price
+            o = conduit.o_put_us
+            duration = self._wire_time(nbytes, conduit) + nelems * gap
+            tx, rx, L = self._tx[src_node], self._rx[dst_node], m.link_latency_us
+
+            def price(now: float) -> TransferTiming:
+                tx_start, tx_end = tx.reserve(now + o, duration)
+                _, rx_end = rx.reserve(tx_start + L, duration)
+                return TransferTiming(local_complete=tx_end, remote_complete=rx_end)
+
+            return price
+
+        return self._pricer(
+            ("iput1", src_node, dst_node, nelems, elem_size, stride_bytes, conduit),
+            make,
+        )
+
+    def iget_pricer(
+        self,
+        src: int,
+        dst: int,
+        nelems: int,
+        elem_size: int,
+        conduit: ConduitProfile,
+        stride_bytes: int | None = None,
+    ):
+        """Memoized :meth:`iget` closure: ``price(now) -> done``."""
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+
+        def make():
+            if not conduit.iput_native:
+                raise ValueError(
+                    f"{conduit.name} has no native iget; caller must loop over get()"
+                )
+            if nelems < 0 or elem_size <= 0:
+                raise ValueError("nelems must be >= 0 and elem_size > 0")
+            m = self._machine
+            nbytes = nelems * elem_size
+            if src_node == dst_node:
+                half = 0.5 * conduit.o_get_us
+                lat = m.intra_latency_us
+                byte_t = nbytes / m.intra_bandwidth_Bpus
+                return lambda now: now + half + lat + byte_t
+            o_get = conduit.o_get_us
+            gap = self._gather_gap(conduit, elem_size, stride_bytes)
+            duration = self._wire_time(nbytes, conduit) + nelems * gap
+            tx, rx, L = self._tx[dst_node], self._rx[src_node], m.link_latency_us
+
+            def price(now: float) -> float:
+                tx_start, _ = tx.reserve(now + o_get + L, duration)
+                _, rx_end = rx.reserve(tx_start + L, duration)
+                return rx_end
+
+            return price
+
+        return self._pricer(
+            ("iget1", src_node, dst_node, nelems, elem_size, stride_bytes, conduit),
+            make,
+        )
+
+    def amo_pricer(self, src: int, dst: int, conduit: ConduitProfile):
+        """Memoized :meth:`amo` pricing: ``(price, proc, back)``.
+
+        ``proc``/``back`` are the target-side processing and return-leg
+        constants the caller's handoff-causality adjustment needs (the
+        same branch :meth:`OneSidedLayer.atomic` otherwise re-resolves
+        per call).
+        """
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+
+        def make():
+            m = self._machine
+            if src_node == dst_node:
+                half = 0.5 * conduit.o_amo_us
+                tl, dur = self._amo[dst_node], m.amo_process_us
+
+                def price(now: float) -> float:
+                    _, end = tl.reserve(now + half, dur)
+                    return end
+
+                return price, m.amo_process_us, m.intra_latency_us
+            o, L = conduit.o_amo_us, m.link_latency_us
+            if conduit.amo_offload:
+                tl, dur = self._amo[dst_node], m.amo_process_us
+
+                def price(now: float) -> float:
+                    _, end = tl.reserve(now + o + L, dur)
+                    return end + L
+
+                return price, m.amo_process_us, L
+            att = m.am_attentiveness_us
+            tl, dur = self._cpu[dst_node], m.cpu_am_process_us
+
+            def price(now: float) -> float:
+                _, end = tl.reserve(now + o + L + att, dur)
+                return end + L
+
+            return price, m.am_attentiveness_us + m.cpu_am_process_us, L
+
+        return self._pricer(("amo1", src_node, dst_node, conduit), make)
+
+    def batch_pricer(
+        self,
+        op: str,
+        src: int,
+        dst: int,
+        *,
+        count: int,
+        conduit: ConduitProfile,
+        nbytes: int = 0,
+        nelems: int = 0,
+        elem_size: int = 0,
+        stride_bytes: int | None = None,
+    ):
+        """Memoized counterpart of the ``*_batch`` methods.
+
+        ``op`` is ``put``/``get``/``iput``/``iget``; returns a closure
+        ``price(now)`` with the same return type and the same timeline
+        side effects as one call to the matching batch method.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:  # the batch methods delegate to the scalar forms
+            if op == "put":
+                return self.put_pricer(src, dst, nbytes, conduit)
+            if op == "get":
+                return self.get_pricer(src, dst, nbytes, conduit)
+            if op == "iput":
+                return self.iput_pricer(src, dst, nelems, elem_size, conduit, stride_bytes)
+            if op == "iget":
+                return self.iget_pricer(src, dst, nelems, elem_size, conduit, stride_bytes)
+            raise ValueError(f"unknown batch op {op!r}")
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        key = (
+            op, src_node, dst_node, nbytes, nelems, elem_size, count, stride_bytes, conduit,
+        )
+        if op == "put":
+            make = lambda: self._make_put_batch(src_node, dst_node, nbytes, count, conduit)
+        elif op == "get":
+            make = lambda: self._make_get_batch(src_node, dst_node, nbytes, count, conduit)
+        elif op == "iput":
+            make = lambda: self._make_iput_batch(
+                src_node, dst_node, nelems, elem_size, count, conduit, stride_bytes
+            )
+        elif op == "iget":
+            make = lambda: self._make_iget_batch(
+                src_node, dst_node, nelems, elem_size, count, conduit, stride_bytes
+            )
+        else:
+            raise ValueError(f"unknown batch op {op!r}")
+        return self._pricer(key, make)
+
+    @staticmethod
+    def _chain_last(now: float, template: np.ndarray) -> float:
+        """Final value of ``cumsum([now, *template])`` — the scalar
+        chain's exact left-to-right additions."""
+        seq = np.empty(1 + template.size, dtype=np.float64)
+        seq[0] = now
+        seq[1:] = template
+        return float(np.cumsum(seq)[-1])
+
+    def _make_put_batch(self, src_node, dst_node, nbytes, count, conduit):
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        if src_node == dst_node:
+            tmpl = np.tile(
+                np.asarray(
+                    (0.5 * conduit.o_put_us, m.intra_latency_us,
+                     nbytes / m.intra_bandwidth_Bpus),
+                    dtype=np.float64,
+                ),
+                count,
+            )
+
+            def price(now: float) -> TransferTiming:
+                done = self._chain_last(now, tmpl)
+                return TransferTiming(local_complete=done, remote_complete=done)
+
+            return price
+        wire = self._wire_time(nbytes, conduit)
+        tx, rx, L = self._tx[src_node], self._rx[dst_node], m.link_latency_us
+        if nbytes <= conduit.eager_threshold:
+            o = conduit.o_put_us
+
+            def price(now: float) -> TransferTiming:
+                seq = np.empty(count + 1, dtype=np.float64)
+                seq[0] = now
+                seq[1:] = o
+                ready = np.cumsum(seq)[1:]
+                tx_starts = tx.reserve_batch(ready, wire)
+                rx_starts = rx.reserve_batch(tx_starts + L, wire)
+                return TransferTiming(
+                    local_complete=float(ready[-1]),
+                    remote_complete=float(rx_starts[-1] + wire),
+                )
+
+            return price
+        o_r = conduit.o_put_us + conduit.rendezvous_extra_us
+        tmpl = np.tile(np.asarray((wire, o_r), dtype=np.float64), count - 1)
+
+        def price(now: float) -> TransferTiming:
+            s1, _ = tx.reserve(now + o_r, wire)
+            seq = np.empty(1 + tmpl.size, dtype=np.float64)
+            seq[0] = s1
+            seq[1:] = tmpl
+            full = np.cumsum(seq)
+            tx_starts = full[0::2]
+            tx_end_last = float(tx_starts[-1] + wire)
+            tx.push_batch(tx_end_last, count - 1, wire)
+            rx_starts = rx.reserve_batch(tx_starts + L, wire)
+            return TransferTiming(
+                local_complete=tx_end_last,
+                remote_complete=float(rx_starts[-1] + wire),
+            )
+
+        return price
+
+    def _make_get_batch(self, src_node, dst_node, nbytes, count, conduit):
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        if src_node == dst_node:
+            tmpl = np.tile(
+                np.asarray(
+                    (0.5 * conduit.o_get_us, m.intra_latency_us,
+                     nbytes / m.intra_bandwidth_Bpus),
+                    dtype=np.float64,
+                ),
+                count,
+            )
+            return lambda now: self._chain_last(now, tmpl)
+        o_get = conduit.o_get_us
+        wire = self._wire_time(nbytes, conduit)
+        tx, rx, L = self._tx[dst_node], self._rx[src_node], m.link_latency_us
+        tmpl = np.tile(np.asarray((o_get, L, L, wire), dtype=np.float64), count - 1)
+
+        def price(now: float) -> float:
+            s1, _ = tx.reserve(now + o_get + L, wire)
+            _, done1 = rx.reserve(s1 + L, wire)
+            seq = np.empty(1 + tmpl.size, dtype=np.float64)
+            seq[0] = done1
+            seq[1:] = tmpl
+            full = np.cumsum(seq)
+            tx_starts = full[2::4]
+            tx.push_batch(float(tx_starts[-1] + wire), count - 1, wire)
+            rx.push_batch(float(full[-1]), count - 1, wire)
+            return float(full[-1])
+
+        return price
+
+    def _make_iput_batch(
+        self, src_node, dst_node, nelems, elem_size, count, conduit, stride_bytes
+    ):
+        if not conduit.iput_native:
+            raise ValueError(
+                f"{conduit.name} has no native iput; caller must loop over put()"
+            )
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        m = self._machine
+        nbytes = nelems * elem_size
+        gap = self._gather_gap(conduit, elem_size, stride_bytes)
+        if src_node == dst_node:
+            tmpl = np.tile(
+                np.asarray(
+                    (0.5 * conduit.o_put_us, m.intra_latency_us,
+                     nbytes / m.intra_bandwidth_Bpus, nelems * gap),
+                    dtype=np.float64,
+                ),
+                count,
+            )
+
+            def price(now: float) -> TransferTiming:
+                done = self._chain_last(now, tmpl)
+                return TransferTiming(local_complete=done, remote_complete=done)
+
+            return price
+        o = conduit.o_put_us
+        duration = self._wire_time(nbytes, conduit) + nelems * gap
+        tx, rx, L = self._tx[src_node], self._rx[dst_node], m.link_latency_us
+        tmpl = np.tile(np.asarray((duration, o), dtype=np.float64), count - 1)
+
+        def price(now: float) -> TransferTiming:
+            s1, _ = tx.reserve(now + o, duration)
+            seq = np.empty(1 + tmpl.size, dtype=np.float64)
+            seq[0] = s1
+            seq[1:] = tmpl
+            full = np.cumsum(seq)
+            tx_starts = full[0::2]
+            tx_end_last = float(tx_starts[-1] + duration)
+            tx.push_batch(tx_end_last, count - 1, duration)
+            rx_starts = rx.reserve_batch(tx_starts + L, duration)
+            return TransferTiming(
+                local_complete=tx_end_last,
+                remote_complete=float(rx_starts[-1] + duration),
+            )
+
+        return price
+
+    def _make_iget_batch(
+        self, src_node, dst_node, nelems, elem_size, count, conduit, stride_bytes
+    ):
+        if not conduit.iput_native:
+            raise ValueError(
+                f"{conduit.name} has no native iget; caller must loop over get()"
+            )
+        if nelems < 0 or elem_size <= 0:
+            raise ValueError("nelems must be >= 0 and elem_size > 0")
+        m = self._machine
+        nbytes = nelems * elem_size
+        if src_node == dst_node:
+            tmpl = np.tile(
+                np.asarray(
+                    (0.5 * conduit.o_get_us, m.intra_latency_us,
+                     nbytes / m.intra_bandwidth_Bpus),
+                    dtype=np.float64,
+                ),
+                count,
+            )
+            return lambda now: self._chain_last(now, tmpl)
+        o_get = conduit.o_get_us
+        gap = self._gather_gap(conduit, elem_size, stride_bytes)
+        duration = self._wire_time(nbytes, conduit) + nelems * gap
+        tx, rx, L = self._tx[dst_node], self._rx[src_node], m.link_latency_us
+        tmpl = np.tile(np.asarray((o_get, L, L, duration), dtype=np.float64), count - 1)
+
+        def price(now: float) -> float:
+            s1, _ = tx.reserve(now + o_get + L, duration)
+            _, done1 = rx.reserve(s1 + L, duration)
+            seq = np.empty(1 + tmpl.size, dtype=np.float64)
+            seq[0] = done1
+            seq[1:] = tmpl
+            full = np.cumsum(seq)
+            tx_starts = full[2::4]
+            tx.push_batch(float(tx_starts[-1] + duration), count - 1, duration)
+            rx.push_batch(float(full[-1]), count - 1, duration)
+            return float(full[-1])
+
+        return price
 
     # -- atomics -------------------------------------------------------
     def amo(self, src: int, dst: int, conduit: ConduitProfile, now: float) -> float:

@@ -27,43 +27,64 @@ def _chain_starts(
     duration)`` with ``start[-1] + duration`` seeded by ``next_free``.
     Floating-point addition is not associative, so a closed form like
     ``start[0] + k*duration`` would drift by ULPs from the sequential
-    path; instead each queue-bound stretch is materialized with
-    ``np.cumsum``, whose running sum performs exactly the repeated
-    additions the scalar loop would.  Each pass handles one stretch; the
-    batch shapes the network model produces resolve in one or two.
+    path.  The array is instead consumed as alternating stretches:
+
+    * **queue-bound** stretches (each element waits on its predecessor)
+      are materialized with ``np.cumsum``, whose running sum performs
+      exactly the repeated additions the scalar loop would;
+    * **earliest-bound** stretches (each element's earliest time is at
+      or past the previous reservation's end, the shape produced by the
+      network model's self-synchronized chains) copy ``earliest``
+      verbatim, which is what the scalar ``max`` would pick.
+
+    Stretch boundaries for the earliest-bound case come from one O(n)
+    precomputed comparison vector plus a binary search per stretch, so
+    even pathological alternation stays near-linear — the previous
+    pass-per-stretch scheme degenerated to a pass per *element* on
+    fully self-synchronized chains (the 2dim-sweep wallclock
+    regression).
     """
     n = earliest.shape[0]
     out = np.empty(n, dtype=np.float64)
     free = float(next_free)
+    # Positions j where earliest[j+1] < earliest[j] + duration, i.e.
+    # where an earliest-bound stretch must end.  Built lazily: fully
+    # queue-bound inputs never need it.
+    bad = None
     i = 0
-    passes = 0
     while i < n:
-        passes += 1
-        if passes > 32:
-            # Pathological alternation between queue-bound and
-            # earliest-bound elements: finish with the scalar loop
-            # (identical arithmetic, just slower).
-            for j in range(i, n):
-                e = earliest[j]
-                s = e if e >= free else free
-                out[j] = s
-                free = s + duration
-            return out
         e0 = earliest[i]
         start = e0 if e0 >= free else free
+        out[i] = start
+        if i + 1 == n:
+            return out
+        if earliest[i + 1] >= start + duration:
+            # Earliest-bound stretch: out[k] = earliest[k] while each
+            # element clears its predecessor's end (identical values,
+            # identical comparisons — the adds below replay the scalar
+            # path's ``start + duration``).
+            if bad is None:
+                cons = earliest[1:] >= earliest[:-1] + duration
+                bad = np.nonzero(~cons)[0]
+            j = int(np.searchsorted(bad, i + 1))
+            m = int(bad[j]) + 1 if j < bad.size else n
+            out[i + 1 : m] = earliest[i + 1 : m]
+            free = float(earliest[m - 1] + duration)
+            i = m
+            continue
+        # Queue-bound stretch: chain[j] assumes the queue never drains;
+        # valid while the next element's earliest does not exceed it.
         seg = np.empty(n - i, dtype=np.float64)
         seg[0] = start
         seg[1:] = duration
         chain = np.cumsum(seg)
-        # chain[j] assumes the queue never drains; valid while the next
-        # element's earliest time does not exceed it.
         late = np.nonzero(earliest[i + 1 : n] > chain[1:])[0]
         if late.size == 0:
             out[i:] = chain
             return out
         j = int(late[0]) + 1
         out[i : i + j] = chain[:j]
-        free = chain[j]  # == chain[j-1] + duration, the drained queue end
+        free = float(chain[j])  # == chain[j-1] + duration, the drained queue end
         i += j
     return out
 

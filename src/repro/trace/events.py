@@ -51,6 +51,9 @@ OPS = (
 #: Ops that move payload bytes (conflict candidates for the sanitizer).
 DATA_OPS = frozenset({"put", "get", "iput", "iget", "atomic"})
 
+#: O(1) membership check for the hot recording path.
+_OPS_SET = frozenset(OPS)
+
 #: Above this many merged intervals a footprint is coarsened to its
 #: bounding span (conservative: may over-report overlap, never under-).
 FOOTPRINT_CAP = 4096
@@ -132,18 +135,83 @@ def offsets_footprint(offsets: np.ndarray, elem_size: int) -> tuple:
     return tuple((int(a), int(b - a)) for a, b in zip(starts, stops))
 
 
+def resolve_footprint(fp: tuple) -> tuple:
+    """Materialize a deferred footprint descriptor.
+
+    The vectorized data plane records footprints as cheap descriptors
+    instead of computing the merged interval list inside the hot loop —
+    a tuple whose first element is a string tag (real footprints start
+    with an ``(offset, length)`` tuple, so the two cannot collide):
+
+    * ``("@str", addr, stride_bytes, elem_size, nelems)`` — a 1-D
+      strided access (:func:`strided_footprint` arguments);
+    * ``("@off", rel_index, base, elem_size)`` — a batched plan access,
+      ``rel_index`` being the spec's immutable relative byte-offset
+      array and ``base`` the array's base byte offset.
+
+    Resolution happens once, at trace *read* time (the ``events``
+    property), so ``capture_sync=True`` no longer taxes the data path.
+    Already-concrete footprints pass through unchanged.
+    """
+    if not fp or not isinstance(fp[0], str):
+        return fp
+    tag = fp[0]
+    if tag == "@str":
+        return strided_footprint(fp[1], fp[2], fp[3], fp[4])
+    if tag == "@off":
+        return offsets_footprint(fp[1] + fp[2], fp[3])
+    raise ValueError(f"unknown deferred footprint tag {tag!r}")
+
+
 class Tracer:
-    """Per-job event capture."""
+    """Per-job event capture.
+
+    Recording is split into a hot and a cold half: :meth:`record`
+    appends one plain tuple to a per-PE pool (no dataclass construction,
+    no footprint math), and the :attr:`events` property materializes
+    pooled records into :class:`TraceEvent` objects — resolving any
+    deferred footprint descriptors — the first time the trace is
+    actually read.  Readers (reports, serialization, the sanitizer,
+    tests) see exactly the list-of-lists-of-events they always did;
+    reading mid-run only guarantees visibility of events recorded
+    before the read, as before.
+    """
 
     def __init__(self, job: "Job", capture_sync: bool = False) -> None:
         self.job = job
         self.capture_sync = capture_sync
-        self.events: list[list[TraceEvent]] = [[] for _ in range(job.num_pes)]
+        self._events: list[list[TraceEvent]] = [[] for _ in range(job.num_pes)]
+        self._pool: list[list[tuple]] = [[] for _ in range(job.num_pes)]
+        self._mat_lock = threading.Lock()
         # Sync bookkeeping (cold path; one small lock).
         self._tls = threading.local()
         self._sync_lock = threading.Lock()
         self._lock_tickets: dict = {}
         self._lock_holds: dict = {}
+
+    @property
+    def events(self) -> list[list[TraceEvent]]:
+        """Per-PE event lists (materializes any pooled raw records)."""
+        self._materialize()
+        return self._events
+
+    def _materialize(self) -> None:
+        if not any(self._pool):
+            return
+        with self._mat_lock:
+            for pe, pool in enumerate(self._pool):
+                if not pool:
+                    continue
+                self._pool[pe] = []
+                self._events[pe].extend(
+                    TraceEvent(
+                        pe=r[0], op=r[1], target=r[2], nbytes=r[3],
+                        t_start=r[4], t_end=r[5], calls=r[6], addr=r[7],
+                        footprint=resolve_footprint(r[8]),
+                        internal=r[9], meta=r[10],
+                    )
+                    for r in pool
+                )
 
     # ------------------------------------------------------------------
     # Sync-capture bookkeeping
@@ -196,24 +264,13 @@ class Tracer:
         internal: bool | None = None,
         meta: tuple = (),
     ) -> None:
-        if op not in OPS:
+        if op not in _OPS_SET:
             raise ValueError(f"unknown trace op {op!r}; expected {OPS}")
         if internal is None:
             internal = self.in_sync_internal
-        self.events[pe].append(
-            TraceEvent(
-                pe=pe,
-                op=op,
-                target=target,
-                nbytes=nbytes,
-                t_start=t_start,
-                t_end=t_end,
-                calls=calls,
-                addr=addr,
-                footprint=footprint,
-                internal=internal,
-                meta=meta,
-            )
+        self._pool[pe].append(
+            (pe, op, target, nbytes, t_start, t_end, calls, addr, footprint,
+             internal, meta)
         )
 
     # ------------------------------------------------------------------

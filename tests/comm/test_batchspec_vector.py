@@ -1,0 +1,103 @@
+"""Unit tests for ``BatchSpec.vector_index``.
+
+The spec compiles a plan's per-element byte offsets once; ``vector_index``
+turns them into the exact ``(expanded, index, lo, hi)`` argument set of
+``PEMemory.scatter_at``/``gather_at`` for a concrete array base, picking
+the element-view index for aligned viewable sizes and the byte-expanded
+index otherwise, and memoizing per base offset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.base import BatchSpec
+
+# Two 3-element lines with element stride 2, elements 8 bytes wide:
+# elements {0, 2, 4} and {10, 12, 14} relative to the array base.
+ELEMS = np.array([0, 2, 4, 10, 12, 14], dtype=np.int64)
+
+
+def lines_spec(elem_size=8, with_rel_elem=True):
+    return BatchSpec(
+        kind="lines",
+        ncalls=2,
+        nelems_per_call=3,
+        stride=2,
+        rel_index=ELEMS * elem_size,
+        min_elem=0,
+        max_elem=14,
+        rel_elem=ELEMS if with_rel_elem else None,
+        elem_size=elem_size,
+    )
+
+
+def test_aligned_base_uses_element_view_index():
+    spec = lines_spec()
+    expanded, index, lo, hi = spec.vector_index(16)
+    assert not expanded
+    assert index.tolist() == (ELEMS + 2).tolist()  # 16 bytes = 2 elements
+    assert lo == 16
+    assert hi == 16 + 14 * 8 + 8
+
+
+def test_unaligned_base_byte_expands():
+    spec = lines_spec()
+    expanded, index, lo, hi = spec.vector_index(17)
+    assert expanded
+    want = ((ELEMS * 8)[:, None] + np.arange(8)[None, :]).reshape(-1) + 17
+    assert index.tolist() == want.tolist()
+    assert lo == 17 and hi == 17 + 14 * 8 + 8
+    # Expanded indices cover exactly [lo, hi) at the extremes.
+    assert int(index.min()) == lo and int(index.max()) == hi - 1
+
+
+def test_viewless_elem_size_byte_expands():
+    spec = lines_spec(elem_size=3)
+    expanded, index, lo, hi = spec.vector_index(9)  # 9 % 3 == 0, but no view
+    assert expanded
+    want = ((ELEMS * 3)[:, None] + np.arange(3)[None, :]).reshape(-1) + 9
+    assert index.tolist() == want.tolist()
+    assert lo == 9 and hi == 9 + 14 * 3 + 3
+
+
+def test_missing_rel_elem_byte_expands():
+    spec = lines_spec(with_rel_elem=False)
+    expanded, index, _, _ = spec.vector_index(16)
+    assert expanded
+    assert index.size == ELEMS.size * 8
+
+
+def test_memo_hits_and_invalidates_per_base():
+    spec = lines_spec()
+    _, index_a, _, _ = spec.vector_index(16)
+    _, index_b, _, _ = spec.vector_index(16)
+    assert index_a is index_b  # memo hit: same array object
+    _, index_c, lo_c, _ = spec.vector_index(32)  # base moved: rebuilt
+    assert index_c is not index_a
+    assert lo_c == 32
+    assert index_c.tolist() == (ELEMS + 4).tolist()
+    # Flipping back re-derives the first base correctly.
+    _, index_d, lo_d, _ = spec.vector_index(16)
+    assert lo_d == 16 and index_d.tolist() == index_a.tolist()
+
+
+def test_expanded_rel_cached_across_bases():
+    spec = lines_spec()
+    _, index_a, _, _ = spec.vector_index(17)
+    _, index_b, _, _ = spec.vector_index(25)
+    assert (index_b - index_a).tolist() == [8] * index_a.size
+    assert spec._expanded_rel is not None  # built once, reused
+
+
+def test_elem_size_required():
+    spec = BatchSpec(
+        kind="runs",
+        ncalls=1,
+        nelems_per_call=4,
+        stride=1,
+        rel_index=np.arange(4, dtype=np.int64) * 8,
+        min_elem=0,
+        max_elem=3,
+    )
+    with pytest.raises(ValueError):
+        spec.vector_index(0)
