@@ -163,6 +163,8 @@ def dht_benchmark(
     seed: int = 2015,
     sanitize: bool = False,
     single_writer: bool = False,
+    faults=None,
+    watchdog_s: float | None = None,
 ) -> float:
     """Fig 9 cell: each image applies ``updates_per_image`` random
     updates; returns total elapsed virtual microseconds (max over
@@ -206,6 +208,7 @@ def dht_benchmark(
         return (t1 if single_writer else ctx.clock.now) - t0
 
     results = caf.launch(
-        kernel, num_images, machine, sanitize=sanitize, **config.launch_kwargs()
+        kernel, num_images, machine, sanitize=sanitize,
+        faults=faults, watchdog_s=watchdog_s, **config.launch_kwargs()
     )
     return max(results)

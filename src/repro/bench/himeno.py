@@ -180,6 +180,8 @@ def himeno_caf(
     strided_override: str | None = None,
     coef: HimenoCoefficients = STANDARD_COEFFICIENTS,
     sanitize: bool = False,
+    faults=None,
+    watchdog_s: float | None = None,
 ) -> HimenoResult:
     """Run the CAF Himeno and report MFLOPS (one Fig 10 cell).
 
@@ -269,6 +271,8 @@ def himeno_caf(
             3 * nx * (-(-(ny - 2) // num_images) + 2) * nz * 8 + (1 << 20),
         ),
         sanitize=sanitize,
+        faults=faults,
+        watchdog_s=watchdog_s,
         **config.launch_kwargs(),
     )
     # All images report the same global MFLOPS figure modulo clock skew;

@@ -144,6 +144,8 @@ def launch(
     use_shmem_ptr: bool = False,
     plan_cache_size: int | None = None,
     sanitize: bool = False,
+    faults: Any = None,
+    watchdog_s: float | None = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -161,9 +163,18 @@ def launch(
     and then replays the trace through the happens-before ordering
     sanitizer (:mod:`repro.trace.sanitizer`), raising
     :class:`~repro.trace.sanitizer.OrderingViolation` on any finding.
+    ``faults`` attaches a deterministic
+    :class:`~repro.sim.faults.FaultPlan` (or a prebuilt
+    :class:`~repro.sim.faults.FaultInjector`, so callers can read its
+    statistics afterwards); ``watchdog_s`` overrides the wall-clock
+    stall deadline of the hang watchdog.
     Returns the per-image return values of ``fn``.
     """
-    job_kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+    job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+    if faults is not None:
+        job_kwargs["faults"] = faults
+    if watchdog_s is not None:
+        job_kwargs["watchdog_s"] = watchdog_s
     job = Job(num_images, machine, **job_kwargs)
     rt_kwargs: dict[str, Any] = {
         "backend": backend,

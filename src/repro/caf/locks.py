@@ -284,12 +284,15 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
         )
     t_start = ctx.clock.now
     backoff = _TAS_BACKOFF_START_US
-    with _machinery(rt):
+    with _machinery(rt), rt.job.watchdog.watch(
+        ctx.pe, f"caf_lock[{flat}]@image{image} (tas acquire)"
+    ) as guard:
         while True:
             # Check abort *before* each attempt: an aborted job must exit
             # promptly, not issue one more remote atomic first.
             if rt.job.aborted():
                 raise JobAborted("job aborted while acquiring CAF lock")
+            guard.poll()
             old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", me_image, NIL))
             if old == NIL:
                 break

@@ -264,6 +264,8 @@ class CafRuntime:
         ctx = current()
         t_start = ctx.clock.now
         team = self._team[ctx.pe]
+        if self.layer.faults is not None:
+            self.layer._jitter(ctx, "barrier")
         self.layer.quiet()
         if team is None:
             cost = self.job.network.barrier_cost(self.job.num_pes, self.layer.profile)
@@ -293,6 +295,8 @@ class CafRuntime:
         shape = tuple(int(x) for x in shape)
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
+        if self.layer.faults is not None:
+            self.layer.faults.alloc_check(current().pe)
         offset = self.agree(
             f"team{team.team_number}.alloc:{shape}:{dt.str}",
             lambda: self.job.symmetric_allocator.malloc(max(nbytes, 1)),

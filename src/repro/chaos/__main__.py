@@ -1,0 +1,103 @@
+"""CLI for the chaos harness.
+
+::
+
+    python -m repro.chaos --targets dht locks --seeds 2015 2016 --quick
+
+Exit codes: 0 — every cell passed the gate (bit-identical or clean
+structured abort); 1 — at least one violation (silent corruption,
+unstructured failure, or a non-growing virtual clock under injection);
+2 — bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos import DEFAULT_DEADLINE_S, TARGETS, run_target
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded fault schedules over DHT/locks/Himeno with the "
+        "bit-identity / clean-abort gate.",
+    )
+    parser.add_argument(
+        "--targets", nargs="+", choices=TARGETS, default=["dht", "locks"],
+        help="benchmarks to run (default: dht locks)",
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[2015, 2016],
+        help="fault-plan seeds for the mixed schedule (default: 2015 2016)",
+    )
+    parser.add_argument("--images", type=int, default=4, help="PE/image count")
+    parser.add_argument("--machine", default="stampede")
+    parser.add_argument(
+        "--deadline", type=float, default=DEFAULT_DEADLINE_S,
+        help="watchdog wall-clock stall deadline in seconds",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller kernels (CI smoke)"
+    )
+    parser.add_argument(
+        "--no-aborts", action="store_true",
+        help="skip the crash/escalation schedules",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 0 if exc.code in (0, None) else 2
+    if args.images < 2:
+        print("chaos: need at least 2 images", file=sys.stderr)
+        return 2
+
+    cells = []
+    for target in args.targets:
+        cells.extend(
+            run_target(
+                target,
+                args.seeds,
+                images=args.images,
+                machine=args.machine,
+                deadline_s=args.deadline,
+                quick=args.quick,
+                with_aborts=not args.no_aborts,
+            )
+        )
+
+    violations = [c for c in cells if not c.ok]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "cells": [vars(c) for c in cells],
+                    "violations": len(violations),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for c in cells:
+            inj = c.injected.get("injected_ops", 0)
+            line = (
+                f"{c.target:8s} {c.schedule:9s} seed={c.seed:<6d} "
+                f"{c.status:9s} injected={inj}"
+            )
+            if c.elapsed_us is not None and c.baseline_us is not None:
+                line += f" t={c.elapsed_us:.1f}us (baseline {c.baseline_us:.1f}us)"
+            if c.detail:
+                line += f"  [{c.detail}]"
+            print(line)
+        print(
+            f"chaos: {len(cells)} cells, {len(violations)} violation(s)"
+            + ("" if violations else " — gate holds")
+        )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

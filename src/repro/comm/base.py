@@ -22,6 +22,7 @@ observable through :meth:`quiet` (or a barrier, which includes one).
 
 from __future__ import annotations
 
+import operator as _operator
 import os
 from dataclasses import dataclass
 
@@ -31,12 +32,22 @@ from repro.comm.heap import SymmetricArray
 from repro.runtime.context import current
 from repro.runtime.launcher import Job
 from repro.comm.constants import comparator
+from repro.sim.faults import InjectedCrash, TransientCommError
 from repro.sim.netmodel import ConduitProfile, get_conduit
 from repro.trace.events import (
     contiguous_footprint,
     offsets_footprint,
     strided_footprint,
 )
+
+#: How the initiator learns an attempt failed, per operation family:
+#: put-like operations observe the NACK at remote completion, get-like
+#: and AMO operations at the (round-trip) done time.
+_FAIL_AT_REMOTE = _operator.attrgetter("remote_complete")
+
+
+def _fail_at_done(done: float) -> float:
+    return done
 
 
 def batching_enabled() -> bool:
@@ -146,6 +157,14 @@ class OneSidedLayer:
     #: delivers same-initiator traffic in order).
     FENCE_COST_US = 0.02
 
+    #: Retransmission policy for injected transient delivery failures:
+    #: up to RETRY_LIMIT attempts, exponential backoff between attempts
+    #: priced in *virtual* microseconds (wall clock is untouched), then
+    #: escalation to :class:`~repro.sim.faults.TransientCommError`.
+    RETRY_LIMIT = 4
+    RETRY_BACKOFF_START_US = 2.0
+    RETRY_BACKOFF_MAX_US = 64.0
+
     def __init__(self, job: Job, profile: ConduitProfile | str) -> None:
         if isinstance(profile, str):
             profile = get_conduit(profile)
@@ -168,6 +187,93 @@ class OneSidedLayer:
         self._pricers: dict[tuple, object] = {}
         # Max outstanding remote-completion time of each PE's puts.
         self._pending = [0.0] * job.num_pes
+        # Deterministic fault injection; None keeps the fast path to a
+        # single attribute check per operation (same idiom as tracer).
+        self.faults = job.faults
+
+    # ------------------------------------------------------------------
+    # Fault injection and retransmission
+    # ------------------------------------------------------------------
+    def _record_fault(
+        self, ctx, kind: str, op: str, target: int, t_start: float, calls: int = 1
+    ) -> None:
+        """Trace one ``fault``/``retry`` record (machinery, never data)."""
+        tracer = self.job.tracer
+        if tracer is not None:
+            tracer.record(
+                ctx.pe, kind, target, 0, t_start, ctx.clock.now,
+                calls=max(calls, 1), internal=True, meta=("f", op),
+            )
+
+    def _priced(self, ctx, op: str, target: int, price, fail_at):
+        """Price one operation through the fault plan (plan attached).
+
+        ``price(now)`` prices a single attempt starting at virtual time
+        ``now`` (pricers and the direct network methods are both valid
+        — each call reserves its own timeline bandwidth, so a failed
+        attempt consumes wire time like a real retransmission);
+        ``fail_at(result)`` extracts the virtual instant the initiator
+        learns the attempt failed.  Transient failures retry with
+        capped exponential backoff in virtual time; an exhausted budget
+        raises :class:`TransientCommError`; a scheduled crash raises
+        :class:`InjectedCrash`.  Returns the successful attempt's
+        pricing result.
+        """
+        inj = self.faults
+        d = inj.decide(ctx.pe, op, target)
+        if d is None:
+            return price(ctx.clock.now)
+        t0 = ctx.clock.now
+        if d.crash:
+            self._record_fault(ctx, "fault", op, target, t0)
+            raise InjectedCrash(
+                f"PE {ctx.pe} crashed by fault plan at {op} "
+                f"(op #{inj.op_index(ctx.pe) - 1}, seed {inj.plan.seed})"
+            )
+        if d.extra_us:
+            ctx.clock.advance(d.extra_us)
+        failures = d.failures
+        if not failures:
+            return price(ctx.clock.now)
+        attempts = 0
+        backoff = self.RETRY_BACKOFF_START_US
+        while failures and attempts < self.RETRY_LIMIT:
+            # The failed attempt is fully priced: its timeline
+            # reservations stand (the wire carried the doomed packet)
+            # and the initiator waits until the NACK instant before
+            # backing off and retrying.
+            ctx.clock.merge(fail_at(price(ctx.clock.now)))
+            ctx.clock.advance(backoff)
+            backoff = min(backoff * 2.0, self.RETRY_BACKOFF_MAX_US)
+            attempts += 1
+            failures -= 1
+        if failures:
+            inj.note(ctx.pe, "escalations")
+            self._record_fault(ctx, "fault", op, target, t0, calls=attempts)
+            raise TransientCommError(op, ctx.pe, target, attempts)
+        result = price(ctx.clock.now)
+        inj.note(ctx.pe, "retried_ops")
+        inj.note(ctx.pe, "retries", attempts)
+        self._record_fault(ctx, "retry", op, target, t0, calls=attempts)
+        return result
+
+    def _jitter(self, ctx, op: str, target: int = -1) -> None:
+        """Latency-only injection for collectives (no retransmission:
+        the barrier algorithm's own progress is what gets delayed)."""
+        inj = self.faults
+        if inj is None:
+            return
+        d = inj.decide(ctx.pe, op, target)
+        if d is None:
+            return
+        if d.crash:
+            self._record_fault(ctx, "fault", op, target, ctx.clock.now)
+            raise InjectedCrash(
+                f"PE {ctx.pe} crashed by fault plan at {op} "
+                f"(op #{inj.op_index(ctx.pe) - 1}, seed {inj.plan.seed})"
+            )
+        if d.extra_us:
+            ctx.clock.advance(d.extra_us)
 
     # ------------------------------------------------------------------
     # Registered-segment ("symmetric") memory
@@ -184,6 +290,11 @@ class OneSidedLayer:
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
         ctx = current()
+        if self.faults is not None:
+            # Injected symmetric-heap exhaustion fails *this* PE before
+            # it reaches the collective, so the allocator metadata is
+            # never touched by the doomed allocation.
+            self.faults.alloc_check(ctx.pe)
         offset = self.job.collectives.agree(
             ctx,
             f"{self.LAYER_NAME}.alloc:{shape}:{dt.str}",
@@ -237,15 +348,19 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         if self.vectorized:
             key = ("p", ctx.pe, pe, data.nbytes)
-            pricer = self._pricers.get(key)
-            if pricer is None:
+            price = self._pricers.get(key)
+            if price is None:
                 if len(self._pricers) > 65536:  # unbounded-growth backstop
                     self._pricers.clear()
-                pricer = self.job.network.put_pricer(ctx.pe, pe, data.nbytes, self.profile)
-                self._pricers[key] = pricer
-            timing = pricer(t_start)
+                price = self.job.network.put_pricer(ctx.pe, pe, data.nbytes, self.profile)
+                self._pricers[key] = price
         else:
-            timing = self.job.network.put(ctx.pe, pe, data.nbytes, self.profile, t_start)
+            def price(now, _n=data.nbytes):
+                return self.job.network.put(ctx.pe, pe, _n, self.profile, now)
+        if self.faults is not None:
+            timing = self._priced(ctx, "put", pe, price, _FAIL_AT_REMOTE)
+        else:
+            timing = price(t_start)
         self.job.memories[pe].write(
             dest.element_offset(offset),
             data,
@@ -274,15 +389,19 @@ class OneSidedLayer:
         t_start = ctx.clock.now
         if self.vectorized:
             key = ("g", ctx.pe, pe, nbytes)
-            pricer = self._pricers.get(key)
-            if pricer is None:
+            price = self._pricers.get(key)
+            if price is None:
                 if len(self._pricers) > 65536:
                     self._pricers.clear()
-                pricer = self.job.network.get_pricer(ctx.pe, pe, nbytes, self.profile)
-                self._pricers[key] = pricer
-            done = pricer(t_start)
+                price = self.job.network.get_pricer(ctx.pe, pe, nbytes, self.profile)
+                self._pricers[key] = price
         else:
-            done = self.job.network.get(ctx.pe, pe, nbytes, self.profile, t_start)
+            def price(now, _n=nbytes):
+                return self.job.network.get(ctx.pe, pe, _n, self.profile, now)
+        if self.faults is not None:
+            done = self._priced(ctx, "get", pe, price, _fail_at_done)
+        else:
+            done = price(t_start)
         raw = self.job.memories[pe].read(src.element_offset(offset), nbytes)
         ctx.clock.merge(done)
         tracer = self.job.tracer
@@ -336,26 +455,25 @@ class OneSidedLayer:
         if self.profile.iput_native:
             if self.vectorized:
                 key = ("ip", ctx.pe, pe, nelems, itemsize, tst)
-                pricer = self._pricers.get(key)
-                if pricer is None:
+                price = self._pricers.get(key)
+                if price is None:
                     if len(self._pricers) > 65536:
                         self._pricers.clear()
-                    pricer = self.job.network.iput_pricer(
+                    price = self.job.network.iput_pricer(
                         ctx.pe, pe, nelems, itemsize, self.profile,
                         stride_bytes=tst * itemsize,
                     )
-                    self._pricers[key] = pricer
-                timing = pricer(ctx.clock.now)
+                    self._pricers[key] = price
             else:
-                timing = self.job.network.iput(
-                    ctx.pe,
-                    pe,
-                    nelems,
-                    itemsize,
-                    self.profile,
-                    ctx.clock.now,
-                    stride_bytes=tst * itemsize,
-                )
+                def price(now, _nelems=nelems, _stride=tst * itemsize):
+                    return self.job.network.iput(
+                        ctx.pe, pe, _nelems, itemsize, self.profile, now,
+                        stride_bytes=_stride,
+                    )
+            if self.faults is not None:
+                timing = self._priced(ctx, "iput", pe, price, _FAIL_AT_REMOTE)
+            else:
+                timing = price(ctx.clock.now)
             self.job.memories[pe].write_strided(
                 dest.element_offset(offset),
                 tst * itemsize,
@@ -403,26 +521,25 @@ class OneSidedLayer:
         if self.profile.iput_native:
             if self.vectorized:
                 key = ("ig", ctx.pe, pe, nelems, itemsize, sst)
-                pricer = self._pricers.get(key)
-                if pricer is None:
+                price = self._pricers.get(key)
+                if price is None:
                     if len(self._pricers) > 65536:
                         self._pricers.clear()
-                    pricer = self.job.network.iget_pricer(
+                    price = self.job.network.iget_pricer(
                         ctx.pe, pe, nelems, itemsize, self.profile,
                         stride_bytes=sst * itemsize,
                     )
-                    self._pricers[key] = pricer
-                done = pricer(ctx.clock.now)
+                    self._pricers[key] = price
             else:
-                done = self.job.network.iget(
-                    ctx.pe,
-                    pe,
-                    nelems,
-                    itemsize,
-                    self.profile,
-                    ctx.clock.now,
-                    stride_bytes=sst * itemsize,
-                )
+                def price(now, _nelems=nelems, _stride=sst * itemsize):
+                    return self.job.network.iget(
+                        ctx.pe, pe, _nelems, itemsize, self.profile, now,
+                        stride_bytes=_stride,
+                    )
+            if self.faults is not None:
+                done = self._priced(ctx, "iget", pe, price, _fail_at_done)
+            else:
+                done = price(ctx.clock.now)
             raw = self.job.memories[pe].read_strided(
                 src.element_offset(offset), sst * itemsize, itemsize, nelems
             )
@@ -449,46 +566,51 @@ class OneSidedLayer:
     # ------------------------------------------------------------------
     # Batched plan execution
     # ------------------------------------------------------------------
-    def _price_plan_put(self, spec: BatchSpec, itemsize: int, pe: int, now: float):
-        """Aggregate pricing for a put batch; returns (timing, op, calls).
+    def _plan_price(self, direction: str, spec: BatchSpec, itemsize: int, pe: int):
+        """Aggregate pricing for a whole plan; returns (price, op, calls)
+        with ``price(now)`` pricing one attempt of the whole batch.
 
-        The network batch methods replay the exact per-call float
+        The network batch methods (and the memoized batch pricers on
+        the vectorized plane) replay the exact per-call float
         arithmetic, so timing is bit-identical to the sequential loop.
-        Non-native line plans degenerate to one put per *element*, just
-        like :meth:`iput` does.
+        Non-native line plans degenerate to one put/get per *element*,
+        just like :meth:`iput` does.
         """
         ctx_pe = current().pe
         if self.vectorized:
-            pricer, op, calls = self._plan_pricer("put", spec, itemsize, ctx_pe, pe)
-            return pricer(now), op, calls
+            return self._plan_pricer(direction, spec, itemsize, ctx_pe, pe)
+        net = self.job.network
         if spec.kind == "lines" and self.profile.iput_native:
-            timing = self.job.network.iput_batch(
-                ctx_pe,
-                pe,
-                spec.nelems_per_call,
-                itemsize,
-                spec.ncalls,
-                self.profile,
-                now,
-                stride_bytes=spec.stride * itemsize,
-            )
-            return timing, "iput", spec.ncalls
+            batch = net.iput_batch if direction == "put" else net.iget_batch
+
+            def price(now, _batch=batch):
+                return _batch(
+                    ctx_pe, pe, spec.nelems_per_call, itemsize, spec.ncalls,
+                    self.profile, now, stride_bytes=spec.stride * itemsize,
+                )
+
+            return price, ("iput" if direction == "put" else "iget"), spec.ncalls
+        batch = net.put_batch if direction == "put" else net.get_batch
         if spec.kind == "lines":
-            timing = self.job.network.put_batch(
-                ctx_pe, pe, itemsize, spec.total_elems, self.profile, now
+
+            def price(now, _batch=batch):
+                return _batch(ctx_pe, pe, itemsize, spec.total_elems, self.profile, now)
+
+            return price, ("put" if direction == "put" else "get"), spec.total_elems
+
+        def price(now, _batch=batch):
+            return _batch(
+                ctx_pe, pe, spec.nelems_per_call * itemsize, spec.ncalls,
+                self.profile, now,
             )
-            return timing, "put", spec.total_elems
-        timing = self.job.network.put_batch(
-            ctx_pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, now
-        )
-        return timing, "put", spec.ncalls
+
+        return price, ("put" if direction == "put" else "get"), spec.ncalls
 
     def _plan_pricer(self, direction: str, spec: BatchSpec, itemsize: int,
                      src: int, dst: int):
         """Memoized pricer for a whole plan; returns (pricer, op, calls).
 
-        Same branch structure as :meth:`_price_plan_put` (and the
-        inline pricing in :meth:`execute_plan_get`), but routed through
+        Same branch structure as :meth:`_plan_price`, but routed through
         :meth:`NetworkModel.batch_pricer` so the now-independent
         arithmetic is resolved once per (plan shape, placement) and
         replayed across iterations.  Front-memoized in the layer's flat
@@ -550,7 +672,11 @@ class OneSidedLayer:
         ctx = current()
         t_start = ctx.clock.now
         itemsize = dest.itemsize
-        timing, op, calls = self._price_plan_put(spec, itemsize, pe, t_start)
+        price, op, calls = self._plan_price("put", spec, itemsize, pe)
+        if self.faults is not None:
+            timing = self._priced(ctx, op, pe, price, _FAIL_AT_REMOTE)
+        else:
+            timing = price(t_start)
         if self.vectorized:
             expanded, index, lo, hi = spec.vector_index(dest.byte_offset)
             self.job.memories[pe].scatter_at(
@@ -596,36 +722,17 @@ class OneSidedLayer:
         ctx = current()
         t_start = ctx.clock.now
         itemsize = src.itemsize
+        price, op, calls = self._plan_price("get", spec, itemsize, pe)
+        if self.faults is not None:
+            done = self._priced(ctx, op, pe, price, _fail_at_done)
+        else:
+            done = price(t_start)
         if self.vectorized:
-            pricer, op, calls = self._plan_pricer("get", spec, itemsize, ctx.pe, pe)
-            done = pricer(t_start)
             expanded, index, lo, hi = spec.vector_index(src.byte_offset)
             raw = self.job.memories[pe].gather_at(
                 index, elem_size=itemsize, lo=lo, hi=hi, expanded=expanded
             )
         else:
-            if spec.kind == "lines" and self.profile.iput_native:
-                done = self.job.network.iget_batch(
-                    ctx.pe,
-                    pe,
-                    spec.nelems_per_call,
-                    itemsize,
-                    spec.ncalls,
-                    self.profile,
-                    t_start,
-                    stride_bytes=spec.stride * itemsize,
-                )
-                op, calls = "iget", spec.ncalls
-            elif spec.kind == "lines":
-                done = self.job.network.get_batch(
-                    ctx.pe, pe, itemsize, spec.total_elems, self.profile, t_start
-                )
-                op, calls = "get", spec.total_elems
-            else:
-                done = self.job.network.get_batch(
-                    ctx.pe, pe, spec.nelems_per_call * itemsize, spec.ncalls, self.profile, t_start
-                )
-                op, calls = "get", spec.ncalls
             raw = self.job.memories[pe].read_at(
                 spec.rel_index + src.byte_offset,
                 itemsize,
@@ -675,6 +782,8 @@ class OneSidedLayer:
         """Quiet + dissemination barrier over all PEs."""
         ctx = current()
         t_start = ctx.clock.now
+        if self.faults is not None:
+            self._jitter(ctx, "barrier")
         self.quiet()
         cost = self.job.network.barrier_cost(self.job.num_pes, self.profile)
         _, gen = self.job.barrier.wait_gen(ctx, cost)
@@ -717,10 +826,15 @@ class OneSidedLayer:
                 entry = self.job.network.amo_pricer(ctx.pe, pe, self.profile)
                 self._pricers[key] = entry
             price, proc, back = entry
-            done = price(t_start)
         else:
             proc = back = None
-            done = self.job.network.amo(ctx.pe, pe, self.profile, t_start)
+
+            def price(now):
+                return self.job.network.amo(ctx.pe, pe, self.profile, now)
+        if self.faults is not None:
+            done = self._priced(ctx, "atomic", pe, price, _fail_at_done)
+        else:
+            done = price(t_start)
         fn = self._amo_fn(op, dtype, operands)
         elem_offset = target.element_offset(offset)
         old, prev_time, seq = self.job.memories[pe].atomic_rmw_timed(
@@ -836,5 +950,13 @@ class OneSidedLayer:
         def predicate() -> bool:
             return bool(op(mem.read_scalar(elem_offset, ivar.dtype), target_value))
 
-        ts = mem.wait_until(predicate, aborted=self.job.aborted)
+        wd = self.job.watchdog
+        if wd is None:
+            ts = mem.wait_until(predicate, aborted=self.job.aborted)
+        else:
+            what = f"wait_until(offset={elem_offset}, {cmp} {value!r})"
+            with wd.watch(ctx.pe, what) as guard:
+                ts = mem.wait_until(
+                    predicate, aborted=self.job.aborted, watch=guard.poll
+                )
         ctx.clock.merge(ts)

@@ -20,7 +20,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.comm.base import OneSidedLayer
+from repro.comm.base import OneSidedLayer, _FAIL_AT_REMOTE, _fail_at_done
 from repro.runtime.context import current
 from repro.runtime.launcher import Job
 from repro.runtime.memory import PEMemory
@@ -105,7 +105,16 @@ class GasnetLayer(OneSidedLayer):
         ctx = current()
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
-        timing = self.job.network.am_request(ctx.pe, pe, nbytes, self.profile, t_start)
+        if self.faults is not None:
+            timing = self._priced(
+                ctx, "am", pe,
+                lambda now: self.job.network.am_request(
+                    ctx.pe, pe, nbytes, self.profile, now
+                ),
+                _FAIL_AT_REMOTE,
+            )
+        else:
+            timing = self.job.network.am_request(ctx.pe, pe, nbytes, self.profile, t_start)
         token = Token(self, ctx.pe, pe, timing.remote_complete)
         result = fn(token, *args) if payload is None else fn(token, *args, payload=payload)
         ctx.clock.merge(timing.local_complete)
@@ -131,7 +140,16 @@ class GasnetLayer(OneSidedLayer):
         ctx = current()
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
-        done = self.job.network.am_roundtrip(ctx.pe, pe, nbytes, self.profile, t_start)
+        if self.faults is not None:
+            done = self._priced(
+                ctx, "am", pe,
+                lambda now: self.job.network.am_roundtrip(
+                    ctx.pe, pe, nbytes, self.profile, now
+                ),
+                _fail_at_done,
+            )
+        else:
+            done = self.job.network.am_roundtrip(ctx.pe, pe, nbytes, self.profile, t_start)
         # The handler logically runs on arrival, before the reply.
         token = Token(self, ctx.pe, pe, done)
         result = fn(token, *args) if payload is None else fn(token, *args, payload=payload)

@@ -16,7 +16,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.comm.base import OneSidedLayer
+from repro.comm.base import OneSidedLayer, _FAIL_AT_REMOTE
 from repro.comm.heap import SymmetricArray
 from repro.runtime.context import current
 from repro.runtime.launcher import Job
@@ -118,7 +118,16 @@ class Window:
         # Priced as a put plus per-element service on the target's
         # atomic unit (MPI implementations funnel accumulates through
         # an ordering point to guarantee element-wise atomicity).
-        timing = layer.job.network.put(ctx.pe, rank, data.nbytes, layer.profile, t_start)
+        if layer.faults is not None:
+            timing = layer._priced(
+                ctx, "atomic", rank,
+                lambda now: layer.job.network.put(
+                    ctx.pe, rank, data.nbytes, layer.profile, now
+                ),
+                _FAIL_AT_REMOTE,
+            )
+        else:
+            timing = layer.job.network.put(ctx.pe, rank, data.nbytes, layer.profile, t_start)
         node = layer.job.topology.node_of(rank)
         _, amo_end = layer.job.network.timelines()["amo"][node].reserve(
             timing.remote_complete, data.size * layer.job.machine.amo_process_us

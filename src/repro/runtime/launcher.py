@@ -8,9 +8,16 @@ and the communication-layer instances (:mod:`repro.shmem`,
 :mod:`repro.gasnet`, ...) registered on it.
 
 Failure handling: if any PE raises, the job aborts — every blocking
-primitive polls the abort flag — and the launcher re-raises the first
-failure after joining all threads, so a crash in one image can never
-deadlock the run.
+primitive polls the abort flag — and the launcher raises a
+:class:`JobFailure` carrying *every* per-PE failure record after
+joining all threads, so a crash in one image can never deadlock the
+run and no failure is silently discarded.
+
+Fault injection: ``Job(..., faults=FaultPlan(...))`` attaches a
+deterministic :class:`~repro.sim.faults.FaultInjector`; the
+communication layers consult it per operation.  ``watchdog_s``
+configures the wall-clock stall deadline of the always-on
+:class:`~repro.sim.faults.Watchdog`.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from typing import Any, Callable, Sequence
 from repro.runtime.context import PEContext, set_current
 from repro.runtime.memory import PEMemory
 from repro.runtime.sync import CollectiveState, VirtualBarrier
+from repro.sim.faults import FaultInjector, FaultPlan, Watchdog
 from repro.sim.machines import get_machine
 from repro.sim.netmodel import NetworkModel
 from repro.sim.topology import Machine, Topology
@@ -34,6 +42,32 @@ class JobAborted(RuntimeError):
     """Raised inside surviving PEs when a sibling PE has failed."""
 
 
+class JobFailure(RuntimeError):
+    """One or more PEs failed; carries every per-PE failure record.
+
+    ``failures`` is a list of ``(pe, exception)`` tuples sorted by PE
+    rank.  The exception message keeps the historical
+    ``PE {pe} failed: {exc!r}`` prefix (for the lowest-ranked failing
+    PE) and the instance is raised ``from`` that PE's exception, so
+    ``__cause__`` preserves the root cause's type and traceback.
+    """
+
+    def __init__(self, failures: Sequence[tuple[int, BaseException]]) -> None:
+        if not failures:
+            raise ValueError("JobFailure requires at least one failure record")
+        self.failures = sorted(failures, key=lambda f: f[0])
+        pe, exc = self.failures[0]
+        extra = ""
+        if len(self.failures) > 1:
+            extra = f" (+{len(self.failures) - 1} more PE failure(s))"
+        super().__init__(f"PE {pe} failed: {exc!r}{extra}")
+
+    @property
+    def pe(self) -> int:
+        """Rank of the lowest-numbered failing PE."""
+        return self.failures[0][0]
+
+
 class Job:
     """Shared state of one SPMD run."""
 
@@ -43,6 +77,8 @@ class Job:
         machine: Machine | str = "stampede",
         *,
         heap_bytes: int = DEFAULT_HEAP_BYTES,
+        faults: FaultPlan | FaultInjector | None = None,
+        watchdog_s: float | None = None,
     ) -> None:
         if not 1 <= num_pes <= MAX_PES:
             raise ValueError(f"num_pes must be in [1, {MAX_PES}]")
@@ -67,6 +103,22 @@ class Job:
         self.layers: dict[str, Any] = {}
         # Optional communication tracer (repro.trace.attach installs one).
         self.tracer = None
+        # Optional deterministic fault injection (None on the fast path:
+        # layers gate all fault logic behind one ``is None`` check).
+        if faults is None:
+            self.faults: FaultInjector | None = None
+        elif isinstance(faults, FaultInjector):
+            if faults.num_pes != num_pes:
+                raise ValueError(
+                    f"FaultInjector was built for {faults.num_pes} PEs, "
+                    f"job has {num_pes}"
+                )
+            self.faults = faults
+        else:
+            self.faults = FaultInjector(faults, num_pes)
+        # Always-on hang detection; wall-clock only, so it has zero
+        # effect on virtual times unless it fires.
+        self.watchdog = Watchdog(self, deadline_s=watchdog_s)
 
     # ------------------------------------------------------------------
     def aborted(self) -> bool:
@@ -94,8 +146,10 @@ class Job:
         """Run ``fn(*args, **kwargs)`` on every PE; return per-PE results.
 
         The function executes with a :class:`PEContext` installed so the
-        module-level PGAS APIs resolve to this job.  The first PE
-        failure is re-raised after all threads have exited.
+        module-level PGAS APIs resolve to this job.  If any PE fails, a
+        :class:`JobFailure` carrying every ``(pe, exc)`` record is
+        raised after all threads have exited, with ``__cause__`` set to
+        the lowest-ranked PE's exception.
         """
         kwargs = kwargs or {}
         results: list[Any] = [None] * self.num_pes
@@ -125,9 +179,8 @@ class Job:
         for t in threads:
             t.join()
         if failures:
-            failures.sort(key=lambda f: f[0])
-            pe, exc = failures[0]
-            raise RuntimeError(f"PE {pe} failed: {exc!r}") from exc
+            failure = JobFailure(failures)
+            raise failure from failure.failures[0][1]
         return results
 
 

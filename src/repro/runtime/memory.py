@@ -385,12 +385,15 @@ class PEMemory:
         *,
         aborted: Callable[[], bool],
         poll_interval: float = 0.05,
+        watch: Callable[[], None] | None = None,
     ) -> float:
         """Block until ``predicate()`` holds; return the virtual timestamp
         of the last write observed when it did.
 
         ``aborted`` is polled so that a crashed sibling PE cannot leave
         this thread blocked forever; it raises through the caller.
+        ``watch`` (a watchdog guard's ``poll``) is called once per loop
+        iteration and raises past the wall-clock stall deadline.
         """
         with self._cond:
             while not predicate():
@@ -398,6 +401,8 @@ class PEMemory:
                     from repro.runtime.launcher import JobAborted
 
                     raise JobAborted("job aborted while waiting on memory")
+                if watch is not None:
+                    watch()
                 self._cond.wait(timeout=poll_interval)
             return self._last_write_time
 

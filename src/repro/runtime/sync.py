@@ -72,10 +72,24 @@ class VirtualBarrier:
                 self._generation += 1
                 self._cond.notify_all()
             else:
-                while self._generation == gen:
-                    if self._aborted():
-                        raise JobAborted("job aborted while in barrier")
-                    self._cond.wait(timeout=0.05)
+                wd = getattr(ctx.job, "watchdog", None)
+                guard = (
+                    wd.watch(ctx.pe, f"barrier(sync_id={self.sync_id}, gen={gen})")
+                    if wd is not None
+                    else None
+                )
+                try:
+                    if guard is not None:
+                        guard.__enter__()
+                    while self._generation == gen:
+                        if self._aborted():
+                            raise JobAborted("job aborted while in barrier")
+                        if guard is not None:
+                            guard.poll()
+                        self._cond.wait(timeout=0.05)
+                finally:
+                    if guard is not None:
+                        guard.__exit__(None, None, None)
             departure = self._release_time
         ctx.clock.merge(departure)
         return departure, gen

@@ -130,14 +130,24 @@ def launch(
     *,
     profile: ConduitProfile | str | None = None,
     heap_bytes: int | None = None,
+    faults: Any = None,
+    watchdog_s: float | None = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
     """Run ``fn`` as an SPMD SHMEM program on ``num_pes`` PEs.
 
+    ``faults`` attaches a deterministic
+    :class:`~repro.sim.faults.FaultPlan` (or prebuilt
+    :class:`~repro.sim.faults.FaultInjector`); ``watchdog_s`` overrides
+    the hang watchdog's wall-clock stall deadline.
     Returns the per-PE return values of ``fn``.
     """
-    job_kwargs = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+    job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
+    if faults is not None:
+        job_kwargs["faults"] = faults
+    if watchdog_s is not None:
+        job_kwargs["watchdog_s"] = watchdog_s
     job = Job(num_pes, machine, **job_kwargs)
     attach(job, profile)
     return job.run(fn, args=args, kwargs=kwargs or {})

@@ -293,10 +293,13 @@ class ShmemLayer(OneSidedLayer):
         backoff = self._LOCK_BACKOFF_START_US
         tracer = self.job.tracer
         machinery = tracer.sync_internal() if tracer is not None else nullcontext()
-        with machinery:
+        with machinery, self.job.watchdog.watch(
+            ctx.pe, f"shmem_set_lock(offset={lock.byte_offset})"
+        ) as guard:
             while True:
                 if self.job.aborted():
                     raise JobAborted("job aborted while acquiring shmem lock")
+                guard.poll()
                 old = self.atomic(lock, 0, 0, "cswap", ctx.pe + 1, 0)
                 if int(old) == 0:
                     break

@@ -31,7 +31,12 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.launcher import Job
 
 #: Operation kinds recorded by the layers.  The first eight are the
-#: data/profiling ops; the rest are sync-capture-only records.
+#: data/profiling ops; the rest are sync-capture-only records plus the
+#: fault-injection records (``fault`` — an injected crash or exhausted
+#: retry budget; ``retry`` — a transiently-failed operation that
+#: succeeded after retransmission, ``calls`` counting the failed
+#: attempts).  Fault records are machinery (``internal=True``) and
+#: carry ``meta=("f", op)`` naming the faulted operation.
 OPS = (
     "put",
     "get",
@@ -46,6 +51,8 @@ OPS = (
     "lock_release",
     "post",
     "wait",
+    "fault",
+    "retry",
 )
 
 #: Ops that move payload bytes (conflict candidates for the sanitizer).

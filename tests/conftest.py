@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import faulthandler
+
 import numpy as np
 import pytest
 
 from repro.sim.topology import Machine
+
+#: Per-test wall-clock ceiling when pytest-timeout is not installed
+#: (CI installs it and passes ``--timeout``; this backstop keeps a hang
+#: regression from stalling a local run indefinitely).
+HANG_CEILING_S = 300.0
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_protocol(item):
+    if item.config.pluginmanager.hasplugin("timeout"):
+        # pytest-timeout owns the ceiling (CI); don't double-arm.
+        return (yield)
+    faulthandler.dump_traceback_later(HANG_CEILING_S, exit=True)
+    try:
+        return (yield)
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 #: A small machine with 2 cores per node so a 4-PE job spans 2 nodes —
 #: inter-node paths get exercised without launching 17+ threads.

@@ -1,0 +1,147 @@
+"""The chaos harness gate, exercised as a test suite.
+
+Runs the quick schedule matrix over the DHT and lock kernels and
+asserts the gate holds: bit-identity under retried transients, clean
+structured aborts under crashes, never a violation.  Also covers the
+CLI's exit-code contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    ChaosOutcome,
+    crash_plan,
+    escalate_plan,
+    mixed_plan,
+    run_cell,
+    run_target,
+)
+from repro.chaos.__main__ import main
+
+
+@pytest.mark.parametrize("target", ["dht", "locks"])
+def test_gate_holds_on_quick_matrix(target):
+    cells = run_target(target, [2015], images=4, quick=True, deadline_s=60.0)
+    assert len(cells) == 3  # mixed + crash + escalate
+    for cell in cells:
+        assert cell.ok, f"{cell.target}/{cell.schedule}: {cell.detail}"
+    mixed = cells[0]
+    assert mixed.schedule == "mixed"
+    if mixed.status == "identical" and mixed.injected.get("injected_ops", 0):
+        assert mixed.elapsed_us > mixed.baseline_us
+
+
+def test_mixed_schedule_injects_and_stays_identical():
+    cells = run_target("dht", [2015, 2016], images=4, quick=True,
+                       deadline_s=60.0, with_aborts=False)
+    assert [c.schedule for c in cells] == ["mixed", "mixed"]
+    assert all(c.status == "identical" for c in cells), [c.detail for c in cells]
+    # The quick DHT kernel issues hundreds of ops at a 15% transient
+    # rate: the schedule cannot be a no-op.
+    assert all(c.injected.get("injected_ops", 0) > 0 for c in cells)
+    # Retried attempts and latency jitter are priced in virtual time.
+    assert all(c.elapsed_us > c.baseline_us for c in cells)
+
+
+def test_crash_schedule_aborts_cleanly():
+    cells = run_target("locks", [2015], images=4, quick=True, deadline_s=60.0)
+    crash = next(c for c in cells if c.schedule == "crash")
+    assert crash.ok
+    if crash.injected.get("crashes", 0):
+        assert crash.status == "aborted"
+        assert "InjectedCrash" in crash.detail
+
+
+def test_replay_digests_are_identical():
+    """Same target, same plan, twice: identical result digests, both
+    matching the fault-free answer at larger virtual time.  (Elapsed
+    times themselves are scheduler-dependent under concurrent writers —
+    contended locks change each PE's op sequence — so the bitwise-time
+    contract is tested separately on a single-writer kernel.)"""
+    from repro.chaos import _RUNNERS
+    from repro.sim.faults import FaultInjector
+
+    runner = _RUNNERS["dht"]
+    baseline = runner(4, "stampede", None, 60.0, True)
+    runs = []
+    for _ in range(2):
+        inj = FaultInjector(mixed_plan(99), 4)
+        runs.append(runner(4, "stampede", inj, 60.0, True))
+    assert runs[0][0] == runs[1][0]  # digest replays bit-exactly
+    assert runs[0][0] == baseline[0]  # and matches the fault-free answer
+    assert all(r[1] > baseline[1] for r in runs)
+
+
+def test_single_writer_replay_times_are_bit_exact():
+    """With one writer every timed op is issued in program order, so a
+    replayed fault schedule yields bit-identical virtual times."""
+    from repro.bench.dht import dht_benchmark
+    from repro.bench.harness import UHCAF_CRAY_SHMEM
+
+    def run(plan):
+        return dht_benchmark(
+            "stampede", UHCAF_CRAY_SHMEM, 4,
+            updates_per_image=6, slots_per_image=32,
+            single_writer=True, faults=plan,
+        )
+
+    base = run(None)
+    t1 = run(mixed_plan(99))
+    t2 = run(mixed_plan(99))
+    assert t1 == t2
+    assert t1 > base
+
+
+def test_cell_outcome_shape():
+    runner_baseline = ("digest", 1.0)
+    out = ChaosOutcome("dht", "mixed", 1, "identical")
+    assert out.ok
+    assert not ChaosOutcome("dht", "mixed", 1, "violation").ok
+    assert runner_baseline  # plans are constructible with any seed
+    for plan_fn in (mixed_plan, crash_plan, escalate_plan):
+        assert plan_fn(7).seed == 7
+
+
+def test_run_cell_flags_unstructured_failure():
+    """A failure whose root cause is a plain user exception must be a
+    violation, not a clean abort."""
+
+    def bad_runner(images, machine, faults, deadline_s, quick):
+        from repro import caf
+
+        def kernel():
+            raise ValueError("user bug, not an injected fault")
+
+        caf.launch(kernel, images, machine, faults=faults)
+
+    from repro import chaos
+
+    original = chaos._RUNNERS["dht"]
+    chaos._RUNNERS["dht"] = bad_runner
+    try:
+        cell = run_cell("dht", "mixed", mixed_plan(1), ("d", 1.0), quick=True)
+    finally:
+        chaos._RUNNERS["dht"] = original
+    assert cell.status == "violation"
+    assert "unstructured" in cell.detail
+
+
+def test_cli_exit_codes():
+    assert main(["--targets", "locks", "--seeds", "2015", "--quick",
+                 "--no-aborts"]) == 0
+    assert main(["--images", "1"]) == 2
+    assert main(["--targets", "nonsense"]) == 2
+
+
+def test_cli_json_output(capsys):
+    import json
+
+    rc = main(["--targets", "locks", "--seeds", "2015", "--quick",
+               "--no-aborts", "--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["violations"] == 0
+    assert doc["cells"][0]["target"] == "locks"
+    assert doc["cells"][0]["status"] in ("identical", "aborted")

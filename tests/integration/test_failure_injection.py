@@ -114,3 +114,56 @@ def test_surviving_images_do_not_mask_root_cause():
         caf.launch(kernel, num_images=6)
     assert "ZeroDivisionError" in str(exc_info.value)
     assert isinstance(exc_info.value.__cause__, ZeroDivisionError)
+
+
+def test_death_while_peer_spins_on_shmem_set_lock():
+    def kernel():
+        me = shmem.my_pe()
+        lock = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if me == 0:
+            shmem.set_lock(lock)
+            shmem.barrier_all()  # let PE 1 start spinning on the taken lock
+            raise ValueError("holder dies mid-critical-section")
+        shmem.barrier_all()
+        shmem.set_lock(lock)  # spins forever without abort propagation
+
+    with pytest.raises(RuntimeError, match="PE 0 failed"):
+        shmem.launch(kernel, num_pes=2)
+
+
+def test_death_while_peer_spins_on_tas_lock():
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 1)
+            caf.sync_images([2])
+            raise ValueError("TAS holder dies")
+        caf.sync_images([1])
+        caf.lock(lck, 1)  # test-and-set retry loop
+
+    with pytest.raises(RuntimeError, match="PE 0 failed"):
+        caf.launch(kernel, num_images=2, lock_algorithm="tas")
+
+
+def test_job_failure_records_every_failed_pe():
+    from repro.runtime.launcher import JobFailure
+
+    def kernel():
+        me = caf.this_image()
+        if me in (2, 4):
+            raise ValueError(f"image {me} dies")
+        caf.sync_all()
+
+    with pytest.raises(JobFailure) as exc_info:
+        caf.launch(kernel, num_images=4)
+    jf = exc_info.value
+    pes = [pe for pe, _ in jf.failures]
+    assert pes == sorted(pes)
+    assert set(pes) == {1, 3}  # images 2 and 4 are PEs 1 and 3
+    assert all(isinstance(e, ValueError) for _, e in jf.failures)
+    assert jf.pe == jf.failures[0][0]
+    assert "+1 more PE failure" in str(jf)
+    assert jf.__cause__ is jf.failures[0][1]

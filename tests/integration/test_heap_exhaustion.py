@@ -1,0 +1,111 @@
+"""Symmetric-heap exhaustion during collective allocation.
+
+Running out of symmetric heap — genuinely, or via an injected
+``alloc_fail_at`` fault — must abort every PE cleanly (no hang, no
+leaked threads) and leave the shared :class:`FreeListAllocator`'s
+metadata consistent: ``check_invariants()`` must pass afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import caf, shmem
+from repro.runtime.launcher import Job, JobFailure
+from repro.sim.faults import FaultPlan
+from repro.util.allocator import OutOfMemoryError
+
+
+def _assert_no_leaked_pe_threads():
+    leaked = [t.name for t in threading.enumerate() if t.name.startswith("pe-")]
+    assert not leaked, f"leaked PE threads: {leaked}"
+
+
+def test_genuine_exhaustion_aborts_all_pes_cleanly():
+    job = Job(4, heap_bytes=1 << 16)
+    shmem.attach(job)
+
+    def kernel():
+        held = []
+        for _ in range(64):  # 64 * 4 KiB > the 64 KiB heap
+            held.append(shmem.shmalloc_array((512,), np.float64))
+        return len(held)
+
+    with pytest.raises(JobFailure) as exc_info:
+        job.run(kernel)
+    assert isinstance(exc_info.value.__cause__, OutOfMemoryError)
+    _assert_no_leaked_pe_threads()
+    # The failed malloc never mutated the free list: metadata stays sound.
+    job.symmetric_allocator.check_invariants()
+
+
+def test_injected_alloc_fault_in_shmem_collective_alloc():
+    plan = FaultPlan(seed=11, alloc_fail_at={2: 1})
+    job = Job(4, faults=plan)
+    shmem.attach(job)
+
+    def kernel():
+        a = shmem.shmalloc_array((8,), np.int64)  # allocation 0: fine
+        b = shmem.shmalloc_array((8,), np.int64)  # allocation 1: PE 2 dies
+        shmem.barrier_all()
+        return a.byte_offset + b.byte_offset
+
+    with pytest.raises(JobFailure) as exc_info:
+        job.run(kernel)
+    jf = exc_info.value
+    assert isinstance(jf.__cause__, OutOfMemoryError)
+    assert "injected" in str(jf.__cause__)
+    assert jf.pe == 2
+    _assert_no_leaked_pe_threads()
+    # The injected failure fired *before* PE 2's collective touched the
+    # allocator; another PE's leader lambda may or may not have serviced
+    # the second allocation before the abort landed.  Either way the
+    # metadata is consistent.
+    job.symmetric_allocator.check_invariants()
+    assert job.symmetric_allocator.live_blocks in (1, 2)
+
+
+def test_injected_alloc_fault_in_caf_coarray_alloc():
+    from repro.caf.runtime import attach as caf_attach
+
+    plan = FaultPlan(seed=12, alloc_fail_at={0: 0})
+    job = Job(2, faults=plan)
+    rt = caf_attach(job)
+
+    def kernel():
+        rt.startup()
+        x = caf.coarray((16,), np.float64)  # image 1's first allocation fails
+        caf.sync_all()
+        return x
+
+    with pytest.raises(JobFailure) as exc_info:
+        job.run(kernel)
+    assert isinstance(exc_info.value.__cause__, OutOfMemoryError)
+    assert exc_info.value.pe == 0
+    _assert_no_leaked_pe_threads()
+    job.symmetric_allocator.check_invariants()
+
+
+def test_allocator_survives_alloc_free_cycles_then_exhaustion():
+    """Exhaustion after real churn: the free list has seen splits and
+    coalesces before the failing malloc, and must still check out."""
+    job = Job(2, heap_bytes=1 << 16)
+    shmem.attach(job)
+
+    def kernel():
+        for _ in range(4):
+            a = shmem.shmalloc_array((256,), np.float64)
+            b = shmem.shmalloc_array((128,), np.float64)
+            shmem.shfree(a)
+            shmem.shfree(b)
+        shmem.shmalloc_array((1 << 14,), np.float64)  # 128 KiB > 64 KiB heap
+
+    with pytest.raises(JobFailure) as exc_info:
+        job.run(kernel)
+    assert isinstance(exc_info.value.__cause__, OutOfMemoryError)
+    _assert_no_leaked_pe_threads()
+    job.symmetric_allocator.check_invariants()
+    assert job.symmetric_allocator.live_blocks == 0

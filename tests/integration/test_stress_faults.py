@@ -1,0 +1,138 @@
+"""Stress: exceptions at arbitrary points must never leak threads.
+
+Whatever a PE is doing when it dies — mid-strided-put, holding an MCS
+lock with waiters enqueued, while siblings sit in a barrier, or at an
+injected crash index swept across a communication-heavy kernel — the
+launcher must join every thread, report a structured failure, and leave
+no ``pe-*`` daemon thread behind.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.runtime.launcher import JobFailure
+from repro.sim.faults import FaultPlan, InjectedCrash
+
+
+def _assert_no_leaked_pe_threads():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        leaked = [t.name for t in threading.enumerate() if t.name.startswith("pe-")]
+        if not leaked:
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"leaked PE threads: {leaked}")
+
+
+def test_exception_inside_strided_put_loop():
+    def kernel():
+        me = caf.this_image()
+        x = caf.coarray((8, 8), np.float64)
+        x[:] = float(me)
+        caf.sync_all()
+        right = me % caf.num_images() + 1
+        for i in range(8):
+            x.on(right)[::2, i] = float(i)  # strided co-indexed put
+            if me == 2 and i == 3:
+                raise ValueError("dies between strided fragments")
+        caf.sync_all()
+
+    with pytest.raises(JobFailure) as exc_info:
+        caf.launch(kernel, num_images=4)
+    assert isinstance(exc_info.value.__cause__, ValueError)
+    _assert_no_leaked_pe_threads()
+
+
+def test_exception_while_holding_mcs_lock_with_waiters():
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 1)
+            caf.sync_images([2, 3])  # both waiters have started queueing
+            time.sleep(0.05)  # let them enqueue behind the held lock
+            raise RuntimeError("dies inside the critical section")
+        caf.sync_images([1])
+        caf.lock(lck, 1)
+        caf.unlock(lck, 1)
+
+    with pytest.raises(JobFailure) as exc_info:
+        caf.launch(kernel, num_images=3)
+    assert isinstance(exc_info.value.__cause__, RuntimeError)
+    _assert_no_leaked_pe_threads()
+
+
+def test_exception_while_siblings_sit_in_barrier():
+    def kernel():
+        me = caf.this_image()
+        caf.sync_all()
+        if me == 3:
+            time.sleep(0.1)  # everyone else is already inside sync_all
+            raise KeyError("late image dies instead of arriving")
+        caf.sync_all()
+
+    t0 = time.monotonic()
+    with pytest.raises(JobFailure) as exc_info:
+        caf.launch(kernel, num_images=5)
+    assert time.monotonic() - t0 < 30.0
+    assert isinstance(exc_info.value.__cause__, KeyError)
+    _assert_no_leaked_pe_threads()
+
+
+@pytest.mark.parametrize("crash_index", [0, 1, 5, 17, 1 << 20])
+def test_injected_crash_sweep_over_dht_kernel(crash_index):
+    """Kill image 2 at the Nth communication op of a lock-heavy kernel.
+
+    Every index must yield either a clean InjectedCrash abort or (index
+    beyond the run) a normal completion — never a hang, never a leak.
+    """
+    from repro.bench.dht import DistributedHashTable
+
+    def kernel():
+        table = DistributedHashTable(32, locks_per_image=2)
+        rng = np.random.default_rng(3 + caf.this_image())
+        for k in rng.integers(0, 1 << 20, size=6):
+            table.update(int(k))
+        caf.sync_all()
+        return table.local_totals()
+
+    plan = FaultPlan(seed=1, crash_at={1: crash_index})
+    t0 = time.monotonic()
+    try:
+        out = caf.launch(kernel, num_images=3, faults=plan, watchdog_s=60.0)
+    except JobFailure as jf:
+        assert isinstance(jf.__cause__, InjectedCrash)
+        assert jf.pe == 1
+    else:
+        # Crash index beyond the ops this PE issued: run completes and
+        # every update is accounted for.
+        assert sum(t[1] for t in out) == 3 * 6
+    assert time.monotonic() - t0 < 60.0
+    _assert_no_leaked_pe_threads()
+
+
+def test_repeated_faulted_launches_leave_clean_state():
+    """Back-to-back faulted launches: no cross-run leakage of threads,
+    contexts, or abort state."""
+
+    def kernel():
+        x = caf.coarray((4,), np.int64)
+        x[:] = caf.this_image()
+        caf.sync_all()
+        if caf.this_image() == 2:
+            raise ValueError("boom")
+        caf.sync_all()
+
+    for _ in range(5):
+        with pytest.raises(JobFailure):
+            caf.launch(kernel, num_images=3)
+    _assert_no_leaked_pe_threads()
+    # And a healthy run still works afterwards.
+    assert caf.launch(lambda: caf.this_image(), num_images=3) == [1, 2, 3]

@@ -1,0 +1,141 @@
+"""Watchdog hang detection: wall-clock stalls become HangReports.
+
+Each test constructs a genuine hang — a sync that can never complete —
+with a short watchdog deadline, and asserts the launcher raises a
+structured :class:`JobFailure` whose cause is a :class:`HangError`
+naming the blocked PEs, within bounded wall-clock time.  Without the
+watchdog every one of these programs would hang forever.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import caf, shmem
+from repro.runtime.launcher import JobFailure
+from repro.sim.faults import HangError
+
+#: Watchdog deadline for these tests; generous against CI scheduling
+#: noise, tiny against the pytest-timeout/faulthandler ceiling.
+DEADLINE_S = 1.0
+
+#: Launch-to-raise budget: deadline + poll granularity + thread joins.
+WALL_BUDGET_S = 30.0
+
+
+def _expect_hang(launch_call):
+    t0 = time.monotonic()
+    with pytest.raises(JobFailure) as exc_info:
+        launch_call()
+    assert time.monotonic() - t0 < WALL_BUDGET_S
+    cause = exc_info.value.__cause__
+    assert isinstance(cause, HangError)
+    return cause.report
+
+
+def test_wait_until_never_posted():
+    def kernel():
+        flag = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if shmem.my_pe() != 0:
+            shmem.wait_until(flag, shmem.CMP_GE, 1)  # nobody ever posts
+
+    report = _expect_hang(
+        lambda: shmem.launch(kernel, num_pes=3, watchdog_s=DEADLINE_S)
+    )
+    assert set(report.blocked_pes()) == {1, 2}
+    assert "wait_until" in report.render()
+    assert "ge 1" in report.render()
+
+
+def test_barrier_missing_participant():
+    def kernel():
+        if caf.this_image() == 1:
+            return  # never arrives; images 2..4 wait forever
+        caf.sync_all()
+
+    report = _expect_hang(
+        lambda: caf.launch(kernel, num_images=4, watchdog_s=DEADLINE_S)
+    )
+    assert set(report.blocked_pes()) == {1, 2, 3}
+    assert "barrier" in report.render()
+
+
+def test_shmem_lock_never_released():
+    def kernel():
+        lock = shmem.shmalloc_array((1,), np.int64)
+        shmem.barrier_all()
+        if shmem.my_pe() == 0:
+            shmem.set_lock(lock)
+            return  # exits holding the lock
+        time.sleep(0.05)  # let PE 0 win the race for the lock
+        shmem.set_lock(lock)
+
+    report = _expect_hang(
+        lambda: shmem.launch(kernel, num_pes=2, watchdog_s=DEADLINE_S)
+    )
+    assert report.blocked_pes() == (1,)
+    assert "shmem_set_lock" in report.render()
+
+
+def test_tas_lock_never_released():
+    def kernel():
+        me = caf.this_image()
+        lck = caf.lock_type()
+        caf.sync_all()
+        if me == 1:
+            caf.lock(lck, 1)
+            return
+        time.sleep(0.05)
+        caf.lock(lck, 1)
+
+    report = _expect_hang(
+        lambda: caf.launch(
+            kernel, num_images=2, lock_algorithm="tas", watchdog_s=DEADLINE_S
+        )
+    )
+    assert report.blocked_pes() == (1,)
+    assert "tas acquire" in report.render()
+
+
+def test_report_includes_trace_tail_when_tracing():
+    """With a tracer attached the report shows each blocked PE's last
+    events, so a hang dump points at what the PE was doing."""
+    from repro.runtime.launcher import Job
+    from repro.shmem import attach
+    from repro.trace.events import attach as trace_attach
+
+    job = Job(2, watchdog_s=DEADLINE_S)
+    attach(job)
+    trace_attach(job)
+
+    def kernel():
+        flag = shmem.shmalloc_array((1,), np.int64)
+        shmem.put(flag, np.array([0], dtype=np.int64), 0)  # traced op
+        shmem.barrier_all()
+        if shmem.my_pe() == 1:
+            shmem.wait_until(flag, shmem.CMP_GE, 5)
+
+    with pytest.raises(JobFailure) as exc_info:
+        job.run(kernel)
+    report = exc_info.value.__cause__.report
+    rendered = report.render()
+    assert report.blocked_pes() == (1,)
+    assert "last events" in rendered or "->PE" in rendered
+
+
+def test_healthy_run_is_untouched_by_watchdog():
+    """A normal program under a short deadline completes normally: the
+    watchdog is wall-clock-only and must never fire on progress."""
+
+    def kernel():
+        x = caf.coarray((4,), np.float64)
+        x[:] = caf.this_image()
+        caf.sync_all()
+        return float(x.on(1)[0])
+
+    out = caf.launch(kernel, num_images=2, watchdog_s=DEADLINE_S)
+    assert out == [1.0, 1.0]

@@ -93,6 +93,51 @@ def test_v3_sync_fields_roundtrip(tmp_path):
     assert barriers and all(e.meta and e.meta[0] == "b" for e in barriers)
 
 
+def test_loads_v3_documents_under_v4():
+    """A v3 document (pre-fault-ops) loads unchanged under the v4
+    reader — the record shape did not change, only the op vocabulary."""
+    tracer = _make_trace()
+    doc = serialize.to_dict(tracer)
+    v3 = dict(doc, format=3)
+    events = serialize.events_from_dict(v3)
+    assert events == tracer.all_events()
+
+
+def test_fault_and_retry_events_roundtrip(tmp_path):
+    """Injected faults leave 'fault'/'retry' records in the trace and
+    they survive save/load with attempt counts and op metadata."""
+    from repro.sim.faults import FaultPlan
+
+    job = Job(
+        2,
+        faults=FaultPlan(seed=13, transient_rate=0.6, max_failures=2,
+                         latency_rate=0.0),
+    )
+    shmem.attach(job)
+    tracer = trace.attach(job)
+
+    def kernel():
+        me = shmem.my_pe()
+        x = shmem.shmalloc_array((16,), np.int64)
+        shmem.barrier_all()
+        for _ in range(12):
+            shmem.put(x, np.zeros(16, dtype=np.int64), 1 - me)
+        shmem.quiet()
+        shmem.barrier_all()
+
+    job.run(kernel)
+    path = tmp_path / "faulted.json"
+    serialize.save(tracer, path)
+    events = serialize.load(path)
+    assert events == tracer.all_events()
+    retries = [e for e in events if e.op == "retry"]
+    # 12 puts/PE at a 60% transient rate: retries are certain.
+    assert retries
+    assert all(e.internal for e in retries)
+    assert all(e.meta == ("f", "put") for e in retries)
+    assert all(e.calls >= 1 for e in retries)
+
+
 def test_load_validates(tmp_path):
     tracer = _make_trace()
     doc = serialize.to_dict(tracer)
