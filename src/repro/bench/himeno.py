@@ -182,6 +182,7 @@ def himeno_caf(
     sanitize: bool = False,
     faults=None,
     watchdog_s: float | None = None,
+    scheduler=None,
 ) -> HimenoResult:
     """Run the CAF Himeno and report MFLOPS (one Fig 10 cell).
 
@@ -273,6 +274,7 @@ def himeno_caf(
         sanitize=sanitize,
         faults=faults,
         watchdog_s=watchdog_s,
+        scheduler=scheduler,
         **config.launch_kwargs(),
     )
     # All images report the same global MFLOPS figure modulo clock skew;

@@ -146,6 +146,7 @@ def launch(
     sanitize: bool = False,
     faults: Any = None,
     watchdog_s: float | None = None,
+    scheduler: Any = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -167,7 +168,10 @@ def launch(
     :class:`~repro.sim.faults.FaultPlan` (or a prebuilt
     :class:`~repro.sim.faults.FaultInjector`, so callers can read its
     statistics afterwards); ``watchdog_s`` overrides the wall-clock
-    stall deadline of the hang watchdog.
+    stall deadline of the hang watchdog.  ``scheduler`` attaches a
+    deterministic cooperative scheduler
+    (:class:`~repro.explore.Scheduler`): one strategy seed, one exact
+    interleaving.
     Returns the per-image return values of ``fn``.
     """
     job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -175,6 +179,8 @@ def launch(
         job_kwargs["faults"] = faults
     if watchdog_s is not None:
         job_kwargs["watchdog_s"] = watchdog_s
+    if scheduler is not None:
+        job_kwargs["scheduler"] = scheduler
     job = Job(num_images, machine, **job_kwargs)
     rt_kwargs: dict[str, Any] = {
         "backend": backend,

@@ -284,6 +284,7 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
         )
     t_start = ctx.clock.now
     backoff = _TAS_BACKOFF_START_US
+    sched = rt.job.scheduler
     with _machinery(rt), rt.job.watchdog.watch(
         ctx.pe, f"caf_lock[{flat}]@image{image} (tas acquire)"
     ) as guard:
@@ -298,7 +299,12 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
                 break
             ctx.clock.advance(backoff)
             backoff = min(backoff * 2, _TAS_BACKOFF_MAX_US)
-            time.sleep(0.0002)  # wall-clock yield; the delay cost is virtual
+            if sched is None:
+                time.sleep(0.0002)  # wall-clock yield; the delay cost is virtual
+            else:
+                # Cooperative spin yield: lets priority strategies
+                # demote this spinner so the holder can release.
+                sched.yield_point(ctx.pe, "lock_spin", target_pe, spin=True)
     held[key] = -1  # no qnode for TAS
     rt.my_stats["lock_acquires"] += 1
     _record_lock(rt, "lock_acquire", "la", target_pe, t_start, lck, image, flat)

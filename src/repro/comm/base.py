@@ -190,6 +190,12 @@ class OneSidedLayer:
         # Deterministic fault injection; None keeps the fast path to a
         # single attribute check per operation (same idiom as tracer).
         self.faults = job.faults
+        # Cooperative schedule control (repro.explore); None keeps the
+        # threaded engine's fast path to the same single check.  In
+        # scheduler mode every RMA/sync call is a decision point, puts
+        # deposit through per-initiator delivery queues (weak completion
+        # made explicit), and quiet force-flushes the caller's queue.
+        self.scheduler = job.scheduler
 
     # ------------------------------------------------------------------
     # Fault injection and retransmission
@@ -345,6 +351,9 @@ class OneSidedLayer:
         if data.size == 0:
             return  # nothing moves: no pricing, no lock, no clock advance
         ctx = current()
+        sched = self.scheduler
+        if sched is not None:
+            sched.yield_point(ctx.pe, "put", pe)
         t_start = ctx.clock.now
         if self.vectorized:
             key = ("p", ctx.pe, pe, data.nbytes)
@@ -361,11 +370,21 @@ class OneSidedLayer:
             timing = self._priced(ctx, "put", pe, price, _FAIL_AT_REMOTE)
         else:
             timing = price(t_start)
-        self.job.memories[pe].write(
-            dest.element_offset(offset),
-            data,
-            timestamp=timing.remote_complete,
-        )
+        if sched is None:
+            self.job.memories[pe].write(
+                dest.element_offset(offset),
+                data,
+                timestamp=timing.remote_complete,
+            )
+        else:
+            # Weak completion: the deposit becomes a separately
+            # schedulable delivery.  Copy the payload — a blocking put's
+            # source is reusable the moment the call returns.
+            mem = self.job.memories[pe]
+            eo = dest.element_offset(offset)
+            payload = data.copy()
+            ts = timing.remote_complete
+            sched.post_put(ctx.pe, lambda: mem.write(eo, payload, timestamp=ts))
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
@@ -385,6 +404,8 @@ class OneSidedLayer:
         if nelems == 0:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
+        if self.scheduler is not None:
+            self.scheduler.yield_point(ctx.pe, "get", pe)
         nbytes = nelems * src.itemsize
         t_start = ctx.clock.now
         if self.vectorized:
@@ -450,6 +471,10 @@ class OneSidedLayer:
             return
         gathered = source[::sst][:nelems]
         ctx = current()
+        sched = self.scheduler
+        if sched is not None and self.profile.iput_native:
+            # Non-native conduits loop over put(), which yields per call.
+            sched.yield_point(ctx.pe, "iput", pe)
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         if self.profile.iput_native:
@@ -474,13 +499,26 @@ class OneSidedLayer:
                 timing = self._priced(ctx, "iput", pe, price, _FAIL_AT_REMOTE)
             else:
                 timing = price(ctx.clock.now)
-            self.job.memories[pe].write_strided(
-                dest.element_offset(offset),
-                tst * itemsize,
-                itemsize,
-                gathered,
-                timestamp=timing.remote_complete,
-            )
+            if sched is None:
+                self.job.memories[pe].write_strided(
+                    dest.element_offset(offset),
+                    tst * itemsize,
+                    itemsize,
+                    gathered,
+                    timestamp=timing.remote_complete,
+                )
+            else:
+                mem = self.job.memories[pe]
+                eo = dest.element_offset(offset)
+                payload = gathered.copy()
+                ts = timing.remote_complete
+                stride_b = tst * itemsize
+                sched.post_put(
+                    ctx.pe,
+                    lambda: mem.write_strided(
+                        eo, stride_b, itemsize, payload, timestamp=ts
+                    ),
+                )
             ctx.clock.merge(timing.local_complete)
             if timing.remote_complete > self._pending[ctx.pe]:
                 self._pending[ctx.pe] = timing.remote_complete
@@ -516,6 +554,8 @@ class OneSidedLayer:
         if nelems == 0:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
+        if self.scheduler is not None and self.profile.iput_native:
+            self.scheduler.yield_point(ctx.pe, "iget", pe)
         t_start = ctx.clock.now
         itemsize = src.itemsize
         if self.profile.iput_native:
@@ -670,6 +710,9 @@ class OneSidedLayer:
         if data.size == 0:
             return
         ctx = current()
+        sched = self.scheduler
+        if sched is not None:
+            sched.yield_point(ctx.pe, "plan_put", pe)
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         price, op, calls = self._plan_price("put", spec, itemsize, pe)
@@ -677,21 +720,43 @@ class OneSidedLayer:
             timing = self._priced(ctx, op, pe, price, _FAIL_AT_REMOTE)
         else:
             timing = price(t_start)
+        mem = self.job.memories[pe]
+        ts = timing.remote_complete
         if self.vectorized:
             expanded, index, lo, hi = spec.vector_index(dest.byte_offset)
-            self.job.memories[pe].scatter_at(
-                index, data, timestamp=timing.remote_complete,
-                elem_size=itemsize, lo=lo, hi=hi, expanded=expanded,
-            )
+            if sched is None:
+                mem.scatter_at(
+                    index, data, timestamp=ts,
+                    elem_size=itemsize, lo=lo, hi=hi, expanded=expanded,
+                )
+            else:
+                payload = data.copy()
+                sched.post_put(
+                    ctx.pe,
+                    lambda: mem.scatter_at(
+                        index, payload, timestamp=ts,
+                        elem_size=itemsize, lo=lo, hi=hi, expanded=expanded,
+                    ),
+                )
         else:
             abs_index = spec.rel_index + dest.byte_offset
-            self.job.memories[pe].write_at(
-                abs_index,
-                itemsize,
-                data,
-                timestamp=timing.remote_complete,
-                aligned=dest.byte_offset % itemsize == 0,
-            )
+            aligned = dest.byte_offset % itemsize == 0
+            if sched is None:
+                mem.write_at(
+                    abs_index,
+                    itemsize,
+                    data,
+                    timestamp=ts,
+                    aligned=aligned,
+                )
+            else:
+                payload = data.copy()
+                sched.post_put(
+                    ctx.pe,
+                    lambda: mem.write_at(
+                        abs_index, itemsize, payload, timestamp=ts, aligned=aligned
+                    ),
+                )
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
@@ -720,6 +785,8 @@ class OneSidedLayer:
         if spec.total_elems == 0:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
+        if self.scheduler is not None:
+            self.scheduler.yield_point(ctx.pe, "plan_get", pe)
         t_start = ctx.clock.now
         itemsize = src.itemsize
         price, op, calls = self._plan_price("get", spec, itemsize, pe)
@@ -760,6 +827,10 @@ class OneSidedLayer:
         """Block until all of this PE's outstanding puts are remotely
         complete."""
         ctx = current()
+        sched = self.scheduler
+        if sched is not None:
+            sched.yield_point(ctx.pe, "quiet", -1)
+            sched.flush(ctx.pe)
         t_start = ctx.clock.now
         ctx.clock.merge(self._pending[ctx.pe])
         self._pending[ctx.pe] = 0.0
@@ -772,6 +843,10 @@ class OneSidedLayer:
     def fence(self) -> None:
         """Order (but do not complete) outstanding puts per target."""
         ctx = current()
+        if self.scheduler is not None:
+            # Delivery queues are FIFO per initiator — stronger than the
+            # per-target ordering fence promises — so no flush is needed.
+            self.scheduler.yield_point(ctx.pe, "fence", -1)
         t_start = ctx.clock.now
         ctx.clock.advance(self.FENCE_COST_US)
         tracer = self.job.tracer
@@ -816,6 +891,10 @@ class OneSidedLayer:
             )
         dtype = target.dtype
         ctx = current()
+        if self.scheduler is not None:
+            # Atomics bypass the delivery queues (the NIC atomic unit is
+            # not write-buffered): they execute at the chosen step.
+            self.scheduler.yield_point(ctx.pe, "atomic", pe)
         t_start = ctx.clock.now
         if self.vectorized:
             key = ("a", ctx.pe, pe)
@@ -950,6 +1029,15 @@ class OneSidedLayer:
         def predicate() -> bool:
             return bool(op(mem.read_scalar(elem_offset, ivar.dtype), target_value))
 
+        sched = self.scheduler
+        if sched is not None:
+            sched.block_until(
+                ctx.pe,
+                predicate,
+                f"wait_until(offset={elem_offset}, {cmp} {value!r})",
+            )
+            ctx.clock.merge(mem.last_write_time)
+            return
         wd = self.job.watchdog
         if wd is None:
             ts = mem.wait_until(predicate, aborted=self.job.aborted)

@@ -1,0 +1,449 @@
+"""The schedule-exploration driver.
+
+:func:`explore` runs one corpus program under N schedules and checks
+the program's contract:
+
+* race-free programs must produce **one** canonical digest across every
+  schedule tried (bit-identical results, whatever the interleaving);
+* seeded racy programs must produce a **divergent** digest within the
+  budget — a concrete witness that cross-validates the PR-2 ordering
+  sanitizer with an executed interleaving, not a static trace argument.
+
+Any divergence is packaged as a :class:`DivergenceWitness`: the full
+recorded choice list (replayable via
+:class:`~repro.explore.scheduler.ReplaySchedule`), a *minimized* prefix
+(binary search over :class:`~repro.explore.scheduler.GuidedPrefix` for
+the shortest forced prefix that still reproduces a non-baseline
+digest), and a first-divergence trace diff between the baseline and
+divergent interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.explore.programs import ExploreProgram, get_program
+from repro.explore.scheduler import (
+    DEFAULT_MAX_STEPS,
+    ExhaustiveEnumerator,
+    GuidedPrefix,
+    ReplaySchedule,
+    Scheduler,
+    Strategy,
+    make_strategy,
+)
+
+#: Replays the minimizer may spend per witness (binary search uses
+#: ~log2(len) of them; the rest is headroom for the verification runs).
+DEFAULT_MINIMIZE_BUDGET = 24
+
+#: Lines of trace diff kept in a witness.
+_DIFF_CONTEXT = 4
+
+
+@dataclass(slots=True)
+class ScheduleOutcome:
+    """One schedule's result."""
+
+    index: int
+    strategy: dict
+    digest: str
+    steps: int
+    choices: list[str]
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "strategy": self.strategy,
+            "digest": self.digest,
+            "steps": self.steps,
+            "error": self.error,
+        }
+
+
+@dataclass(slots=True)
+class DivergenceWitness:
+    """A replayable divergence: two interleavings, two digests."""
+
+    program: str
+    strategy: dict
+    baseline_digest: str
+    divergent_digest: str
+    choices: list[str]
+    minimized: list[str]
+    trace_diff: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "strategy": self.strategy,
+            "baseline_digest": self.baseline_digest,
+            "divergent_digest": self.divergent_digest,
+            "choices": self.choices,
+            "minimized": self.minimized,
+            "trace_diff": self.trace_diff,
+        }
+
+
+@dataclass(slots=True)
+class ExploreReport:
+    """The explorer's verdict for one program."""
+
+    program: str
+    racy: bool
+    strategy: str
+    images: int
+    machine: str
+    schedules_run: int
+    digests: dict[str, int]
+    outcomes: list[ScheduleOutcome]
+    witness: DivergenceWitness | None
+    errors: list[str]
+    exhausted: bool = False
+
+    @property
+    def diverged(self) -> bool:
+        return len(self.digests) > 1
+
+    @property
+    def ok(self) -> bool:
+        """Did the program meet its contract?
+
+        Race-free: one digest, no errors.  Racy: a divergence was
+        found (schedule-induced errors — e.g. a deadlock only some
+        interleaving reaches — count as divergence too).
+        """
+        if self.racy:
+            return self.diverged
+        return not self.diverged and not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "racy": self.racy,
+            "strategy": self.strategy,
+            "images": self.images,
+            "machine": self.machine,
+            "schedules_run": self.schedules_run,
+            "exhausted": self.exhausted,
+            "digests": self.digests,
+            "diverged": self.diverged,
+            "ok": self.ok,
+            "errors": self.errors,
+            "witness": None if self.witness is None else self.witness.to_dict(),
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Single-schedule execution
+# ---------------------------------------------------------------------------
+
+
+def run_schedule(
+    program: ExploreProgram,
+    strategy: Strategy,
+    *,
+    images: int | None = None,
+    machine: str = "stampede",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    trace: bool = False,
+    faults: Any = None,
+) -> tuple[ScheduleOutcome, Any]:
+    """Run ``program`` once under ``strategy``; returns
+    ``(outcome, tracer)``.
+
+    A failing schedule (deadlock, livelock limit, kernel exception) is
+    an *outcome*, not a crash: its digest is a stable rendering of the
+    root cause, so error interleavings participate in divergence
+    detection like any other result.
+    """
+    sched = Scheduler(strategy, max_steps=max_steps)
+    n = program.default_images if images is None else images
+    tracer = None
+    try:
+        digest, tracer = program.run(
+            sched, images=n, machine=machine, trace=trace, faults=faults
+        )
+        error = None
+    except Exception as exc:  # JobFailure wraps the per-PE root cause
+        cause = exc.__cause__ if exc.__cause__ is not None else exc
+        error = f"{type(cause).__name__}: {cause}"
+        digest = f"<failed:{type(cause).__name__}>"
+    outcome = ScheduleOutcome(
+        index=0,
+        strategy=strategy.describe(),
+        digest=digest,
+        steps=sched.steps,
+        choices=list(sched.trace),
+        error=error,
+    )
+    return outcome, tracer
+
+
+def replay(
+    program_name: str,
+    choices: list[str],
+    *,
+    images: int | None = None,
+    machine: str = "stampede",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    trace: bool = False,
+    faults: Any = None,
+    guided: bool = False,
+) -> tuple[ScheduleOutcome, Any]:
+    """Re-execute one recorded interleaving and return its outcome.
+
+    A witness's full ``choices`` list replays verbatim
+    (``guided=False``); its ``minimized`` prefix was validated under
+    :class:`GuidedPrefix` completion (follow the prefix, then run
+    non-preemptively), so replay it with ``guided=True``.
+    """
+    program = get_program(program_name)
+    strategy: Strategy = GuidedPrefix(choices) if guided else ReplaySchedule(choices)
+    return run_schedule(
+        program, strategy, images=images, machine=machine,
+        max_steps=max_steps, trace=trace, faults=faults,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Trace diffing
+# ---------------------------------------------------------------------------
+
+
+def trace_digest(tracer: Any) -> str:
+    """Digest of a tracer's full event stream, virtual times included.
+
+    Scheduler-mode runs are deterministic end to end, so even the
+    timestamps must replay bit-identically; the determinism regression
+    test hangs off this.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for pe_events in tracer.events:
+        for e in pe_events:
+            h.update(
+                f"{e.pe}|{e.op}|{e.target}|{e.nbytes}|{e.t_start!r}|"
+                f"{e.t_end!r}|{e.calls}\n".encode()
+            )
+        h.update(b"--\n")
+    return h.hexdigest()
+
+
+def _op_stream(tracer: Any) -> list[list[str]]:
+    return [
+        [f"{e.op}->{e.target} ({e.nbytes}B)" for e in pe_events]
+        for pe_events in tracer.events
+    ]
+
+
+def trace_diff(baseline: Any, divergent: Any) -> list[str]:
+    """First-divergence summary between two tracers' op streams."""
+    lines: list[str] = []
+    base, div = _op_stream(baseline), _op_stream(divergent)
+    for pe in range(max(len(base), len(div))):
+        b = base[pe] if pe < len(base) else []
+        d = div[pe] if pe < len(div) else []
+        if b == d:
+            continue
+        k = 0
+        while k < len(b) and k < len(d) and b[k] == d[k]:
+            k += 1
+        lines.append(f"PE {pe}: first differing op at #{k}")
+        lo = max(0, k - 1)
+        hi = k + _DIFF_CONTEXT
+        lines.append(f"  baseline : {' ; '.join(b[lo:hi]) or '<end of trace>'}")
+        lines.append(f"  divergent: {' ; '.join(d[lo:hi]) or '<end of trace>'}")
+    if not lines:
+        lines.append(
+            "op streams identical per PE (divergence is in cross-PE "
+            "delivery order)"
+        )
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# Witness minimization
+# ---------------------------------------------------------------------------
+
+
+def minimize_witness(
+    program: ExploreProgram,
+    choices: list[str],
+    baseline_digest: str,
+    *,
+    images: int | None,
+    machine: str,
+    max_steps: int,
+    budget: int = DEFAULT_MINIMIZE_BUDGET,
+    faults: Any = None,
+) -> list[str]:
+    """Shortest forced prefix of ``choices`` that still diverges.
+
+    Binary search over :class:`GuidedPrefix` length; a prefix "works"
+    when running it (then non-preemptively) produces a digest other
+    than the baseline's.  Divergence is not strictly monotone in prefix
+    length, so the result is verified and the full choice list is the
+    fallback.
+    """
+    spent = 0
+
+    def diverges(length: int) -> bool:
+        nonlocal spent
+        spent += 1
+        outcome, _ = run_schedule(
+            program, GuidedPrefix(choices[:length]), images=images,
+            machine=machine, max_steps=max_steps, faults=faults,
+        )
+        return outcome.digest != baseline_digest
+
+    lo, hi = 0, len(choices)
+    if not diverges(hi):
+        # Replay under non-preemptive completion does not reproduce
+        # (rare: the tail mattered); keep the full recording.
+        return list(choices)
+    while lo < hi and spent < budget:
+        mid = (lo + hi) // 2
+        if diverges(mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    if hi < len(choices) and not diverges(hi):
+        return list(choices)
+    return choices[:hi]
+
+
+# ---------------------------------------------------------------------------
+# The explorer
+# ---------------------------------------------------------------------------
+
+
+def explore(
+    program_name: str,
+    *,
+    schedules: int = 20,
+    seed: int = 2015,
+    strategy: str = "random",
+    images: int | None = None,
+    machine: str = "stampede",
+    max_steps: int = DEFAULT_MAX_STEPS,
+    pct_depth: int = 3,
+    faults: Any = None,
+    minimize: bool = True,
+    collect_outcomes: bool = False,
+) -> ExploreReport:
+    """Run ``program_name`` under ``schedules`` interleavings.
+
+    ``strategy`` is ``random`` (seeded walks; schedule *i* uses
+    ``seed + i``), ``pct`` (priority schedules of depth ``pct_depth``),
+    or ``exhaustive`` (DFS over every schedule — tiny programs only;
+    stops early when the tree is exhausted).  ``faults`` composes a
+    :class:`~repro.sim.faults.FaultPlan` with every schedule: plan
+    decisions key off per-PE op indices, so the same plan follows the
+    program through any interleaving.
+
+    Exploration stops at the first divergence (that is the explorer's
+    answer); the witness is then minimized and trace-diffed.
+    """
+    program = get_program(program_name)
+    n_images = program.default_images if images is None else images
+    digests: dict[str, int] = {}
+    outcomes: list[ScheduleOutcome] = []
+    errors: list[str] = []
+    witness: DivergenceWitness | None = None
+    baseline: ScheduleOutcome | None = None
+    enumerator = ExhaustiveEnumerator() if strategy == "exhaustive" else None
+    runs = 0
+
+    for i in range(schedules):
+        if enumerator is not None:
+            strat = enumerator.next_strategy()
+            if strat is None:
+                break
+        else:
+            strat = make_strategy(
+                strategy, seed + i,
+                **({"depth": pct_depth} if strategy == "pct" else {}),
+            )
+        outcome, _ = run_schedule(
+            program, strat, images=n_images, machine=machine,
+            max_steps=max_steps, faults=faults,
+        )
+        outcome.index = i
+        runs += 1
+        if enumerator is not None:
+            enumerator.advance(strat)
+        digests[outcome.digest] = digests.get(outcome.digest, 0) + 1
+        if collect_outcomes:
+            outcomes.append(outcome)
+        if outcome.error is not None:
+            errors.append(f"schedule {i}: {outcome.error}")
+        if baseline is None:
+            baseline = outcome
+            continue
+        if outcome.digest != baseline.digest and witness is None:
+            witness = _build_witness(
+                program, baseline, outcome, images=n_images, machine=machine,
+                max_steps=max_steps, faults=faults, minimize=minimize,
+            )
+            break
+
+    return ExploreReport(
+        program=program.name,
+        racy=program.racy,
+        strategy=strategy,
+        images=n_images,
+        machine=machine,
+        schedules_run=runs,
+        digests=digests,
+        outcomes=outcomes,
+        witness=witness,
+        errors=errors,
+        exhausted=enumerator.exhausted if enumerator is not None else False,
+    )
+
+
+def _build_witness(
+    program: ExploreProgram,
+    baseline: ScheduleOutcome,
+    divergent: ScheduleOutcome,
+    *,
+    images: int,
+    machine: str,
+    max_steps: int,
+    faults: Any,
+    minimize: bool,
+) -> DivergenceWitness:
+    minimized = list(divergent.choices)
+    if minimize:
+        minimized = minimize_witness(
+            program, divergent.choices, baseline.digest, images=images,
+            machine=machine, max_steps=max_steps, faults=faults,
+        )
+    diff: list[str] = []
+    try:
+        _, base_tr = run_schedule(
+            program, ReplaySchedule(baseline.choices), images=images,
+            machine=machine, max_steps=max_steps, trace=True, faults=faults,
+        )
+        _, div_tr = run_schedule(
+            program, ReplaySchedule(divergent.choices), images=images,
+            machine=machine, max_steps=max_steps, trace=True, faults=faults,
+        )
+        if base_tr is not None and div_tr is not None:
+            diff = trace_diff(base_tr, div_tr)
+    except Exception as exc:  # diffing is best-effort reporting
+        diff = [f"<trace diff unavailable: {type(exc).__name__}: {exc}>"]
+    return DivergenceWitness(
+        program=program.name,
+        strategy=divergent.strategy,
+        baseline_digest=baseline.digest,
+        divergent_digest=divergent.digest,
+        choices=list(divergent.choices),
+        minimized=minimized,
+        trace_diff=diff,
+    )

@@ -103,6 +103,8 @@ class GasnetLayer(OneSidedLayer):
         self._check_pe(pe)
         fn = self._resolve_handler(handler)
         ctx = current()
+        if self.scheduler is not None:
+            self.scheduler.yield_point(ctx.pe, "am", pe)
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
         if self.faults is not None:
@@ -138,6 +140,8 @@ class GasnetLayer(OneSidedLayer):
         self._check_pe(pe)
         fn = self._resolve_handler(handler)
         ctx = current()
+        if self.scheduler is not None:
+            self.scheduler.yield_point(ctx.pe, "am", pe)
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
         if self.faults is not None:

@@ -114,6 +114,11 @@ class Window:
         data = layer._coerce(self.array, value)
         self.array.check_span(offset, data.size)
         ctx = current()
+        if layer.scheduler is not None:
+            # Accumulates funnel through the target's atomic unit, so
+            # like atomics they execute at the chosen step (no delivery
+            # queue).
+            layer.scheduler.yield_point(ctx.pe, "atomic", rank)
         t_start = ctx.clock.now
         # Priced as a put plus per-element service on the target's
         # atomic unit (MPI implementations funnel accumulates through

@@ -18,6 +18,12 @@ deterministic :class:`~repro.sim.faults.FaultInjector`; the
 communication layers consult it per operation.  ``watchdog_s``
 configures the wall-clock stall deadline of the always-on
 :class:`~repro.sim.faults.Watchdog`.
+
+Schedule control: ``Job(..., scheduler=Scheduler(...))`` runs the PEs
+as cooperative tasks serialized by :mod:`repro.explore` — one strategy
+seed names one exact interleaving.  ``scheduler=None`` (the default)
+keeps the free-running threaded engine bit-identical to before, behind
+the same single ``is None`` gate the fault injector uses.
 """
 
 from __future__ import annotations
@@ -79,6 +85,7 @@ class Job:
         heap_bytes: int = DEFAULT_HEAP_BYTES,
         faults: FaultPlan | FaultInjector | None = None,
         watchdog_s: float | None = None,
+        scheduler: Any = None,
     ) -> None:
         if not 1 <= num_pes <= MAX_PES:
             raise ValueError(f"num_pes must be in [1, {MAX_PES}]")
@@ -116,9 +123,15 @@ class Job:
             self.faults = faults
         else:
             self.faults = FaultInjector(faults, num_pes)
+        # Optional deterministic cooperative scheduler
+        # (:class:`repro.explore.Scheduler`); None keeps the threaded
+        # engine's fast path to one attribute check per decision point.
+        self.scheduler = scheduler
         # Always-on hang detection; wall-clock only, so it has zero
         # effect on virtual times unless it fires.
         self.watchdog = Watchdog(self, deadline_s=watchdog_s)
+        if scheduler is not None:
+            scheduler.bind(self)
 
     # ------------------------------------------------------------------
     def aborted(self) -> bool:
@@ -155,11 +168,14 @@ class Job:
         results: list[Any] = [None] * self.num_pes
         failures: list[tuple[int, BaseException]] = []
         failures_lock = threading.Lock()
+        sched = self.scheduler
 
         def pe_main(pe: int) -> None:
             ctx = PEContext(self, pe)
             set_current(ctx)
             try:
+                if sched is not None:
+                    sched.start_task(pe)
                 results[pe] = fn(*args, **kwargs)
             except JobAborted:
                 pass  # secondary failure; the root cause is recorded
@@ -168,6 +184,8 @@ class Job:
                     failures.append((pe, exc))
                 self.abort()
             finally:
+                if sched is not None:
+                    sched.task_exit(pe)
                 set_current(None)
 
         threads = [
@@ -178,6 +196,12 @@ class Job:
             t.start()
         for t in threads:
             t.join()
+        if sched is not None and sched.failure is not None:
+            # A deadlock detected while a task was exiting has no thread
+            # of its own to raise in; fold it into the failure records.
+            pe, exc = sched.failure
+            if not any(p == pe for p, _ in failures):
+                failures.append((pe, exc))
         if failures:
             failure = JobFailure(failures)
             raise failure from failure.failures[0][1]
@@ -190,9 +214,24 @@ def run_spmd(
     machine: Machine | str = "stampede",
     *,
     heap_bytes: int = DEFAULT_HEAP_BYTES,
+    faults: FaultPlan | FaultInjector | None = None,
+    watchdog_s: float | None = None,
+    scheduler: Any = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
-    """One-shot convenience: build a :class:`Job` and run ``fn`` on it."""
-    job = Job(num_pes, machine, heap_bytes=heap_bytes)
+    """One-shot convenience: build a :class:`Job` and run ``fn`` on it.
+
+    ``faults``, ``watchdog_s``, and ``scheduler`` are forwarded to the
+    :class:`Job` (historically ``faults``/``watchdog_s`` were silently
+    dropped here).
+    """
+    job = Job(
+        num_pes,
+        machine,
+        heap_bytes=heap_bytes,
+        faults=faults,
+        watchdog_s=watchdog_s,
+        scheduler=scheduler,
+    )
     return job.run(fn, args=args, kwargs=kwargs)

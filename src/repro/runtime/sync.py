@@ -61,6 +61,9 @@ class VirtualBarrier:
         """
         from repro.runtime.launcher import JobAborted
 
+        sched = getattr(ctx.job, "scheduler", None)
+        if sched is not None:
+            return self._wait_gen_cooperative(ctx, cost, sched)
         with self._cond:
             gen = self._generation
             self._max_arrival = max(self._max_arrival, ctx.clock.now)
@@ -91,6 +94,31 @@ class VirtualBarrier:
                     if guard is not None:
                         guard.__exit__(None, None, None)
             departure = self._release_time
+        ctx.clock.merge(departure)
+        return departure, gen
+
+    def _wait_gen_cooperative(self, ctx: PEContext, cost: float, sched) -> tuple[float, int]:
+        """Scheduler-mode arrival: same bookkeeping, but non-final
+        arrivers park in the cooperative scheduler instead of the
+        condition variable (only one thread runs at a time, so a cond
+        wait here would deadlock the whole schedule)."""
+        with self._cond:
+            gen = self._generation
+            self._max_arrival = max(self._max_arrival, ctx.clock.now)
+            self._count += 1
+            released = self._count == self.num_pes
+            if released:
+                self._release_time = self._max_arrival + cost
+                self._count = 0
+                self._max_arrival = 0.0
+                self._generation += 1
+        if not released:
+            sched.block_until(
+                ctx.pe,
+                lambda: self._generation != gen,
+                f"barrier(sync_id={self.sync_id}, gen={gen})",
+            )
+        departure = self._release_time
         ctx.clock.merge(departure)
         return departure, gen
 

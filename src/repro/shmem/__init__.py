@@ -132,6 +132,7 @@ def launch(
     heap_bytes: int | None = None,
     faults: Any = None,
     watchdog_s: float | None = None,
+    scheduler: Any = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -148,6 +149,8 @@ def launch(
         job_kwargs["faults"] = faults
     if watchdog_s is not None:
         job_kwargs["watchdog_s"] = watchdog_s
+    if scheduler is not None:
+        job_kwargs["scheduler"] = scheduler
     job = Job(num_pes, machine, **job_kwargs)
     attach(job, profile)
     return job.run(fn, args=args, kwargs=kwargs or {})

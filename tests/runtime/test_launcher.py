@@ -104,3 +104,85 @@ def test_memories_are_independent():
     job.run(kernel)
     vals = [int(m.read_scalar(0, np.int64)) for m in job.memories]
     assert vals == [1, 2, 3]
+
+
+# ---------------------------------------------------------------------------
+# run_spmd passthroughs (regression: faults/watchdog_s were silently
+# dropped before they were forwarded to Job)
+# ---------------------------------------------------------------------------
+
+
+def test_run_spmd_forwards_faults_and_watchdog():
+    from repro.sim.faults import FaultPlan
+
+    def kernel():
+        job = current().job
+        return (job.faults is not None, job.watchdog.deadline_s)
+
+    out = run_spmd(
+        kernel, num_pes=2,
+        faults=FaultPlan(seed=3, transient_rate=0.1),
+        watchdog_s=7.5,
+    )
+    assert out == [(True, 7.5), (True, 7.5)]
+
+
+def test_run_spmd_forwards_scheduler():
+    from repro.explore import RandomWalk, Scheduler
+
+    sched = Scheduler(RandomWalk(0))
+
+    def kernel():
+        return current().job.scheduler is sched
+
+    assert run_spmd(kernel, num_pes=2) == [False, False]
+    sched2 = Scheduler(RandomWalk(0))
+
+    def kernel2():
+        return current().job.scheduler is sched2
+
+    assert run_spmd(kernel2, num_pes=2, scheduler=sched2) == [True, True]
+
+
+# ---------------------------------------------------------------------------
+# Boundary validation and reuse
+# ---------------------------------------------------------------------------
+
+
+def test_single_pe_job_runs():
+    def kernel():
+        current().job.barrier.wait(current())  # trivially releases
+        return current().pe
+
+    assert run_spmd(kernel, num_pes=1) == [0]
+
+
+def test_max_pes_boundary():
+    from repro.runtime.launcher import MAX_PES
+
+    job = Job(MAX_PES, heap_bytes=4096)
+    assert job.num_pes == MAX_PES
+    with pytest.raises(ValueError, match=r"num_pes must be in"):
+        Job(MAX_PES + 1, heap_bytes=4096)
+    with pytest.raises(ValueError, match=r"num_pes must be in"):
+        Job(0)
+
+
+def test_every_pe_failing_is_fully_reported():
+    from repro.runtime.launcher import JobFailure
+
+    def kernel():
+        raise RuntimeError(f"boom {current().pe}")
+
+    with pytest.raises(JobFailure) as ei:
+        run_spmd(kernel, num_pes=3)
+    assert [pe for pe, _ in ei.value.failures] == [0, 1, 2]
+    assert all(str(e) == f"boom {pe}" for pe, e in ei.value.failures)
+
+
+def test_job_run_reuse():
+    job = Job(2)
+    first = job.run(lambda: current().pe + 1)
+    second = job.run(lambda: current().pe * 10)
+    assert first == [1, 2]
+    assert second == [0, 10]

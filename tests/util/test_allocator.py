@@ -112,3 +112,130 @@ def test_random_workload_invariants(ops):
             a.free(live.pop(arg % len(live)))
         a.check_invariants()
     assert a.bytes_allocated == sum(a.size_of(o) for o in live)
+
+
+# ---------------------------------------------------------------------------
+# Property tests (hypothesis): alloc/free sequences preserve the
+# allocator's invariants under any interleaving of operations.
+# ---------------------------------------------------------------------------
+
+from hypothesis import stateful
+
+
+@settings(max_examples=80, deadline=None)
+@given(sizes=st.lists(st.integers(0, 512), min_size=1, max_size=40))
+def test_property_live_blocks_never_overlap(sizes):
+    """Whatever we ask for, granted spans are aligned and disjoint."""
+    a = FreeListAllocator(16384, alignment=32)
+    live = []
+    for size in sizes:
+        try:
+            live.append(a.malloc(size))
+        except OutOfMemoryError:
+            break
+    spans = sorted((o, o + a.size_of(o)) for o in live)
+    for off, end in spans:
+        assert off % 32 == 0 and (end - off) % 32 == 0
+        assert 0 <= off <= end <= 16384
+    for (_, e0), (s1, _) in zip(spans, spans[1:]):
+        assert e0 <= s1
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    sizes=st.lists(st.integers(0, 256), min_size=1, max_size=24),
+    free_order=st.randoms(use_true_random=False),
+)
+def test_property_full_free_coalesces_to_one_block(sizes, free_order):
+    """Freeing everything — in any order — recovers the whole arena."""
+    a = FreeListAllocator(8192, alignment=16)
+    live = []
+    for size in sizes:
+        try:
+            live.append(a.malloc(size))
+        except OutOfMemoryError:
+            break
+    free_order.shuffle(live)
+    for off in live:
+        a.free(off)
+        a.check_invariants()
+    assert a.bytes_allocated == 0
+    assert a.live_blocks == 0
+    # Fully coalesced: one allocation can claim the entire arena again.
+    assert a.malloc(8192) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("malloc"), st.integers(0, 400)),
+            st.tuples(st.just("free"), st.integers(0, 63)),
+        ),
+        max_size=120,
+    )
+)
+def test_property_byte_conservation(ops):
+    """allocated + free == usable capacity at every step."""
+    a = FreeListAllocator(10000, alignment=16)  # ragged tail: 10000 % 16 != 0
+    usable = 10000 - 10000 % 16
+    live = []
+    for op, arg in ops:
+        if op == "malloc":
+            try:
+                live.append(a.malloc(arg))
+            except OutOfMemoryError:
+                pass
+        elif live:
+            a.free(live.pop(arg % len(live)))
+        assert a.bytes_allocated + a.bytes_free == usable
+        assert a.live_blocks == len(live)
+
+
+class AllocatorMachine(stateful.RuleBasedStateMachine):
+    """Stateful exploration: hypothesis drives arbitrary malloc/free
+    interleavings and shrinks any invariant-violating command sequence
+    to a minimal reproducer."""
+
+    def __init__(self):
+        super().__init__()
+        self.alloc = FreeListAllocator(4096, alignment=16)
+        self.live: dict[int, int] = {}  # offset -> requested size
+
+    offsets = stateful.Bundle("offsets")
+
+    @stateful.rule(target=offsets, size=st.integers(0, 300))
+    def do_malloc(self, size):
+        try:
+            off = self.alloc.malloc(size)
+        except OutOfMemoryError:
+            return stateful.multiple()
+        assert off not in self.live
+        assert self.alloc.size_of(off) >= size
+        self.live[off] = size
+        return off
+
+    @stateful.rule(off=stateful.consumes(offsets))
+    def do_free(self, off):
+        if off not in self.live:  # already freed via a duplicate draw
+            with pytest.raises(ValueError):
+                self.alloc.free(off)
+            return
+        self.alloc.free(off)
+        del self.live[off]
+        with pytest.raises(ValueError):
+            self.alloc.size_of(off)
+
+    @stateful.invariant()
+    def invariants_hold(self):
+        self.alloc.check_invariants()
+        assert self.alloc.live_blocks == len(self.live)
+        assert self.alloc.bytes_allocated == sum(
+            self.alloc.size_of(o) for o in self.live
+        )
+
+
+TestAllocatorStateMachine = AllocatorMachine.TestCase
+TestAllocatorStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
