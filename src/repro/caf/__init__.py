@@ -147,6 +147,7 @@ def launch(
     faults: Any = None,
     watchdog_s: float | None = None,
     scheduler: Any = None,
+    engine: Any = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -171,7 +172,9 @@ def launch(
     stall deadline of the hang watchdog.  ``scheduler`` attaches a
     deterministic cooperative scheduler
     (:class:`~repro.explore.Scheduler`): one strategy seed, one exact
-    interleaving.
+    interleaving.  ``engine`` selects the execution engine
+    (``"threaded"``/``"event"`` or an :class:`~repro.engine.Engine`
+    instance; see :mod:`repro.engine`).
     Returns the per-image return values of ``fn``.
     """
     job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -181,6 +184,8 @@ def launch(
         job_kwargs["watchdog_s"] = watchdog_s
     if scheduler is not None:
         job_kwargs["scheduler"] = scheduler
+    if engine is not None:
+        job_kwargs["engine"] = engine
     job = Job(num_images, machine, **job_kwargs)
     rt_kwargs: dict[str, Any] = {
         "backend": backend,

@@ -28,7 +28,6 @@ the MCS adaptation beats in the paper's Fig 8.
 from __future__ import annotations
 
 import itertools
-import time
 from contextlib import nullcontext
 
 import numpy as np
@@ -284,7 +283,7 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
         )
     t_start = ctx.clock.now
     backoff = _TAS_BACKOFF_START_US
-    sched = rt.job.scheduler
+    spin = rt.layer.engine.spin_yield
     with _machinery(rt), rt.job.watchdog.watch(
         ctx.pe, f"caf_lock[{flat}]@image{image} (tas acquire)"
     ) as guard:
@@ -299,12 +298,10 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
                 break
             ctx.clock.advance(backoff)
             backoff = min(backoff * 2, _TAS_BACKOFF_MAX_US)
-            if sched is None:
-                time.sleep(0.0002)  # wall-clock yield; the delay cost is virtual
-            else:
-                # Cooperative spin yield: lets priority strategies
-                # demote this spinner so the holder can release.
-                sched.yield_point(ctx.pe, "lock_spin", target_pe, spin=True)
+            # Wall-clock yield on the threaded engine; cooperative spin
+            # yield under a scheduler so priority strategies can demote
+            # this spinner until the holder releases.
+            spin(ctx, "lock_spin", target_pe)
     held[key] = -1  # no qnode for TAS
     rt.my_stats["lock_acquires"] += 1
     _record_lock(rt, "lock_acquire", "la", target_pe, t_start, lck, image, flat)

@@ -264,8 +264,7 @@ class CafRuntime:
         ctx = current()
         t_start = ctx.clock.now
         team = self._team[ctx.pe]
-        if self.layer.faults is not None:
-            self.layer._jitter(ctx, "barrier")
+        self.layer._jitter(ctx, self.layer, "barrier")
         self.layer.quiet()
         if team is None:
             cost = self.job.network.barrier_cost(self.job.num_pes, self.layer.profile)
@@ -295,8 +294,7 @@ class CafRuntime:
         shape = tuple(int(x) for x in shape)
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
-        if self.layer.faults is not None:
-            self.layer.faults.alloc_check(current().pe)
+        self.layer.engine.alloc_check(current())
         offset = self.agree(
             f"team{team.team_number}.alloc:{shape}:{dt.str}",
             lambda: self.job.symmetric_allocator.malloc(max(nbytes, 1)),

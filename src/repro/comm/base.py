@@ -32,7 +32,6 @@ from repro.comm.heap import SymmetricArray
 from repro.runtime.context import current
 from repro.runtime.launcher import Job
 from repro.comm.constants import comparator
-from repro.sim.faults import InjectedCrash, TransientCommError
 from repro.sim.netmodel import ConduitProfile, get_conduit
 from repro.trace.events import (
     contiguous_footprint,
@@ -65,6 +64,23 @@ def vector_enabled() -> bool:
     Both flags are read once per job at layer construction.
     """
     return not os.environ.get("REPRO_NO_VECTOR")
+
+
+#: Plans moving fewer total elements than this skip the vectorized
+#: index-compilation path (``BatchSpec.vector_index`` + fancy-indexed
+#: scatter/gather) and take the plain ``write_at``/``read_at`` route
+#: instead: below the threshold, building/validating index arrays costs
+#: more wall clock than it saves.  Pricing stays memoized either way
+#: and both data paths are bit-identical by contract, so the switch
+#: affects wall clock only.  Override with ``REPRO_VECTOR_MIN_ELEMS``.
+DEFAULT_VECTOR_MIN_ELEMS = 512
+
+
+def vector_min_elems() -> int:
+    raw = os.environ.get("REPRO_VECTOR_MIN_ELEMS")
+    if raw is None or raw == "":
+        return DEFAULT_VECTOR_MIN_ELEMS
+    return int(raw)
 
 
 #: Element sizes the vectorized plane can move via a reinterpret-cast
@@ -187,107 +203,33 @@ class OneSidedLayer:
         self._pricers: dict[tuple, object] = {}
         # Max outstanding remote-completion time of each PE's puts.
         self._pending = [0.0] * job.num_pes
-        # Deterministic fault injection; None keeps the fast path to a
-        # single attribute check per operation (same idiom as tracer).
-        self.faults = job.faults
-        # Cooperative schedule control (repro.explore); None keeps the
-        # threaded engine's fast path to the same single check.  In
-        # scheduler mode every RMA/sync call is a decision point, puts
-        # deposit through per-initiator delivery queues (weak completion
-        # made explicit), and quiet force-flushes the caller's queue.
-        self.scheduler = job.scheduler
-
-    # ------------------------------------------------------------------
-    # Fault injection and retransmission
-    # ------------------------------------------------------------------
-    def _record_fault(
-        self, ctx, kind: str, op: str, target: int, t_start: float, calls: int = 1
-    ) -> None:
-        """Trace one ``fault``/``retry`` record (machinery, never data)."""
-        tracer = self.job.tracer
-        if tracer is not None:
-            tracer.record(
-                ctx.pe, kind, target, 0, t_start, ctx.clock.now,
-                calls=max(calls, 1), internal=True, meta=("f", op),
-            )
-
-    def _priced(self, ctx, op: str, target: int, price, fail_at):
-        """Price one operation through the fault plan (plan attached).
-
-        ``price(now)`` prices a single attempt starting at virtual time
-        ``now`` (pricers and the direct network methods are both valid
-        — each call reserves its own timeline bandwidth, so a failed
-        attempt consumes wire time like a real retransmission);
-        ``fail_at(result)`` extracts the virtual instant the initiator
-        learns the attempt failed.  Transient failures retry with
-        capped exponential backoff in virtual time; an exhausted budget
-        raises :class:`TransientCommError`; a scheduled crash raises
-        :class:`InjectedCrash`.  Returns the successful attempt's
-        pricing result.
-        """
-        inj = self.faults
-        d = inj.decide(ctx.pe, op, target)
-        if d is None:
-            return price(ctx.clock.now)
-        t0 = ctx.clock.now
-        if d.crash:
-            self._record_fault(ctx, "fault", op, target, t0)
-            raise InjectedCrash(
-                f"PE {ctx.pe} crashed by fault plan at {op} "
-                f"(op #{inj.op_index(ctx.pe) - 1}, seed {inj.plan.seed})"
-            )
-        if d.extra_us:
-            ctx.clock.advance(d.extra_us)
-        failures = d.failures
-        if not failures:
-            return price(ctx.clock.now)
-        attempts = 0
-        backoff = self.RETRY_BACKOFF_START_US
-        while failures and attempts < self.RETRY_LIMIT:
-            # The failed attempt is fully priced: its timeline
-            # reservations stand (the wire carried the doomed packet)
-            # and the initiator waits until the NACK instant before
-            # backing off and retrying.
-            ctx.clock.merge(fail_at(price(ctx.clock.now)))
-            ctx.clock.advance(backoff)
-            backoff = min(backoff * 2.0, self.RETRY_BACKOFF_MAX_US)
-            attempts += 1
-            failures -= 1
-        if failures:
-            inj.note(ctx.pe, "escalations")
-            self._record_fault(ctx, "fault", op, target, t0, calls=attempts)
-            raise TransientCommError(op, ctx.pe, target, attempts)
-        result = price(ctx.clock.now)
-        inj.note(ctx.pe, "retried_ops")
-        inj.note(ctx.pe, "retries", attempts)
-        self._record_fault(ctx, "retry", op, target, t0, calls=attempts)
-        return result
-
-    def _jitter(self, ctx, op: str, target: int = -1) -> None:
-        """Latency-only injection for collectives (no retransmission:
-        the barrier algorithm's own progress is what gets delayed)."""
-        inj = self.faults
-        if inj is None:
-            return
-        d = inj.decide(ctx.pe, op, target)
-        if d is None:
-            return
-        if d.crash:
-            self._record_fault(ctx, "fault", op, target, ctx.clock.now)
-            raise InjectedCrash(
-                f"PE {ctx.pe} crashed by fault plan at {op} "
-                f"(op #{inj.op_index(ctx.pe) - 1}, seed {inj.plan.seed})"
-            )
-        if d.extra_us:
-            ctx.clock.advance(d.extra_us)
+        # The execution engine owns every mode decision (fault plan,
+        # cooperative scheduling, delivery, blocking).  Hot-path hooks
+        # are cached as plain instance attributes: one dict lookup and
+        # one call each, with the no-fault / free-running fast paths
+        # pre-resolved at engine bind time.
+        eng = job.engine
+        self.engine = eng
+        self._eager = eng.eager_delivery
+        self._decide = eng.decision
+        self._priced = eng.priced
+        self._jitter = eng.jitter
+        self._deposit = eng.deposit
+        self._drain = eng.drain
+        # Wall-clock threshold for the vectorized index path (plans
+        # moving fewer elements take the plain route; virtual times are
+        # unaffected — see :func:`vector_min_elems`).
+        self.vector_min_elems = vector_min_elems() if self.vectorized else 0
 
     # ------------------------------------------------------------------
     # Registered-segment ("symmetric") memory
     # ------------------------------------------------------------------
-    def alloc_array(
-        self, shape: int | tuple[int, ...], dtype: np.dtype
-    ) -> SymmetricArray:
-        """Collectively allocate an array at the same offset on every PE."""
+    def _alloc_prepare(self, shape: int | tuple[int, ...], dtype: np.dtype):
+        """The non-blocking half of :meth:`alloc_array`: validate, run
+        the injected-exhaustion check, and agree on the offset.  Returns
+        a zero-argument builder producing the :class:`SymmetricArray`;
+        the caller must pass a barrier before building (step programs
+        use :func:`repro.engine.steps.alloc_array_step`)."""
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         shape = tuple(int(s) for s in shape)
@@ -296,20 +238,26 @@ class OneSidedLayer:
         dt = np.dtype(dtype)
         nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
         ctx = current()
-        if self.faults is not None:
-            # Injected symmetric-heap exhaustion fails *this* PE before
-            # it reaches the collective, so the allocator metadata is
-            # never touched by the doomed allocation.
-            self.faults.alloc_check(ctx.pe)
+        # Injected symmetric-heap exhaustion fails *this* PE before it
+        # reaches the collective, so the allocator metadata is never
+        # touched by the doomed allocation.
+        self.engine.alloc_check(ctx)
         offset = self.job.collectives.agree(
             ctx,
             f"{self.LAYER_NAME}.alloc:{shape}:{dt.str}",
             lambda: self.job.symmetric_allocator.malloc(max(nbytes, 1)),
         )
+        return lambda: SymmetricArray(self, offset, shape, dt)
+
+    def alloc_array(
+        self, shape: int | tuple[int, ...], dtype: np.dtype
+    ) -> SymmetricArray:
+        """Collectively allocate an array at the same offset on every PE."""
+        build = self._alloc_prepare(shape, dtype)
         # Allocation is synchronizing: no PE may target the region on a
         # PE that has not allocated it yet.
         self.barrier_all()
-        return SymmetricArray(self, offset, shape, dt)
+        return build()
 
     def free_array(self, array: SymmetricArray) -> None:
         """Collectively release an allocation (synchronizes first)."""
@@ -351,9 +299,7 @@ class OneSidedLayer:
         if data.size == 0:
             return  # nothing moves: no pricing, no lock, no clock advance
         ctx = current()
-        sched = self.scheduler
-        if sched is not None:
-            sched.yield_point(ctx.pe, "put", pe)
+        self._decide(ctx, "put", pe)
         t_start = ctx.clock.now
         if self.vectorized:
             key = ("p", ctx.pe, pe, data.nbytes)
@@ -366,11 +312,8 @@ class OneSidedLayer:
         else:
             def price(now, _n=data.nbytes):
                 return self.job.network.put(ctx.pe, pe, _n, self.profile, now)
-        if self.faults is not None:
-            timing = self._priced(ctx, "put", pe, price, _FAIL_AT_REMOTE)
-        else:
-            timing = price(t_start)
-        if sched is None:
+        timing = self._priced(ctx, self, "put", pe, price, _FAIL_AT_REMOTE)
+        if self._eager:
             self.job.memories[pe].write(
                 dest.element_offset(offset),
                 data,
@@ -384,7 +327,7 @@ class OneSidedLayer:
             eo = dest.element_offset(offset)
             payload = data.copy()
             ts = timing.remote_complete
-            sched.post_put(ctx.pe, lambda: mem.write(eo, payload, timestamp=ts))
+            self._deposit(ctx, lambda: mem.write(eo, payload, timestamp=ts))
         ctx.clock.merge(timing.local_complete)
         if timing.remote_complete > self._pending[ctx.pe]:
             self._pending[ctx.pe] = timing.remote_complete
@@ -404,8 +347,7 @@ class OneSidedLayer:
         if nelems == 0:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
-        if self.scheduler is not None:
-            self.scheduler.yield_point(ctx.pe, "get", pe)
+        self._decide(ctx, "get", pe)
         nbytes = nelems * src.itemsize
         t_start = ctx.clock.now
         if self.vectorized:
@@ -419,10 +361,7 @@ class OneSidedLayer:
         else:
             def price(now, _n=nbytes):
                 return self.job.network.get(ctx.pe, pe, _n, self.profile, now)
-        if self.faults is not None:
-            done = self._priced(ctx, "get", pe, price, _fail_at_done)
-        else:
-            done = price(t_start)
+        done = self._priced(ctx, self, "get", pe, price, _fail_at_done)
         raw = self.job.memories[pe].read(src.element_offset(offset), nbytes)
         ctx.clock.merge(done)
         tracer = self.job.tracer
@@ -471,10 +410,9 @@ class OneSidedLayer:
             return
         gathered = source[::sst][:nelems]
         ctx = current()
-        sched = self.scheduler
-        if sched is not None and self.profile.iput_native:
-            # Non-native conduits loop over put(), which yields per call.
-            sched.yield_point(ctx.pe, "iput", pe)
+        if self.profile.iput_native:
+            # Non-native conduits loop over put(), which decides per call.
+            self._decide(ctx, "iput", pe)
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         if self.profile.iput_native:
@@ -495,11 +433,8 @@ class OneSidedLayer:
                         ctx.pe, pe, _nelems, itemsize, self.profile, now,
                         stride_bytes=_stride,
                     )
-            if self.faults is not None:
-                timing = self._priced(ctx, "iput", pe, price, _FAIL_AT_REMOTE)
-            else:
-                timing = price(ctx.clock.now)
-            if sched is None:
+            timing = self._priced(ctx, self, "iput", pe, price, _FAIL_AT_REMOTE)
+            if self._eager:
                 self.job.memories[pe].write_strided(
                     dest.element_offset(offset),
                     tst * itemsize,
@@ -513,8 +448,8 @@ class OneSidedLayer:
                 payload = gathered.copy()
                 ts = timing.remote_complete
                 stride_b = tst * itemsize
-                sched.post_put(
-                    ctx.pe,
+                self._deposit(
+                    ctx,
                     lambda: mem.write_strided(
                         eo, stride_b, itemsize, payload, timestamp=ts
                     ),
@@ -554,8 +489,8 @@ class OneSidedLayer:
         if nelems == 0:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
-        if self.scheduler is not None and self.profile.iput_native:
-            self.scheduler.yield_point(ctx.pe, "iget", pe)
+        if self.profile.iput_native:
+            self._decide(ctx, "iget", pe)
         t_start = ctx.clock.now
         itemsize = src.itemsize
         if self.profile.iput_native:
@@ -576,10 +511,7 @@ class OneSidedLayer:
                         ctx.pe, pe, _nelems, itemsize, self.profile, now,
                         stride_bytes=_stride,
                     )
-            if self.faults is not None:
-                done = self._priced(ctx, "iget", pe, price, _fail_at_done)
-            else:
-                done = price(ctx.clock.now)
+            done = self._priced(ctx, self, "iget", pe, price, _fail_at_done)
             raw = self.job.memories[pe].read_strided(
                 src.element_offset(offset), sst * itemsize, itemsize, nelems
             )
@@ -710,29 +642,28 @@ class OneSidedLayer:
         if data.size == 0:
             return
         ctx = current()
-        sched = self.scheduler
-        if sched is not None:
-            sched.yield_point(ctx.pe, "plan_put", pe)
+        self._decide(ctx, "plan_put", pe)
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         price, op, calls = self._plan_price("put", spec, itemsize, pe)
-        if self.faults is not None:
-            timing = self._priced(ctx, op, pe, price, _FAIL_AT_REMOTE)
-        else:
-            timing = price(t_start)
+        timing = self._priced(ctx, self, op, pe, price, _FAIL_AT_REMOTE)
         mem = self.job.memories[pe]
         ts = timing.remote_complete
-        if self.vectorized:
+        # Small plans skip index compilation: below the threshold the
+        # plain write path is cheaper in wall clock (bit-identical in
+        # virtual time and data either way).
+        vec = self.vectorized and spec.total_elems >= self.vector_min_elems
+        if vec:
             expanded, index, lo, hi = spec.vector_index(dest.byte_offset)
-            if sched is None:
+            if self._eager:
                 mem.scatter_at(
                     index, data, timestamp=ts,
                     elem_size=itemsize, lo=lo, hi=hi, expanded=expanded,
                 )
             else:
                 payload = data.copy()
-                sched.post_put(
-                    ctx.pe,
+                self._deposit(
+                    ctx,
                     lambda: mem.scatter_at(
                         index, payload, timestamp=ts,
                         elem_size=itemsize, lo=lo, hi=hi, expanded=expanded,
@@ -741,7 +672,7 @@ class OneSidedLayer:
         else:
             abs_index = spec.rel_index + dest.byte_offset
             aligned = dest.byte_offset % itemsize == 0
-            if sched is None:
+            if self._eager:
                 mem.write_at(
                     abs_index,
                     itemsize,
@@ -751,8 +682,8 @@ class OneSidedLayer:
                 )
             else:
                 payload = data.copy()
-                sched.post_put(
-                    ctx.pe,
+                self._deposit(
+                    ctx,
                     lambda: mem.write_at(
                         abs_index, itemsize, payload, timestamp=ts, aligned=aligned
                     ),
@@ -785,16 +716,12 @@ class OneSidedLayer:
         if spec.total_elems == 0:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
-        if self.scheduler is not None:
-            self.scheduler.yield_point(ctx.pe, "plan_get", pe)
+        self._decide(ctx, "plan_get", pe)
         t_start = ctx.clock.now
         itemsize = src.itemsize
         price, op, calls = self._plan_price("get", spec, itemsize, pe)
-        if self.faults is not None:
-            done = self._priced(ctx, op, pe, price, _fail_at_done)
-        else:
-            done = price(t_start)
-        if self.vectorized:
+        done = self._priced(ctx, self, op, pe, price, _fail_at_done)
+        if self.vectorized and spec.total_elems >= self.vector_min_elems:
             expanded, index, lo, hi = spec.vector_index(src.byte_offset)
             raw = self.job.memories[pe].gather_at(
                 index, elem_size=itemsize, lo=lo, hi=hi, expanded=expanded
@@ -827,10 +754,8 @@ class OneSidedLayer:
         """Block until all of this PE's outstanding puts are remotely
         complete."""
         ctx = current()
-        sched = self.scheduler
-        if sched is not None:
-            sched.yield_point(ctx.pe, "quiet", -1)
-            sched.flush(ctx.pe)
+        self._decide(ctx, "quiet", -1)
+        self._drain(ctx)
         t_start = ctx.clock.now
         ctx.clock.merge(self._pending[ctx.pe])
         self._pending[ctx.pe] = 0.0
@@ -843,31 +768,48 @@ class OneSidedLayer:
     def fence(self) -> None:
         """Order (but do not complete) outstanding puts per target."""
         ctx = current()
-        if self.scheduler is not None:
-            # Delivery queues are FIFO per initiator — stronger than the
-            # per-target ordering fence promises — so no flush is needed.
-            self.scheduler.yield_point(ctx.pe, "fence", -1)
+        # Delivery queues are FIFO per initiator — stronger than the
+        # per-target ordering fence promises — so no drain is needed.
+        self._decide(ctx, "fence", -1)
         t_start = ctx.clock.now
         ctx.clock.advance(self.FENCE_COST_US)
         tracer = self.job.tracer
         if tracer is not None and tracer.capture_sync:
             tracer.record(ctx.pe, "fence", -1, 0, t_start, ctx.clock.now)
 
-    def barrier_all(self) -> None:
-        """Quiet + dissemination barrier over all PEs."""
-        ctx = current()
+    def _barrier_arrive(self, ctx) -> tuple[float, int, bool]:
+        """Arrival half of :meth:`barrier_all`: collective jitter,
+        quiet, then barrier bookkeeping.  Returns ``(t_start,
+        generation, released)``; non-released callers must park via the
+        engine before :meth:`_barrier_depart` (the event engine parks
+        the continuation of a :class:`~repro.engine.steps.BarrierStep`
+        here)."""
         t_start = ctx.clock.now
-        if self.faults is not None:
-            self._jitter(ctx, "barrier")
+        self._jitter(ctx, self, "barrier")
         self.quiet()
         cost = self.job.network.barrier_cost(self.job.num_pes, self.profile)
-        _, gen = self.job.barrier.wait_gen(ctx, cost)
+        gen, released = self.job.barrier.arrive(ctx, cost)
+        return t_start, gen, released
+
+    def _barrier_depart(self, ctx, t_start: float, gen: int) -> None:
+        """Departure half of :meth:`barrier_all`: merge the episode's
+        release time and trace the barrier record."""
+        bar = self.job.barrier
+        bar.depart(ctx, gen)
         tracer = self.job.tracer
         if tracer is not None:
-            meta = ("b", self.job.barrier.sync_id, gen) if tracer.capture_sync else ()
+            meta = ("b", bar.sync_id, gen) if tracer.capture_sync else ()
             tracer.record(
                 ctx.pe, "barrier", -1, 0, t_start, ctx.clock.now, meta=meta
             )
+
+    def barrier_all(self) -> None:
+        """Quiet + dissemination barrier over all PEs."""
+        ctx = current()
+        t_start, gen, released = self._barrier_arrive(ctx)
+        if not released:
+            self.engine.barrier_wait(ctx, self.job.barrier, gen)
+        self._barrier_depart(ctx, t_start, gen)
 
     # ------------------------------------------------------------------
     # 8-byte atomics
@@ -891,10 +833,9 @@ class OneSidedLayer:
             )
         dtype = target.dtype
         ctx = current()
-        if self.scheduler is not None:
-            # Atomics bypass the delivery queues (the NIC atomic unit is
-            # not write-buffered): they execute at the chosen step.
-            self.scheduler.yield_point(ctx.pe, "atomic", pe)
+        # Atomics bypass the delivery queues (the NIC atomic unit is
+        # not write-buffered): they execute at the chosen step.
+        self._decide(ctx, "atomic", pe)
         t_start = ctx.clock.now
         if self.vectorized:
             key = ("a", ctx.pe, pe)
@@ -910,10 +851,7 @@ class OneSidedLayer:
 
             def price(now):
                 return self.job.network.amo(ctx.pe, pe, self.profile, now)
-        if self.faults is not None:
-            done = self._priced(ctx, "atomic", pe, price, _fail_at_done)
-        else:
-            done = price(t_start)
+        done = self._priced(ctx, self, "atomic", pe, price, _fail_at_done)
         fn = self._amo_fn(op, dtype, operands)
         elem_offset = target.element_offset(offset)
         old, prev_time, seq = self.job.memories[pe].atomic_rmw_timed(
@@ -1016,9 +954,11 @@ class OneSidedLayer:
     # ------------------------------------------------------------------
     # Point-to-point synchronization
     # ------------------------------------------------------------------
-    def wait_until(self, ivar: SymmetricArray, cmp: str, value, offset: int = 0) -> None:
-        """Block until local ``ivar[offset] <cmp> value`` holds; merges
-        the satisfying write's virtual timestamp into the clock."""
+    def _wait_probe(self, ivar: SymmetricArray, cmp: str, value, offset: int = 0):
+        """Validate a wait target and build its polling predicate;
+        returns ``(mem, predicate)``.  Shared by :meth:`wait_until` and
+        the event engine's :class:`~repro.engine.steps.WaitStep`
+        handler so both poll identical logic."""
         ivar.check_span(offset, 1)
         op = comparator(cmp)
         ctx = current()
@@ -1029,22 +969,15 @@ class OneSidedLayer:
         def predicate() -> bool:
             return bool(op(mem.read_scalar(elem_offset, ivar.dtype), target_value))
 
-        sched = self.scheduler
-        if sched is not None:
-            sched.block_until(
-                ctx.pe,
-                predicate,
-                f"wait_until(offset={elem_offset}, {cmp} {value!r})",
-            )
-            ctx.clock.merge(mem.last_write_time)
-            return
-        wd = self.job.watchdog
-        if wd is None:
-            ts = mem.wait_until(predicate, aborted=self.job.aborted)
-        else:
-            what = f"wait_until(offset={elem_offset}, {cmp} {value!r})"
-            with wd.watch(ctx.pe, what) as guard:
-                ts = mem.wait_until(
-                    predicate, aborted=self.job.aborted, watch=guard.poll
-                )
+        return mem, predicate
+
+    def wait_until(self, ivar: SymmetricArray, cmp: str, value, offset: int = 0) -> None:
+        """Block until local ``ivar[offset] <cmp> value`` holds; merges
+        the satisfying write's virtual timestamp into the clock."""
+        ctx = current()
+        mem, predicate = self._wait_probe(ivar, cmp, value, offset)
+        ts = self.engine.wait_value(
+            ctx, mem, predicate,
+            f"wait_until(offset={ivar.element_offset(offset)}, {cmp} {value!r})",
+        )
         ctx.clock.merge(ts)

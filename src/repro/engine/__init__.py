@@ -1,0 +1,54 @@
+"""Execution engines: how a job's PEs actually run.
+
+One :class:`Engine` instance per :class:`~repro.runtime.launcher.Job`
+owns scheduling decisions, remote-deposit delivery, blocking, the fault
+pipeline, and the SPMD driver loop.  See :mod:`repro.engine.base` for
+the interface, and:
+
+* :class:`ThreadedEngine` — one pooled OS thread per PE (default);
+* :class:`CooperativeEngine` — deterministic interleavings under a
+  :class:`repro.explore.Scheduler` (what ``scheduler=`` always meant);
+* :class:`EventEngine` — a single-threaded virtual-time event heap
+  driving continuation-passing step programs
+  (:mod:`repro.engine.steps`); weak-scales to thousands of PEs.
+
+Select with ``Job(..., engine="event")`` / ``run_spmd(..., engine=...)``
+or by passing an instance.
+"""
+
+from repro.engine.base import Engine, EngineError, WouldBlock, resolve_engine
+from repro.engine.cooperative import CooperativeEngine
+from repro.engine.event import EventDeadlock, EventEngine
+from repro.engine.pool import WorkerPool, shared_pool
+from repro.engine.steps import (
+    BarrierStep,
+    DelayStep,
+    Done,
+    Step,
+    WaitStep,
+    alloc_array_step,
+    drive,
+    run_steps,
+)
+from repro.engine.threaded import ThreadedEngine
+
+__all__ = [
+    "BarrierStep",
+    "CooperativeEngine",
+    "DelayStep",
+    "Done",
+    "Engine",
+    "EngineError",
+    "EventDeadlock",
+    "EventEngine",
+    "Step",
+    "ThreadedEngine",
+    "WaitStep",
+    "WorkerPool",
+    "WouldBlock",
+    "alloc_array_step",
+    "drive",
+    "resolve_engine",
+    "run_steps",
+    "shared_pool",
+]

@@ -1,0 +1,70 @@
+"""The cooperative-scheduler engine (deterministic interleavings).
+
+Wraps a :class:`repro.explore.Scheduler`: PE bodies still run on
+(pooled) OS threads, but only the scheduler-chosen task executes at any
+moment.  Every hook forwards to the scheduler's existing machinery —
+``yield_point`` at decision points, per-initiator delivery queues for
+remote deposits (weak completion made explicit), ``block_until`` for
+parking — so schedule exploration semantics are exactly what
+``Job(scheduler=...)`` produced before the engine abstraction.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import Engine
+from repro.engine.threaded import ThreadRunMixin
+
+
+class CooperativeEngine(ThreadRunMixin, Engine):
+    """Serializes PEs under an exploration scheduler strategy."""
+
+    name = "cooperative"
+    #: Puts become separately-schedulable deliveries (weak completion).
+    eager_delivery = False
+
+    def __init__(self, scheduler) -> None:
+        super().__init__()
+        if scheduler is None:
+            raise ValueError("CooperativeEngine requires a scheduler")
+        self.scheduler = scheduler
+
+    # -- schedule hooks -------------------------------------------------
+    def decision(self, ctx, op: str, target: int) -> None:
+        self.scheduler.yield_point(ctx.pe, op, target)
+
+    def spin_yield(self, ctx, op: str, target: int) -> None:
+        self.scheduler.yield_point(ctx.pe, op, target, spin=True)
+
+    def deposit(self, ctx, deliver) -> None:
+        self.scheduler.post_put(ctx.pe, deliver)
+
+    def drain(self, ctx) -> None:
+        self.scheduler.flush(ctx.pe)
+
+    # -- blocking hooks -------------------------------------------------
+    def barrier_wait(self, ctx, barrier, gen: int) -> None:
+        self.scheduler.block_until(
+            ctx.pe,
+            lambda: barrier._generation != gen,
+            f"barrier(sync_id={barrier.sync_id}, gen={gen})",
+        )
+
+    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+        self.scheduler.block_until(ctx.pe, predicate, what)
+        return mem.last_write_time
+
+    # -- run ------------------------------------------------------------
+    def _task_start(self, pe: int) -> None:
+        self.scheduler.start_task(pe)
+
+    def _task_exit(self, pe: int) -> None:
+        self.scheduler.task_exit(pe)
+
+    def _collect_failures(self, failures: list) -> None:
+        # A deadlock detected while a task was exiting has no thread of
+        # its own to raise in; fold it into the failure records.
+        sched_failure = self.scheduler.failure
+        if sched_failure is not None:
+            pe, exc = sched_failure
+            if not any(p == pe for p, _ in failures):
+                failures.append((pe, exc))

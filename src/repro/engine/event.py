@@ -1,0 +1,221 @@
+"""The discrete-event engine: no OS threads, a virtual-time heap.
+
+PE bodies are step programs (:mod:`repro.engine.steps`): eager Python
+between blocking points, returning a :class:`Step` wherever a thread
+engine would park.  The engine trampolines all PEs on one OS thread,
+dispatching the runnable PE with the smallest ``(virtual time, pe)``
+key off a binary heap — O(log n) per decision, so weak-scaling sweeps
+at thousands of PEs cost thousands of Python frames, not thousands of
+thread stacks.
+
+Equivalence with the threaded engine is structural, not coincidental:
+every step's handler calls the *same* layer primitives the blocking
+driver runs inline (``_barrier_arrive``/``_barrier_depart``,
+``wait_until``'s probe + ``last_write_time`` merge, ``clock.advance``),
+so the float arithmetic — and therefore virtual times and trace
+digests — is bit-identical on any program both engines can run.
+
+Blocking semantics:
+
+* **barrier** — arrivers park in a per-(barrier, generation) list; the
+  releasing arrival departs itself, then departs and reschedules every
+  parked PE at the common release time (ties broken by PE rank).
+* **value wait** — parked waiters are re-polled after every dispatched
+  event (only dispatched events can change memory).
+* **failure** — a raising PE is recorded and the job aborts; already
+  parked PEs whose barrier never releases are dropped exactly as a
+  blocked thread observing the abort flag would be, and the engine
+  raises the same :class:`~repro.runtime.launcher.JobFailure`.
+* **deadlock** — an empty heap with parked PEs and no abort is reported
+  as :class:`EventDeadlock` naming every parked PE (the event-engine
+  analogue of the wall-clock watchdog, which never needs to arm here).
+
+Calling an inline blocking primitive (``barrier_all`` as a non-final
+arriver, ``wait_until`` on an unsatisfied value, a lock spin loop)
+raises :class:`~repro.engine.base.WouldBlock` — express those points as
+steps instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.engine.base import Engine, EngineError, WouldBlock
+from repro.engine.steps import BarrierStep, DelayStep, Done, Step, WaitStep
+from repro.runtime.context import PEContext, set_current
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.launcher import Job
+
+
+class EventDeadlock(EngineError):
+    """Every runnable PE is parked and no release can ever come."""
+
+
+class _Parked:
+    """A PE parked at a barrier (waiting for its generation's release)."""
+
+    __slots__ = ("pe", "ctx", "layer", "t_start", "cont")
+
+    def __init__(self, pe, ctx, layer, t_start, cont) -> None:
+        self.pe = pe
+        self.ctx = ctx
+        self.layer = layer
+        self.t_start = t_start
+        self.cont = cont
+
+
+class _Waiter:
+    """A PE parked on a local-value predicate (WaitStep)."""
+
+    __slots__ = ("pe", "ctx", "mem", "predicate", "cont")
+
+    def __init__(self, pe, ctx, mem, predicate, cont) -> None:
+        self.pe = pe
+        self.ctx = ctx
+        self.mem = mem
+        self.predicate = predicate
+        self.cont = cont
+
+
+class EventEngine(Engine):
+    """Single-threaded discrete-event execution over a virtual-time heap."""
+
+    name = "event"
+    eager_delivery = True
+    max_pes = 16384
+
+    # -- schedule hooks -------------------------------------------------
+    def decision(self, ctx, op: str, target: int) -> None:
+        pass  # eager execution between steps; nothing to decide
+
+    def spin_yield(self, ctx, op: str, target: int) -> None:
+        raise WouldBlock(
+            f"EventEngine cannot spin inline on {op!r}; "
+            f"return a DelayStep and retry in the continuation"
+        )
+
+    # -- blocking hooks (inline forms are errors here) ------------------
+    def barrier_wait(self, ctx, barrier, gen: int) -> None:
+        raise WouldBlock(
+            "EventEngine cannot block inline in a barrier; return a "
+            "BarrierStep (only the releasing arrival may call barrier_all "
+            "directly, and which PE releases is schedule-dependent)"
+        )
+
+    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+        if predicate():
+            return mem.last_write_time
+        raise WouldBlock(
+            f"EventEngine cannot block inline on {what}; return a WaitStep"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, job: "Job", fn, args, kwargs) -> list:
+        from repro.runtime.launcher import JobAborted, JobFailure
+
+        kwargs = kwargs or {}
+        n = job.num_pes
+        results: list = [None] * n
+        failures: list[tuple[int, BaseException]] = []
+        ctxs = [PEContext(job, pe) for pe in range(n)]
+        heap: list[tuple[float, int]] = [(0.0, pe) for pe in range(n)]
+        pending: dict[int, object] = {
+            pe: (lambda _pe=pe: fn(*args, **kwargs)) for pe in range(n)
+        }
+        parked: dict[tuple[int, int], list[_Parked]] = {}
+        waiters: list[_Waiter] = []
+
+        def schedule(pe: int, thunk, t: float) -> None:
+            pending[pe] = thunk
+            heapq.heappush(heap, (t, pe))
+
+        def check_waiters() -> None:
+            if not waiters:
+                return
+            still: list[_Waiter] = []
+            for w in waiters:
+                if w.predicate():
+                    # Same merge a woken thread performs in wait_until.
+                    w.ctx.clock.merge(w.mem.last_write_time)
+                    schedule(w.pe, w.cont, w.ctx.clock.now)
+                else:
+                    still.append(w)
+            waiters[:] = still
+
+        def dispatch(pe: int, ctx, step) -> None:
+            """Route one step result; non-steps are final values."""
+            while True:
+                if not isinstance(step, Step):
+                    results[pe] = step
+                    return
+                cls = type(step)
+                if cls is Done:
+                    results[pe] = step.value
+                    return
+                if cls is BarrierStep:
+                    layer = step.layer
+                    bar = layer.job.barrier
+                    t_start, gen, released = layer._barrier_arrive(ctx)
+                    if not released:
+                        parked.setdefault((bar.sync_id, gen), []).append(
+                            _Parked(pe, ctx, layer, t_start, step.cont)
+                        )
+                        return
+                    layer._barrier_depart(ctx, t_start, gen)
+                    schedule(pe, step.cont, ctx.clock.now)
+                    for p in parked.pop((bar.sync_id, gen), ()):
+                        set_current(p.ctx)
+                        p.layer._barrier_depart(p.ctx, p.t_start, gen)
+                        schedule(p.pe, p.cont, p.ctx.clock.now)
+                    set_current(ctx)
+                    return
+                if cls is WaitStep:
+                    mem, predicate = step.layer._wait_probe(
+                        step.ivar, step.cmp, step.value, step.offset
+                    )
+                    if predicate():
+                        ctx.clock.merge(mem.last_write_time)
+                        step = step.cont()  # continue in this slice
+                        continue
+                    waiters.append(_Waiter(pe, ctx, mem, predicate, step.cont))
+                    return
+                if cls is DelayStep:
+                    ctx.clock.advance(step.delay_us)
+                    schedule(pe, step.cont, ctx.clock.now)
+                    return
+                raise TypeError(f"unknown step type {cls.__name__}")
+
+        try:
+            while heap:
+                _, pe = heapq.heappop(heap)
+                thunk = pending.pop(pe)
+                ctx = ctxs[pe]
+                set_current(ctx)
+                try:
+                    # dispatch stays inside the guard: steps run layer
+                    # code (barrier jitter, wait probes, continuations)
+                    # that can fail exactly like the body itself.
+                    dispatch(pe, ctx, thunk())
+                except JobAborted:
+                    continue  # secondary failure; root cause recorded
+                except BaseException as exc:  # noqa: BLE001 - collect all
+                    failures.append((pe, exc))
+                    job.abort()
+                    continue
+                check_waiters()
+        finally:
+            set_current(None)
+
+        stuck = [p for plist in parked.values() for p in plist] + list(waiters)
+        if stuck and not job.aborted():
+            pes = sorted(p.pe for p in stuck)
+            raise EventDeadlock(
+                f"event heap drained with PE(s) {pes} still parked and no "
+                f"failure recorded: a barrier or wait can never be released"
+            )
+        if failures:
+            failure = JobFailure(failures)
+            raise failure from failure.failures[0][1]
+        return results

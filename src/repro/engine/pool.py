@@ -1,0 +1,104 @@
+"""A process-wide reusable worker-thread pool.
+
+``Job.run`` historically spawned ``num_pes`` fresh OS threads per
+launch; benchmark ``--repeats`` loops and hypothesis-style suites pay
+thread creation (stack allocation, scheduler registration) hundreds of
+times over.  The :class:`WorkerPool` keeps finished workers parked on a
+condition variable and hands them the next launch's PE bodies instead.
+
+Sizing is demand-driven: a submission finding no idle worker starts a
+new one, so the pool grows to the peak concurrent demand (including
+nested ``Job.run`` calls from inside a PE body — those *must* get new
+threads, never queue behind their own parent) and never schedules two
+bodies onto one thread concurrently.  Idle workers retire after
+:data:`IDLE_TIMEOUT_S` so long-lived processes shed peak capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from typing import Callable
+
+#: Idle workers park this long (seconds) before exiting.
+IDLE_TIMEOUT_S = 30.0
+
+
+class WorkerPool:
+    """Grow-on-demand pool of daemon worker threads."""
+
+    def __init__(self, idle_timeout_s: float = IDLE_TIMEOUT_S) -> None:
+        self._cv = threading.Condition()
+        self._work: deque[Callable[[], None]] = deque()
+        self._idle = 0
+        self._workers = 0
+        self._spawned = 0
+        self._ids = itertools.count(1)
+        self._idle_timeout_s = idle_timeout_s
+
+    def submit(self, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` on some worker thread, never queueing behind a
+        busy one: a new thread is started unless an idle worker is free
+        to take this item.  The comparison is against the *queue depth*,
+        not merely ``_idle > 0``: an idle worker already notified for an
+        earlier submission still counts as idle until it wakes, and
+        counting it twice would strand the second item (PE bodies block
+        on each other, so a stranded body deadlocks the job)."""
+        with self._cv:
+            self._work.append(fn)
+            if self._idle >= len(self._work):
+                self._cv.notify()
+            else:
+                self._workers += 1
+                self._spawned += 1
+                threading.Thread(
+                    target=self._worker,
+                    name=f"repro-worker-{next(self._ids)}",
+                    daemon=True,
+                ).start()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Introspection for tests: live/idle/ever-spawned counts."""
+        with self._cv:
+            return {
+                "workers": self._workers,
+                "idle": self._idle,
+                "spawned": self._spawned,
+            }
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            with self._cv:
+                self._idle += 1
+                try:
+                    while not self._work:
+                        if not self._cv.wait(timeout=self._idle_timeout_s):
+                            if self._work:
+                                break  # work raced in at the timeout
+                            self._workers -= 1
+                            return  # retire this idle worker
+                finally:
+                    self._idle -= 1
+                fn = self._work.popleft()
+            try:
+                fn()
+            except BaseException:  # noqa: BLE001 - submitters own failures
+                pass
+
+
+_pool_lock = threading.Lock()
+_pool: WorkerPool | None = None
+
+
+def shared_pool() -> WorkerPool:
+    """The process-wide pool used by the thread-backed engines."""
+    global _pool
+    if _pool is None:
+        with _pool_lock:
+            if _pool is None:
+                _pool = WorkerPool()
+    return _pool

@@ -36,7 +36,6 @@ instantly, where the threaded engine would idle until the watchdog.
 from __future__ import annotations
 
 import random
-import time
 from collections import deque
 from typing import Any, Callable
 
@@ -500,8 +499,4 @@ def spin_hint() -> None:
     from repro.runtime.context import current
 
     ctx = current()
-    sched = getattr(ctx.job, "scheduler", None)
-    if sched is not None:
-        sched.yield_point(ctx.pe, "spin", -1, spin=True)
-    else:
-        time.sleep(0.0002)
+    ctx.job.engine.spin_yield(ctx, "spin", -1)

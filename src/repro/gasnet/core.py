@@ -103,20 +103,16 @@ class GasnetLayer(OneSidedLayer):
         self._check_pe(pe)
         fn = self._resolve_handler(handler)
         ctx = current()
-        if self.scheduler is not None:
-            self.scheduler.yield_point(ctx.pe, "am", pe)
+        self._decide(ctx, "am", pe)
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
-        if self.faults is not None:
-            timing = self._priced(
-                ctx, "am", pe,
-                lambda now: self.job.network.am_request(
-                    ctx.pe, pe, nbytes, self.profile, now
-                ),
-                _FAIL_AT_REMOTE,
-            )
-        else:
-            timing = self.job.network.am_request(ctx.pe, pe, nbytes, self.profile, t_start)
+        timing = self._priced(
+            ctx, self, "am", pe,
+            lambda now: self.job.network.am_request(
+                ctx.pe, pe, nbytes, self.profile, now
+            ),
+            _FAIL_AT_REMOTE,
+        )
         token = Token(self, ctx.pe, pe, timing.remote_complete)
         result = fn(token, *args) if payload is None else fn(token, *args, payload=payload)
         ctx.clock.merge(timing.local_complete)
@@ -140,20 +136,16 @@ class GasnetLayer(OneSidedLayer):
         self._check_pe(pe)
         fn = self._resolve_handler(handler)
         ctx = current()
-        if self.scheduler is not None:
-            self.scheduler.yield_point(ctx.pe, "am", pe)
+        self._decide(ctx, "am", pe)
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
-        if self.faults is not None:
-            done = self._priced(
-                ctx, "am", pe,
-                lambda now: self.job.network.am_roundtrip(
-                    ctx.pe, pe, nbytes, self.profile, now
-                ),
-                _fail_at_done,
-            )
-        else:
-            done = self.job.network.am_roundtrip(ctx.pe, pe, nbytes, self.profile, t_start)
+        done = self._priced(
+            ctx, self, "am", pe,
+            lambda now: self.job.network.am_roundtrip(
+                ctx.pe, pe, nbytes, self.profile, now
+            ),
+            _fail_at_done,
+        )
         # The handler logically runs on arrival, before the reply.
         token = Token(self, ctx.pe, pe, done)
         result = fn(token, *args) if payload is None else fn(token, *args, payload=payload)

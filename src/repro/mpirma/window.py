@@ -114,25 +114,20 @@ class Window:
         data = layer._coerce(self.array, value)
         self.array.check_span(offset, data.size)
         ctx = current()
-        if layer.scheduler is not None:
-            # Accumulates funnel through the target's atomic unit, so
-            # like atomics they execute at the chosen step (no delivery
-            # queue).
-            layer.scheduler.yield_point(ctx.pe, "atomic", rank)
+        # Accumulates funnel through the target's atomic unit, so like
+        # atomics they execute at the chosen step (no delivery queue).
+        layer._decide(ctx, "atomic", rank)
         t_start = ctx.clock.now
         # Priced as a put plus per-element service on the target's
         # atomic unit (MPI implementations funnel accumulates through
         # an ordering point to guarantee element-wise atomicity).
-        if layer.faults is not None:
-            timing = layer._priced(
-                ctx, "atomic", rank,
-                lambda now: layer.job.network.put(
-                    ctx.pe, rank, data.nbytes, layer.profile, now
-                ),
-                _FAIL_AT_REMOTE,
-            )
-        else:
-            timing = layer.job.network.put(ctx.pe, rank, data.nbytes, layer.profile, t_start)
+        timing = layer._priced(
+            ctx, layer, "atomic", rank,
+            lambda now: layer.job.network.put(
+                ctx.pe, rank, data.nbytes, layer.profile, now
+            ),
+            _FAIL_AT_REMOTE,
+        )
         node = layer.job.topology.node_of(rank)
         _, amo_end = layer.job.network.timelines()["amo"][node].reserve(
             timing.remote_complete, data.size * layer.job.machine.amo_process_us

@@ -1,29 +1,36 @@
 """The :class:`Job` object and the SPMD launcher.
 
-A job is one SPMD run: ``num_pes`` threads executing the same function
-on a simulated machine.  The job owns everything the PEs share — the
+A job is one SPMD run: ``num_pes`` PEs executing the same function on a
+simulated machine.  The job owns everything the PEs share — the
 topology and network cost model, each PE's remotely-accessible memory,
 the collectively-managed symmetric heap allocator, the job-wide barrier,
 and the communication-layer instances (:mod:`repro.shmem`,
 :mod:`repro.gasnet`, ...) registered on it.
 
+*How* the PEs execute is owned by the job's
+:class:`~repro.engine.base.Engine` (``engine=`` parameter):
+
+* ``engine=None`` (default) — the pooled thread-per-PE
+  :class:`~repro.engine.threaded.ThreadedEngine`, bit-identical to the
+  historical launcher;
+* ``scheduler=Scheduler(...)`` — cooperative deterministic
+  interleavings (wrapped in a
+  :class:`~repro.engine.cooperative.CooperativeEngine`; the
+  ``scheduler=`` parameter keeps working unchanged);
+* ``engine="event"`` — the thread-free discrete-event
+  :class:`~repro.engine.event.EventEngine` for weak-scaling runs at
+  thousands of PEs (PE bodies as step programs).
+
 Failure handling: if any PE raises, the job aborts — every blocking
 primitive polls the abort flag — and the launcher raises a
-:class:`JobFailure` carrying *every* per-PE failure record after
-joining all threads, so a crash in one image can never deadlock the
+:class:`JobFailure` carrying *every* per-PE failure record after all
+PE bodies have exited, so a crash in one image can never deadlock the
 run and no failure is silently discarded.
 
 Fault injection: ``Job(..., faults=FaultPlan(...))`` attaches a
-deterministic :class:`~repro.sim.faults.FaultInjector`; the
-communication layers consult it per operation.  ``watchdog_s``
-configures the wall-clock stall deadline of the always-on
-:class:`~repro.sim.faults.Watchdog`.
-
-Schedule control: ``Job(..., scheduler=Scheduler(...))`` runs the PEs
-as cooperative tasks serialized by :mod:`repro.explore` — one strategy
-seed names one exact interleaving.  ``scheduler=None`` (the default)
-keeps the free-running threaded engine bit-identical to before, behind
-the same single ``is None`` gate the fault injector uses.
+deterministic :class:`~repro.sim.faults.FaultInjector`; the engines
+consult it per operation.  ``watchdog_s`` configures the wall-clock
+stall deadline of the always-on :class:`~repro.sim.faults.Watchdog`.
 """
 
 from __future__ import annotations
@@ -31,7 +38,6 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Sequence
 
-from repro.runtime.context import PEContext, set_current
 from repro.runtime.memory import PEMemory
 from repro.runtime.sync import CollectiveState, VirtualBarrier
 from repro.sim.faults import FaultInjector, FaultPlan, Watchdog
@@ -41,6 +47,9 @@ from repro.sim.topology import Machine, Topology
 from repro.util.allocator import FreeListAllocator
 
 DEFAULT_HEAP_BYTES = 4 * 1024 * 1024
+#: Ceiling for thread-backed engines (one OS thread per PE).  Engines
+#: declare their own ``max_pes``; the event engine raises this to
+#: :data:`~repro.engine.base.Engine.max_pes` of its class (16384).
 MAX_PES = 4096
 
 
@@ -86,9 +95,21 @@ class Job:
         faults: FaultPlan | FaultInjector | None = None,
         watchdog_s: float | None = None,
         scheduler: Any = None,
+        engine: Any = None,
     ) -> None:
-        if not 1 <= num_pes <= MAX_PES:
-            raise ValueError(f"num_pes must be in [1, {MAX_PES}]")
+        # Resolve the engine before sizing anything: the PE ceiling is
+        # the engine's (4096 threads for the thread-backed engines, more
+        # for the thread-free event engine), and per-PE memories must
+        # not be allocated for a count we are about to reject.
+        from repro.engine import resolve_engine
+
+        self.engine = resolve_engine(engine, scheduler)
+        max_pes = getattr(self.engine, "max_pes", MAX_PES)
+        if not 1 <= num_pes <= max_pes:
+            raise ValueError(
+                f"num_pes must be in [1, {max_pes}] "
+                f"(engine {self.engine.name!r})"
+            )
         if isinstance(machine, str):
             machine = get_machine(machine)
         self.num_pes = num_pes
@@ -110,8 +131,8 @@ class Job:
         self.layers: dict[str, Any] = {}
         # Optional communication tracer (repro.trace.attach installs one).
         self.tracer = None
-        # Optional deterministic fault injection (None on the fast path:
-        # layers gate all fault logic behind one ``is None`` check).
+        # Optional deterministic fault injection (the engines gate all
+        # fault logic behind one bound-at-bind dispatch).
         if faults is None:
             self.faults: FaultInjector | None = None
         elif isinstance(faults, FaultInjector):
@@ -124,14 +145,20 @@ class Job:
         else:
             self.faults = FaultInjector(faults, num_pes)
         # Optional deterministic cooperative scheduler
-        # (:class:`repro.explore.Scheduler`); None keeps the threaded
-        # engine's fast path to one attribute check per decision point.
+        # (:class:`repro.explore.Scheduler`), kept as an attribute for
+        # existing callers; execution-wise it lives inside the engine.
         self.scheduler = scheduler
         # Always-on hang detection; wall-clock only, so it has zero
         # effect on virtual times unless it fires.
         self.watchdog = Watchdog(self, deadline_s=watchdog_s)
-        if scheduler is not None:
-            scheduler.bind(self)
+        if self.scheduler is None:
+            # An explicitly-passed CooperativeEngine carries the
+            # scheduler; surface it so layer/runtime introspection and
+            # the scheduler's own bind still work.
+            self.scheduler = getattr(self.engine, "scheduler", None)
+        self.engine.bind(self)
+        if self.scheduler is not None:
+            self.scheduler.bind(self)
 
     # ------------------------------------------------------------------
     def aborted(self) -> bool:
@@ -161,51 +188,12 @@ class Job:
         The function executes with a :class:`PEContext` installed so the
         module-level PGAS APIs resolve to this job.  If any PE fails, a
         :class:`JobFailure` carrying every ``(pe, exc)`` record is
-        raised after all threads have exited, with ``__cause__`` set to
-        the lowest-ranked PE's exception.
+        raised after all PE bodies have exited, with ``__cause__`` set
+        to the lowest-ranked PE's exception.  Execution is delegated to
+        the job's engine; bodies returning
+        :class:`~repro.engine.steps.Step` programs are trampolined.
         """
-        kwargs = kwargs or {}
-        results: list[Any] = [None] * self.num_pes
-        failures: list[tuple[int, BaseException]] = []
-        failures_lock = threading.Lock()
-        sched = self.scheduler
-
-        def pe_main(pe: int) -> None:
-            ctx = PEContext(self, pe)
-            set_current(ctx)
-            try:
-                if sched is not None:
-                    sched.start_task(pe)
-                results[pe] = fn(*args, **kwargs)
-            except JobAborted:
-                pass  # secondary failure; the root cause is recorded
-            except BaseException as exc:  # noqa: BLE001 - must not leak threads
-                with failures_lock:
-                    failures.append((pe, exc))
-                self.abort()
-            finally:
-                if sched is not None:
-                    sched.task_exit(pe)
-                set_current(None)
-
-        threads = [
-            threading.Thread(target=pe_main, args=(pe,), name=f"pe-{pe}", daemon=True)
-            for pe in range(self.num_pes)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if sched is not None and sched.failure is not None:
-            # A deadlock detected while a task was exiting has no thread
-            # of its own to raise in; fold it into the failure records.
-            pe, exc = sched.failure
-            if not any(p == pe for p, _ in failures):
-                failures.append((pe, exc))
-        if failures:
-            failure = JobFailure(failures)
-            raise failure from failure.failures[0][1]
-        return results
+        return self.engine.run(self, fn, args, kwargs)
 
 
 def run_spmd(
@@ -217,14 +205,15 @@ def run_spmd(
     faults: FaultPlan | FaultInjector | None = None,
     watchdog_s: float | None = None,
     scheduler: Any = None,
+    engine: Any = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
     """One-shot convenience: build a :class:`Job` and run ``fn`` on it.
 
-    ``faults``, ``watchdog_s``, and ``scheduler`` are forwarded to the
-    :class:`Job` (historically ``faults``/``watchdog_s`` were silently
-    dropped here).
+    ``faults``, ``watchdog_s``, ``scheduler``, and ``engine`` are
+    forwarded to the :class:`Job` (historically ``faults``/``watchdog_s``
+    were silently dropped here).
     """
     job = Job(
         num_pes,
@@ -233,5 +222,6 @@ def run_spmd(
         faults=faults,
         watchdog_s=watchdog_s,
         scheduler=scheduler,
+        engine=engine,
     )
     return job.run(fn, args=args, kwargs=kwargs)

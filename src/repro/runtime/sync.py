@@ -25,7 +25,21 @@ class CollectiveMismatch(RuntimeError):
 
 
 class VirtualBarrier:
-    """Reusable barrier over ``num_pes`` threads with clock reconciliation."""
+    """Reusable barrier over ``num_pes`` PEs with clock reconciliation.
+
+    Arrival bookkeeping (:meth:`arrive`) is engine-neutral float
+    arithmetic under one lock; *how* a non-final arriver parks until
+    release is the engine's business
+    (:meth:`~repro.engine.base.Engine.barrier_wait` — a condition-variable
+    wait on the threaded engine, a scheduler ``block_until`` on the
+    cooperative engine, a heap-parked continuation on the event engine).
+
+    The release time read at departure is stable without further
+    locking: generation ``g``'s ``_release_time`` can only be
+    overwritten by generation ``g+1``'s release, which requires every
+    PE — including all of ``g``'s parked departers — to have arrived
+    again, i.e. to have already departed ``g``.
+    """
 
     _ids = itertools.count(1)
 
@@ -43,6 +57,41 @@ class VirtualBarrier:
         #: barrier *episode* for the sanitizer's happens-before graph.
         self.sync_id = next(VirtualBarrier._ids)
 
+    @property
+    def generation(self) -> int:
+        """Current episode number (bumped at each release)."""
+        return self._generation
+
+    def arrive(self, ctx: PEContext, cost: float = 0.0) -> tuple[int, bool]:
+        """Record one arrival; returns ``(generation, released)``.
+
+        The final arriver computes the common release time
+        ``max(arrival times) + cost``, resets the episode, bumps the
+        generation, and gets ``released=True``; everyone else must park
+        via the engine until the generation moves past theirs, then
+        call :meth:`depart`.
+        """
+        with self._cond:
+            gen = self._generation
+            self._max_arrival = max(self._max_arrival, ctx.clock.now)
+            self._count += 1
+            released = self._count == self.num_pes
+            if released:
+                self._release_time = self._max_arrival + cost
+                self._count = 0
+                self._max_arrival = 0.0
+                self._generation += 1
+                self._cond.notify_all()
+        return gen, released
+
+    def depart(self, ctx: PEContext, gen: int) -> float:
+        """Merge the episode's release time into ``ctx``'s clock and
+        return it (see the class docstring for why the unlocked read
+        is safe)."""
+        departure = self._release_time
+        ctx.clock.merge(departure)
+        return departure
+
     def wait(self, ctx: PEContext, cost: float = 0.0) -> float:
         """Arrive at the barrier; returns the common departure time.
 
@@ -57,70 +106,13 @@ class VirtualBarrier:
 
         The generation is captured at arrival (the last arriver bumps it
         after capture), so every participant of one episode sees the
-        same number.
+        same number.  Non-final arrivers park through the job engine's
+        ``barrier_wait`` hook.
         """
-        from repro.runtime.launcher import JobAborted
-
-        sched = getattr(ctx.job, "scheduler", None)
-        if sched is not None:
-            return self._wait_gen_cooperative(ctx, cost, sched)
-        with self._cond:
-            gen = self._generation
-            self._max_arrival = max(self._max_arrival, ctx.clock.now)
-            self._count += 1
-            if self._count == self.num_pes:
-                self._release_time = self._max_arrival + cost
-                self._count = 0
-                self._max_arrival = 0.0
-                self._generation += 1
-                self._cond.notify_all()
-            else:
-                wd = getattr(ctx.job, "watchdog", None)
-                guard = (
-                    wd.watch(ctx.pe, f"barrier(sync_id={self.sync_id}, gen={gen})")
-                    if wd is not None
-                    else None
-                )
-                try:
-                    if guard is not None:
-                        guard.__enter__()
-                    while self._generation == gen:
-                        if self._aborted():
-                            raise JobAborted("job aborted while in barrier")
-                        if guard is not None:
-                            guard.poll()
-                        self._cond.wait(timeout=0.05)
-                finally:
-                    if guard is not None:
-                        guard.__exit__(None, None, None)
-            departure = self._release_time
-        ctx.clock.merge(departure)
-        return departure, gen
-
-    def _wait_gen_cooperative(self, ctx: PEContext, cost: float, sched) -> tuple[float, int]:
-        """Scheduler-mode arrival: same bookkeeping, but non-final
-        arrivers park in the cooperative scheduler instead of the
-        condition variable (only one thread runs at a time, so a cond
-        wait here would deadlock the whole schedule)."""
-        with self._cond:
-            gen = self._generation
-            self._max_arrival = max(self._max_arrival, ctx.clock.now)
-            self._count += 1
-            released = self._count == self.num_pes
-            if released:
-                self._release_time = self._max_arrival + cost
-                self._count = 0
-                self._max_arrival = 0.0
-                self._generation += 1
+        gen, released = self.arrive(ctx, cost)
         if not released:
-            sched.block_until(
-                ctx.pe,
-                lambda: self._generation != gen,
-                f"barrier(sync_id={self.sync_id}, gen={gen})",
-            )
-        departure = self._release_time
-        ctx.clock.merge(departure)
-        return departure, gen
+            ctx.job.engine.barrier_wait(ctx, self, gen)
+        return self.depart(ctx, gen), gen
 
 
 class CollectiveState:

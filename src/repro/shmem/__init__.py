@@ -133,6 +133,7 @@ def launch(
     faults: Any = None,
     watchdog_s: float | None = None,
     scheduler: Any = None,
+    engine: Any = None,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -141,7 +142,9 @@ def launch(
     ``faults`` attaches a deterministic
     :class:`~repro.sim.faults.FaultPlan` (or prebuilt
     :class:`~repro.sim.faults.FaultInjector`); ``watchdog_s`` overrides
-    the hang watchdog's wall-clock stall deadline.
+    the hang watchdog's wall-clock stall deadline.  ``engine`` selects
+    the execution engine (``"threaded"``/``"event"`` or an
+    :class:`~repro.engine.Engine` instance; see :mod:`repro.engine`).
     Returns the per-PE return values of ``fn``.
     """
     job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -151,6 +154,8 @@ def launch(
         job_kwargs["watchdog_s"] = watchdog_s
     if scheduler is not None:
         job_kwargs["scheduler"] = scheduler
+    if engine is not None:
+        job_kwargs["engine"] = engine
     job = Job(num_pes, machine, **job_kwargs)
     attach(job, profile)
     return job.run(fn, args=args, kwargs=kwargs or {})

@@ -14,7 +14,6 @@ this subclass adds what is specifically OpenSHMEM:
 
 from __future__ import annotations
 
-import time
 import typing
 from contextlib import nullcontext
 
@@ -292,7 +291,7 @@ class ShmemLayer(OneSidedLayer):
         t_start = ctx.clock.now
         backoff = self._LOCK_BACKOFF_START_US
         tracer = self.job.tracer
-        sched = self.scheduler
+        spin = self.engine.spin_yield
         machinery = tracer.sync_internal() if tracer is not None else nullcontext()
         with machinery, self.job.watchdog.watch(
             ctx.pe, f"shmem_set_lock(offset={lock.byte_offset})"
@@ -306,10 +305,7 @@ class ShmemLayer(OneSidedLayer):
                     break
                 ctx.clock.advance(backoff)
                 backoff = min(backoff * 2, self._LOCK_BACKOFF_MAX_US)
-                if sched is None:
-                    time.sleep(0.0002)  # wall-clock yield only; cost is virtual
-                else:
-                    sched.yield_point(ctx.pe, "lock_spin", 0, spin=True)
+                spin(ctx, "lock_spin", 0)  # wall-clock yield; cost is virtual
         self._record_shlock("lock_acquire", "la", lock, t_start)
 
     def test_lock(self, lock: SymmetricArray) -> bool:

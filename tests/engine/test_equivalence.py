@@ -1,0 +1,138 @@
+"""Three-way engine equivalence over randomized step programs.
+
+The engines promise *bit-identical* virtual times and traces for any
+program whose threaded execution is schedule-independent.  The seeded
+generator below emits such programs: each phase picks exactly one
+active PE which issues a random run of puts/gets/atomics/delays, then
+everyone barriers — no two PEs ever contend for a timeline, so the
+threaded, cooperative (explore scheduler), and event engines must agree
+on every PE's final value, final virtual clock, and the full trace
+digest.  A FaultPlan rides the same pipeline on every engine (decisions
+are per-PE op-index driven), so transient-fault runs and single-crash
+failure records must match too.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.steps import BarrierStep, Done, alloc_array_step
+from repro.explore import RandomWalk, Scheduler, trace_digest
+from repro.runtime.context import current
+from repro.runtime.launcher import Job, JobFailure
+from repro.shmem import attach as shmem_attach
+from repro.sim.faults import FaultPlan, InjectedCrash
+from repro.trace.events import attach as trace_attach
+
+HEAP = 1 << 15
+ELEMS = 8
+
+ENGINES = ("threaded", "cooperative", "event")
+
+
+def make_script(seed: int, num_pes: int, phases: int):
+    """A deterministic single-active-PE-per-phase op script."""
+    rng = random.Random(seed)
+    script = []
+    for _ in range(phases):
+        active = rng.randrange(num_pes)
+        ops = []
+        for _ in range(rng.randint(1, 3)):
+            kind = rng.choice(("put", "get", "atomic", "delay"))
+            ops.append((kind, rng.randrange(num_pes), rng.randint(1, ELEMS)))
+        script.append((active, ops))
+    return script
+
+
+def make_body(layer, script):
+    def body():
+        ctx = current()
+        pe = ctx.pe
+        payload = np.arange(ELEMS, dtype=np.int64) + pe
+
+        def run_phase(arr, i):
+            if i == len(script):
+                return Done((int(arr.local.sum()), ctx.clock.now))
+            active, ops = script[i]
+            if pe == active:
+                for kind, target, k in ops:
+                    if kind == "put":
+                        layer.put(arr, payload[:k], target, offset=0)
+                    elif kind == "get":
+                        layer.get(arr, k, target, offset=0)
+                    elif kind == "atomic":
+                        layer.atomic(arr, target, 0, "fadd", k)
+                    else:
+                        ctx.clock.advance(float(k))
+            return BarrierStep(layer, lambda: run_phase(arr, i + 1))
+
+        return alloc_array_step(layer, (ELEMS,), np.int64, lambda a: run_phase(a, 0))
+
+    return body
+
+
+def run_once(engine_name: str, seed: int, num_pes: int, phases: int,
+             faults=None):
+    kwargs = {"faults": faults} if faults is not None else {}
+    if engine_name == "cooperative":
+        job = Job(num_pes, heap_bytes=HEAP,
+                  scheduler=Scheduler(RandomWalk(seed)), **kwargs)
+    else:
+        job = Job(num_pes, heap_bytes=HEAP, engine=engine_name, **kwargs)
+    layer = shmem_attach(job)
+    tracer = trace_attach(job)
+    body = make_body(layer, make_script(seed, num_pes, phases))
+    try:
+        results = job.run(body)
+    except JobFailure as jf:
+        records = [(pe, type(e).__name__, str(e)) for pe, e in jf.failures]
+        return {"failed": records, "digest": None}
+    return {"results": results, "digest": trace_digest(tracer)}
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47, 101])
+def test_three_way_equivalence_random_programs(seed):
+    runs = {name: run_once(name, seed, num_pes=6, phases=5) for name in ENGINES}
+    base = runs["threaded"]
+    assert "results" in base
+    for name in ENGINES[1:]:
+        assert runs[name]["results"] == base["results"], (
+            f"{name} results diverge from threaded (seed {seed})"
+        )
+        assert runs[name]["digest"] == base["digest"], (
+            f"{name} trace digest diverges from threaded (seed {seed})"
+        )
+
+
+@pytest.mark.parametrize("seed", [5, 19])
+def test_three_way_equivalence_under_transient_faults(seed):
+    plan = FaultPlan(seed=seed, transient_rate=0.4, max_failures=2)
+    runs = {
+        name: run_once(name, seed, num_pes=4, phases=4, faults=plan)
+        for name in ENGINES
+    }
+    base = runs["threaded"]
+    assert "results" in base, f"threaded failed: {base.get('failed')}"
+    for name in ENGINES[1:]:
+        assert runs[name] == base, f"{name} diverges under faults (seed {seed})"
+
+
+def test_three_way_single_crash_failure_records_match():
+    # Crash PE 2 at its 3rd operation; the record (pe, type, message)
+    # must be engine-independent because the fault decision is priced
+    # off the per-PE op index, not off wall-clock scheduling.
+    plan = FaultPlan(seed=7, crash_at={2: 3})
+    runs = {
+        name: run_once(name, seed=31, num_pes=5, phases=6, faults=plan)
+        for name in ENGINES
+    }
+    base = runs["threaded"]
+    assert "failed" in base
+    assert len(base["failed"]) == 1
+    pe, kind, _msg = base["failed"][0]
+    assert (pe, kind) == (2, InjectedCrash.__name__)
+    for name in ENGINES[1:]:
+        assert runs[name]["failed"] == base["failed"], (
+            f"{name} failure records diverge from threaded"
+        )

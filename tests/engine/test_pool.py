@@ -1,0 +1,110 @@
+"""WorkerPool unit tests, including the lost-wakeup regression.
+
+PE bodies block on each other (barriers), so every submitted body must
+get a worker promptly — a stranded submission deadlocks the whole job.
+"""
+
+import threading
+import time
+
+from repro.engine.pool import WorkerPool, shared_pool
+
+
+def _drain(pool: WorkerPool, events: list, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    for ev in events:
+        assert ev.wait(max(0.0, deadline - time.monotonic())), (
+            "submitted task never ran (worker stranded)"
+        )
+
+
+def test_runs_submitted_tasks():
+    pool = WorkerPool()
+    events = [threading.Event() for _ in range(8)]
+    for ev in events:
+        pool.submit(ev.set)
+    _drain(pool, events)
+
+
+def test_workers_are_reused():
+    pool = WorkerPool()
+    ran = []
+    done = threading.Event()
+
+    def task():
+        ran.append(threading.current_thread().name)
+        if len(ran) == 6:
+            done.set()
+
+    # Sequential submissions with a settle gap: the single idle worker
+    # must pick every one up without a new spawn.
+    pool.submit(task)
+    time.sleep(0.1)
+    for _ in range(5):
+        pool.submit(task)
+        time.sleep(0.02)
+    assert done.wait(10.0)
+    assert pool.stats["spawned"] < 6
+
+
+def test_lost_wakeup_regression_interdependent_bodies():
+    """N mutually-blocking bodies submitted back-to-back must all run.
+
+    Regression: ``submit`` used to only notify when ``_idle > 0``, so
+    two quick submissions could both count the *same* idle worker and
+    strand one task in the queue.  With bodies that rendezvous (as PE
+    bodies do at barriers), the stranded task means the running ones
+    never finish either — a deadlock.
+    """
+    pool = WorkerPool()
+    n = 6
+    # Park one worker in the idle wait first so the race window exists.
+    warm = threading.Event()
+    pool.submit(warm.set)
+    assert warm.wait(5.0)
+    time.sleep(0.05)
+
+    gate = threading.Barrier(n, timeout=10.0)
+    done = [threading.Event() for _ in range(n)]
+
+    def body(i):
+        gate.wait()  # blocks until ALL n bodies are running
+        done[i].set()
+
+    for i in range(n):
+        pool.submit(lambda i=i: body(i))
+    _drain(pool, done)
+
+
+def test_submit_burst_many_rounds():
+    """Hammer the submit race: every round, every task must complete."""
+    pool = WorkerPool()
+    for _ in range(20):
+        k = 4
+        gate = threading.Barrier(k, timeout=10.0)
+        events = [threading.Event() for _ in range(k)]
+
+        def body(i):
+            gate.wait()
+            events[i].set()
+
+        for i in range(k):
+            pool.submit(lambda i=i: body(i))
+        _drain(pool, events)
+
+
+def test_shared_pool_is_singleton():
+    assert shared_pool() is shared_pool()
+
+
+def test_worker_survives_task_exception():
+    pool = WorkerPool()
+
+    def boom():
+        raise RuntimeError("task failure must not kill the worker")
+
+    pool.submit(boom)
+    time.sleep(0.05)
+    ev = threading.Event()
+    pool.submit(ev.set)
+    assert ev.wait(10.0)
