@@ -183,6 +183,7 @@ def himeno_caf(
     faults=None,
     watchdog_s: float | None = None,
     scheduler=None,
+    engine=None,
 ) -> HimenoResult:
     """Run the CAF Himeno and report MFLOPS (one Fig 10 cell).
 
@@ -275,6 +276,7 @@ def himeno_caf(
         faults=faults,
         watchdog_s=watchdog_s,
         scheduler=scheduler,
+        engine=engine,
         **config.launch_kwargs(),
     )
     # All images report the same global MFLOPS figure modulo clock skew;

@@ -62,6 +62,16 @@ class WallclockCase:
     ``vector_speedup`` is fast path vs the plain batched engine
     (``REPRO_NO_VECTOR``) — the before/after of the vectorized data
     plane alone.
+
+    The ``procs_*`` fields are filled by the ``*-procs`` cases, which
+    time the threaded engine against ``engine="process"`` instead of
+    the batching escape hatches: ``batched_s`` then holds the threaded
+    time, ``procs_s`` the process-engine time, ``procs_speedup`` their
+    ratio (> 1 means the process engine wins — expect that only on
+    multi-core hosts; see ``host_cores`` in the JSON), and
+    ``procs_identical`` whether both engines produced bit-identical
+    virtual times and stats.  ``unbatched_s`` stays 0 for these cases,
+    which exempts them from ``--min-speedup``.
     """
 
     name: str
@@ -73,6 +83,9 @@ class WallclockCase:
     stats_identical: bool
     novector_s: float = 0.0
     vector_speedup: float = 0.0
+    procs_s: float = 0.0
+    procs_speedup: float = 0.0
+    procs_identical: bool = True
 
 
 #: Wall-clock repeats per mode; the minimum is reported (scheduler and
@@ -124,6 +137,44 @@ def _case(name, description, fn, *, virtual_eq, stats_eq,
         stats_identical=stats_eq(batched, oracle) and stats_eq(batched, novector),
         novector_s=round(novector_s, 4),
         vector_speedup=round(novector_s / batched_s, 2) if batched_s > 0 else float("inf"),
+    )
+
+
+def _procs_case(name, description, fn_engine, *,
+                virtual_eq, stats_eq, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    """Time ``fn_engine(None)`` (threaded) against ``fn_engine("process")``.
+
+    Both engines get one untimed warmup pass (imports, worker-pool
+    spawn / fork machinery, numpy first-touch), then best-of-repeats
+    timings.  The bit-identity comparison rides the existing
+    ``virtual_identical``/``stats_identical`` gate, so a divergence
+    fails the CLI the same way a broken batching invariant does.
+    """
+    def best_of(engine):
+        fn_engine(engine)  # warmup
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            result = fn_engine(engine)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    threaded_s, threaded = best_of(None)
+    procs_s, procs = best_of("process")
+    same_virtual = virtual_eq(threaded, procs)
+    same_stats = stats_eq(threaded, procs)
+    return WallclockCase(
+        name=name,
+        description=description,
+        batched_s=round(threaded_s, 4),
+        unbatched_s=0.0,
+        speedup=0.0,
+        virtual_identical=same_virtual,
+        stats_identical=same_stats,
+        procs_s=round(procs_s, 4),
+        procs_speedup=round(threaded_s / procs_s, 2) if procs_s > 0 else float("inf"),
+        procs_identical=same_virtual and same_stats,
     )
 
 
@@ -302,11 +353,16 @@ def dht_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCa
     """
     images = 4 if quick else 8
     updates = 192 if quick else 512
+    # Size the table for a <=0.5 load factor: with the default 64
+    # slots/image, the full case's 512 updates equal the table's total
+    # capacity and some image's bucket must overflow (DhtFullError).
+    slots = 128
 
     def fn():
         return dht_benchmark(
             "stampede", UHCAF_CRAY_SHMEM, images,
-            updates_per_image=updates, single_writer=True,
+            updates_per_image=updates, slots_per_image=slots,
+            single_writer=True,
         )
 
     return _case(
@@ -323,6 +379,104 @@ def dht_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCa
 
 
 # ---------------------------------------------------------------------------
+# Cases 6/7: threaded vs engine="process" (the ``procs`` column)
+# ---------------------------------------------------------------------------
+
+
+def _ring_section_fingerprints(
+    shape: tuple[int, ...],
+    key: tuple[slice, ...],
+    config: CafConfig,
+    engine=None,
+    num_images: int = 8,
+    machine: str = "stampede",
+    dtype=np.float32,
+    iters: int = 1,
+):
+    """Every image assigns ``a[key]`` on its ring neighbour ``iters``
+    times — all PEs drive the data plane simultaneously, the shape
+    where the process engine's true parallelism shows.  ``num_images``
+    stays within one node (intra-node transfers don't queue on the
+    NIC timelines), so virtual times are schedule-independent and safe
+    to compare bitwise across engines.
+    """
+    nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    heap = max(1 << 22, 2 * nbytes + (1 << 18))
+
+    def kernel():
+        ctx = current()
+        a = caf.coarray(shape, dtype)
+        a[...] = 0
+        caf.sync_all()
+        partner = caf.this_image() % caf.num_images() + 1
+        for _ in range(iters):
+            a.on(partner)[key] = 7
+        caf.sync_all()
+        from repro.caf.runtime import current_runtime
+
+        stats = {
+            k: v
+            for k, v in current_runtime().my_stats.items()
+            if not k.startswith("plan_cache")
+        }
+        return ctx.clock.now, stats, float(a.local.sum())
+
+    return caf.launch(
+        kernel, num_images, machine, heap_bytes=heap, engine=engine,
+        **config.launch_kwargs(),
+    )
+
+
+def naive_procs_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    """Ring section puts at 8 PEs, threaded vs ``engine="process"``."""
+    if quick:
+        shape, key = (20, 16, 20), np.s_[0:20:2, 0:16:2, 0:20:4]
+        iters = 4
+    else:
+        shape, key = (100, 80, 100), np.s_[0:100:2, 0:80:2, 0:100:4]
+        iters = 10
+    counts = "x".join(str(len(range(*s.indices(d)))) for s, d in zip(key, shape))
+    fn = lambda engine: _ring_section_fingerprints(
+        shape, key, UHCAF_CRAY_SHMEM_NAIVE, engine=engine, iters=iters
+    )
+    return _procs_case(
+        "naive-procs",
+        f"3-D section {counts} ring puts under the naive policy, 8 images "
+        f"x {iters} assignments each: threaded vs engine='process'",
+        fn,
+        virtual_eq=lambda a, b: all(x[0] == y[0] for x, y in zip(a, b)),
+        stats_eq=lambda a, b: all(x[1] == y[1] and x[2] == y[2] for x, y in zip(a, b)),
+        repeats=repeats,
+    )
+
+
+def himeno_procs_case(quick: bool = False, repeats: int = DEFAULT_REPEATS) -> WallclockCase:
+    """Himeno at 8 images, threaded vs ``engine="process"``."""
+    grid = (17, 17, 17) if quick else (33, 33, 65)
+    iters = 2 if quick else 4
+
+    def fn(engine):
+        return himeno_caf(
+            machine="stampede",
+            config=UHCAF_CRAY_SHMEM_2DIM,
+            num_images=8,
+            grid=grid,
+            iterations=iters,
+            engine=engine,
+        )
+
+    return _procs_case(
+        "himeno-procs",
+        f"Himeno {grid[0]}x{grid[1]}x{grid[2]}, 8 images, {iters} iterations: "
+        "threaded vs engine='process'",
+        fn,
+        virtual_eq=lambda a, b: a.elapsed_us == b.elapsed_us and a.gosa == b.gosa,
+        stats_eq=lambda a, b: a.mflops == b.mflops,
+        repeats=repeats,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Suite driver
 # ---------------------------------------------------------------------------
 
@@ -332,6 +486,8 @@ CASES = {
     "himeno": himeno_case,
     "locks": locks_case,
     "dht": dht_case,
+    "naive-procs": naive_procs_case,
+    "himeno-procs": himeno_procs_case,
 }
 
 
@@ -354,6 +510,10 @@ def write_json(results: list[WallclockCase], path: str | Path) -> Path:
     doc.update(
         benchmark="wallclock",
         generated_by="python -m repro.bench.wallclock",
+        # Wall-clock context for the procs column: the process engine
+        # cannot beat threaded on a single-core host, and the CI gate
+        # only makes sense where cores exist.
+        host_cores=os.cpu_count(),
         cases=[asdict(c) for c in results],
     )
     path.write_text(json.dumps(doc, indent=2) + "\n")
@@ -363,13 +523,16 @@ def write_json(results: list[WallclockCase], path: str | Path) -> Path:
 def render(results: list[WallclockCase]) -> str:
     lines = [
         f"{'case':<18} {'fast (s)':>10} {'novector (s)':>13} {'unbatched (s)':>14} "
-        f"{'speedup':>8} {'vs novec':>9}  invariant"
+        f"{'speedup':>8} {'vs novec':>9} {'procs (s)':>10} {'procs':>7}  invariant"
     ]
     for c in results:
         ok = "yes" if (c.virtual_identical and c.stats_identical) else "NO"
+        procs_s = f"{c.procs_s:>10.4f}" if c.procs_s else f"{'-':>10}"
+        procs_x = f"{c.procs_speedup:>6.2f}x" if c.procs_s else f"{'-':>7}"
         lines.append(
             f"{c.name:<18} {c.batched_s:>10.4f} {c.novector_s:>13.4f} "
-            f"{c.unbatched_s:>14.4f} {c.speedup:>7.2f}x {c.vector_speedup:>8.2f}x  {ok}"
+            f"{c.unbatched_s:>14.4f} {c.speedup:>7.2f}x {c.vector_speedup:>8.2f}x "
+            f"{procs_s} {procs_x}  {ok}"
         )
     return "\n".join(lines)
 
@@ -395,7 +558,14 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--min-speedup", type=float, default=None, metavar="X",
-        help="fail (exit 1) if any case's speedup is below X",
+        help="fail (exit 1) if any batching case's speedup is below X",
+    )
+    parser.add_argument(
+        "--min-procs-speedup", type=float, default=None, metavar="X",
+        help=(
+            "fail (exit 1) if any *-procs case's threaded-vs-process "
+            "speedup is below X (only meaningful on multi-core hosts)"
+        ),
     )
     args = parser.parse_args(argv)
     results = run_suite(quick=args.quick, cases=args.cases, repeats=args.repeats)
@@ -407,10 +577,27 @@ def main(argv=None) -> int:
         print(f"ERROR: virtual-time invariance broken in: {bad}", file=sys.stderr)
         return 1
     if args.min_speedup is not None:
-        slow = [c.name for c in results if c.speedup < args.min_speedup]
+        # The *-procs cases don't run the per-call oracle (unbatched_s
+        # stays 0); they are gated by --min-procs-speedup instead.
+        slow = [
+            c.name for c in results
+            if c.unbatched_s > 0 and c.speedup < args.min_speedup
+        ]
         if slow:
             print(
                 f"ERROR: speedup below {args.min_speedup} in: {slow}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_procs_speedup is not None:
+        slow = [
+            c.name for c in results
+            if c.procs_s > 0 and c.procs_speedup < args.min_procs_speedup
+        ]
+        if slow:
+            print(
+                f"ERROR: procs speedup below {args.min_procs_speedup} in: "
+                f"{slow} (host_cores={os.cpu_count()})",
                 file=sys.stderr,
             )
             return 1

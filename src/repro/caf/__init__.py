@@ -210,7 +210,12 @@ def launch(
         rt.startup()
         return fn(*a, **kw)
 
-    results = job.run(spmd_main, args=args, kwargs=kwargs or {})
+    try:
+        results = job.run(spmd_main, args=args, kwargs=kwargs or {})
+    finally:
+        # One-shot job: release engine-held resources (shared-memory
+        # segments on engine="process") deterministically.
+        job.engine.cleanup()
     if tracer is not None:
         from repro.trace.sanitizer import OrderingViolation, check_tracer
 

@@ -34,6 +34,7 @@ class WorkerPool:
         self._idle = 0
         self._workers = 0
         self._spawned = 0
+        self._failed = 0
         self._ids = itertools.count(1)
         self._idle_timeout_s = idle_timeout_s
 
@@ -61,12 +62,13 @@ class WorkerPool:
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict:
-        """Introspection for tests: live/idle/ever-spawned counts."""
+        """Introspection for tests: live/idle/ever-spawned/failed counts."""
         with self._cv:
             return {
                 "workers": self._workers,
                 "idle": self._idle,
                 "spawned": self._spawned,
+                "failed": self._failed,
             }
 
     # ------------------------------------------------------------------
@@ -86,8 +88,20 @@ class WorkerPool:
                 fn = self._work.popleft()
             try:
                 fn()
-            except BaseException:  # noqa: BLE001 - submitters own failures
-                pass
+            except Exception:
+                # Submitters own ordinary failures (Job.run records them
+                # per PE before its body returns); the pool only counts
+                # the escape so non-Job submissions don't vanish silently.
+                with self._cv:
+                    self._failed += 1
+            except BaseException:
+                # KeyboardInterrupt / SystemExit must not be eaten: this
+                # worker is going down, so take it off the books and let
+                # the exception propagate to the thread boundary.
+                with self._cv:
+                    self._failed += 1
+                    self._workers -= 1
+                raise
 
 
 _pool_lock = threading.Lock()
@@ -95,10 +109,16 @@ _pool: WorkerPool | None = None
 
 
 def shared_pool() -> WorkerPool:
-    """The process-wide pool used by the thread-backed engines."""
+    """The process-wide pool used by the thread-backed engines.
+
+    Check-and-create happens entirely under ``_pool_lock``: the
+    lock-free first read of the old double-checked idiom could hand a
+    racing first caller a half-published pool.  Creation is cheap and
+    one-time, so the uncontended lock acquisition costs nothing
+    measurable per launch.
+    """
     global _pool
-    if _pool is None:
-        with _pool_lock:
-            if _pool is None:
-                _pool = WorkerPool()
-    return _pool
+    with _pool_lock:
+        if _pool is None:
+            _pool = WorkerPool()
+        return _pool

@@ -1,0 +1,381 @@
+"""The true-parallel process-per-PE engine (POSH-style).
+
+Every in-process engine serializes the data plane on the GIL: virtual
+time scales, wall clock does not.  :class:`ProcessEngine` runs each PE
+as a forked ``multiprocessing`` process and backs everything PEs mutate
+on each other with a :class:`~repro.runtime.sharedheap.SharedHeap` —
+the symmetric heaps, last-write timestamps, atomic word tables, barrier
+generations, the abort flag, per-PE clock mirrors, and the network
+model's contention timelines all live in
+``multiprocessing.shared_memory`` segments.  One-sided put/get is then
+a real memcpy into the peer process's heap (the POSH shared-memory
+OpenSHMEM model), so NumPy gather/scatter and batched transfer plans
+use all host cores.
+
+Execution model:
+
+* **fork, not spawn** — children inherit the whole bound :class:`Job`
+  (layers, pricers, allocator replica, tracer, fault injector) without
+  pickling anything, and inherit the already-mapped shared segments.
+  Platforms without ``fork`` (Windows, and macOS is unreliable with
+  threads) are rejected at construction with a clear error.
+* **SPMD determinism substitutes for shared Python state** — each
+  process carries its own replica of the symmetric allocator and
+  collective counters; since every PE executes the same collective
+  sequence, all replicas evolve identically, so job-wide collective
+  agreement computes locally (no cross-process fingerprint exchange).
+  Subset collectives and CAF teams cannot use this trick and raise.
+* **blocking is polling** — barrier waits poll the shared generation
+  slot and ``wait_until`` polls under the target's process lock (see
+  :mod:`repro.runtime.sharedheap`); both poll the shared abort flag and
+  the in-child watchdog, so sibling failures and hangs unblock exactly
+  as on the threaded engine.
+* **results come home over pipes** — each child ships its result, its
+  final virtual clock, its PE's materialized trace events, and its
+  fault-injector counters; exceptions are pickled when possible and
+  wrapped in :class:`RemotePEFailure` (repr + formatted traceback)
+  when not.  A child that dies without reporting (SIGKILL, OOM) is
+  turned into a ``RemotePEFailure`` by the parent's liveness watch.
+
+Virtual time is the correctness oracle: on workloads whose threaded
+execution is schedule-independent, this engine produces bit-identical
+virtual times and trace digests to ``ThreadedEngine`` — the arithmetic
+runs unchanged, only the memory it runs against moved segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+import traceback
+import typing
+
+from repro.engine.base import Engine, EngineError
+from repro.engine.steps import Step, drive
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.launcher import Job
+
+#: Process ceiling: each PE is a whole OS process (fork + segments),
+#: far heavier than a pooled thread.
+MAX_PROCESS_PES = 64
+
+#: Seconds between parent liveness sweeps over unreported children.
+_POLL_S = 0.2
+
+
+class RemotePEFailure(RuntimeError):
+    """A PE process failed in a way its exception could not cross the
+    pipe — unpicklable exception object, or the process died without
+    reporting (killed, out of memory).  The message carries the
+    original type and formatted traceback when available."""
+
+
+class _LocalCollectiveState:
+    """Job-wide collective agreement by local recomputation.
+
+    SPMD programs execute the same collective sequence on every PE with
+    deterministic ``compute`` callables (allocator mallocs, id counters,
+    window construction), so each process running ``compute()`` against
+    its own post-fork replica yields identical results on all PEs.  The
+    first-arriver fingerprint cross-check is unavailable — a mismatched
+    collective shows up as divergent state instead of a
+    ``CollectiveMismatch``; run the threaded engine to localize those.
+    """
+
+    def __init__(self, num_pes: int, *, aborted) -> None:
+        self.num_pes = num_pes
+        self._aborted = aborted
+
+    def agree(self, ctx, fingerprint: str, compute, seq: int | None = None):
+        if seq is None:
+            ctx.next_collective_seq()
+        return compute()
+
+
+class _GroupCollectivesUnsupported:
+    """Subset (active-set / team) collective agreement needs genuinely
+    shared state between a *subset* of PEs — local recomputation would
+    desynchronize the non-members' replicas.  Group barriers work; group
+    agreement raises."""
+
+    def __init__(self, num_pes: int, *, aborted) -> None:
+        self.num_pes = num_pes
+
+    def agree(self, ctx, fingerprint: str, compute, seq: int | None = None):
+        raise EngineError(
+            "subset collective agreement (CAF teams, team allocation) is "
+            "not supported on engine='process'; use the threaded or event "
+            "engine for team workloads"
+        )
+
+
+class ProcessEngine(Engine):
+    """One forked OS process per PE over a shared symmetric heap."""
+
+    name = "process"
+    max_pes = MAX_PROCESS_PES
+    eager_delivery = True
+    cross_process = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise EngineError(
+                "engine='process' requires the 'fork' start method "
+                "(children must inherit the bound job without pickling); "
+                "this platform only offers "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self._mp = multiprocessing.get_context("fork")
+        self._heap = None
+
+    # ------------------------------------------------------------------
+    # Runtime-state factories (consulted by Job.__init__)
+    # ------------------------------------------------------------------
+    def prepare(self, *, num_pes: int, heap_bytes: int, num_nodes: int) -> None:
+        from repro.runtime.sharedheap import SharedHeap
+
+        if self._heap is not None:
+            # Instance reused for a new Job: release the old segments.
+            self._heap.close()
+        self._heap = SharedHeap(
+            num_pes, heap_bytes,
+            num_timelines=4 * num_nodes,  # tx/rx/amo/cpu per node
+            mp_context=self._mp,
+        )
+
+    def timeline_factory(self, name: str):
+        return self._heap.timeline(name)
+
+    def make_memories(self, num_pes: int, heap_bytes: int) -> list:
+        return [self._heap.memory(pe) for pe in range(num_pes)]
+
+    def make_abort(self):
+        return self._heap.abort_event()
+
+    def make_barrier_state(self, key: tuple):
+        return self._heap.barrier_state(key)
+
+    def make_collectives(self, num_pes: int, *, aborted, group: bool = False):
+        if group:
+            return _GroupCollectivesUnsupported(num_pes, aborted=aborted)
+        return _LocalCollectiveState(num_pes, aborted=aborted)
+
+    # ------------------------------------------------------------------
+    # Schedule / blocking hooks (threaded semantics, polling parks)
+    # ------------------------------------------------------------------
+    def decision(self, ctx, op: str, target: int) -> None:
+        pass
+
+    def spin_yield(self, ctx, op: str, target: int) -> None:
+        time.sleep(0.0002)
+
+    def barrier_wait(self, ctx, barrier, gen: int) -> None:
+        from repro.runtime.launcher import JobAborted
+
+        wd = getattr(ctx.job, "watchdog", None)
+        guard = (
+            wd.watch(ctx.pe, f"barrier(sync_id={barrier.sync_id}, gen={gen})")
+            if wd is not None
+            else None
+        )
+        try:
+            if guard is not None:
+                guard.__enter__()
+            spins = 0
+            while barrier.generation == gen:
+                if barrier._aborted():
+                    raise JobAborted("job aborted while in barrier")
+                if guard is not None:
+                    guard.poll()
+                # Spin briefly (the release is one shared int away),
+                # then back off to short naps.
+                spins += 1
+                if spins > 2000:
+                    time.sleep(0.0002)
+        finally:
+            if guard is not None:
+                guard.__exit__(None, None, None)
+
+    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+        job = ctx.job
+        wd = job.watchdog
+        if wd is None:
+            return mem.wait_until(predicate, aborted=job.aborted)
+        with wd.watch(ctx.pe, what) as guard:
+            return mem.wait_until(predicate, aborted=job.aborted, watch=guard.poll)
+
+    # ------------------------------------------------------------------
+    # The SPMD driver: fork, collect, merge
+    # ------------------------------------------------------------------
+    def run(self, job: "Job", fn, args, kwargs) -> list:
+        from multiprocessing.connection import wait as conn_wait
+
+        from repro.runtime.launcher import JobFailure
+
+        kwargs = kwargs or {}
+        n = job.num_pes
+        conns = {}
+        procs = {}
+        for pe in range(n):
+            recv_end, send_end = self._mp.Pipe(duplex=False)
+            p = self._mp.Process(
+                target=self._child_main,
+                args=(job, fn, args, kwargs, pe, send_end),
+                name=f"repro-pe-{pe}",
+                daemon=True,
+            )
+            p.start()
+            send_end.close()
+            conns[recv_end] = pe
+            procs[pe] = p
+
+        results: list = [None] * n
+        failures: list[tuple[int, BaseException]] = []
+        pending = dict(conns)  # conn -> pe, still unreported
+        try:
+            while pending:
+                for conn in conn_wait(list(pending), timeout=_POLL_S):
+                    pe = pending.pop(conn)
+                    try:
+                        payload = conn.recv()
+                    except (EOFError, OSError):
+                        payload = None
+                    self._adopt(job, pe, payload, results, failures)
+                    conn.close()
+                # Liveness sweep: a child that exited without a payload
+                # (SIGKILL, os._exit, OOM) would otherwise hang the join.
+                for conn, pe in list(pending.items()):
+                    p = procs[pe]
+                    if not p.is_alive() and not conn.poll():
+                        pending.pop(conn)
+                        self._adopt(job, pe, None, results, failures)
+                        conn.close()
+        finally:
+            for pe, p in procs.items():
+                p.join(timeout=10.0)
+                if p.is_alive():  # pragma: no cover - defensive
+                    p.terminate()
+                    p.join(timeout=5.0)
+            if failures or job.aborted():
+                # A failed job never runs again (the abort flag stays
+                # set) — unlink the segments now so an aborted CI run
+                # cannot leak /dev/shm entries.
+                self.cleanup()
+        if failures:
+            failure = JobFailure(failures)
+            raise failure from failure.failures[0][1]
+        return results
+
+    def cleanup(self) -> None:
+        """Unlink the shared segments (idempotent, creator only)."""
+        if self._heap is not None:
+            self._heap.close()
+
+    # ------------------------------------------------------------------
+    def _adopt(self, job, pe: int, payload, results, failures) -> None:
+        """Fold one child's report (or its absence) into the job."""
+        if payload is None:
+            failures.append((
+                pe,
+                RemotePEFailure(
+                    f"PE {pe} process died without reporting a result"
+                ),
+            ))
+            job.abort()
+            return
+        status = payload.get("status")
+        if status == "ok":
+            results[pe] = payload.get("result")
+        elif status == "failed":
+            failures.append((pe, payload.get("error")))
+        # "aborted": secondary failure, root cause recorded elsewhere.
+        tracer = job.tracer
+        if tracer is not None and "trace" in payload:
+            tracer.adopt_events(pe, payload["trace"])
+        inj = job.faults
+        if inj is not None and "faults" in payload:
+            op_count, stats = payload["faults"]
+            inj.adopt(pe, op_count, stats)
+
+    # ------------------------------------------------------------------
+    def _child_main(self, job, fn, args, kwargs, pe, conn) -> None:
+        """Runs in the forked child: one PE body, then report and exit."""
+        import threading
+
+        from repro.runtime.context import PEContext, set_current
+        from repro.runtime.launcher import JobAborted
+        from repro.sim.clock import SharedClock
+
+        threading.current_thread().name = f"pe-{pe}"
+        ctx = PEContext(job, pe)
+        ctx.clock = SharedClock(self._heap.clock_slot(pe))
+        payload: dict = {"status": "aborted"}
+        set_current(ctx)
+        try:
+            result = fn(*args, **kwargs)
+            if isinstance(result, Step):
+                result = drive(result)
+            payload = {"status": "ok", "result": result}
+        except JobAborted:
+            pass  # secondary failure; the root cause is recorded
+        except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+            job.abort()
+            payload = {"status": "failed", "error": self._portable(exc, pe)}
+        finally:
+            set_current(None)
+            payload["clock"] = ctx.clock.now
+            tracer = job.tracer
+            if tracer is not None:
+                try:
+                    payload["trace"] = list(tracer.events[pe])
+                except Exception:  # pragma: no cover - defensive
+                    payload["trace"] = []
+            inj = job.faults
+            if inj is not None:
+                payload["faults"] = (inj._op_count[pe], inj._stats[pe])
+            self._send(conn, payload, pe)
+            conn.close()
+
+    @staticmethod
+    def _portable(exc: BaseException, pe: int) -> BaseException:
+        """The exception itself when it pickles, else a wrapped record."""
+        try:
+            pickle.loads(pickle.dumps(exc))
+            return exc
+        except Exception:
+            tb = "".join(traceback.format_exception(exc))
+            return RemotePEFailure(
+                f"PE {pe} raised unpicklable {type(exc).__name__}: {exc}\n{tb}"
+            )
+
+    @staticmethod
+    def _send(conn, payload: dict, pe: int) -> None:
+        try:
+            conn.send(payload)
+        except Exception as exc:
+            # Unpicklable result (e.g. a SymmetricArray handle): downgrade
+            # to a structured failure rather than hanging the parent.
+            fallback = {
+                "status": "failed",
+                "clock": payload.get("clock", 0.0),
+                "error": RemotePEFailure(
+                    f"PE {pe} result could not cross the process boundary: "
+                    f"{exc!r}; return plain picklable data from "
+                    f"engine='process' kernels"
+                ),
+            }
+            if "trace" in payload:
+                fallback["trace"] = payload["trace"]
+            if "faults" in payload:
+                fallback["faults"] = payload["faults"]
+            try:
+                conn.send(fallback)
+            except Exception:  # pragma: no cover - pipe gone
+                pass
+
+
+__all__ = ["MAX_PROCESS_PES", "ProcessEngine", "RemotePEFailure"]

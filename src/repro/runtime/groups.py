@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 import typing
 
-from repro.runtime.sync import CollectiveState, VirtualBarrier
+from repro.runtime.sync import VirtualBarrier
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.launcher import Job
@@ -48,8 +48,14 @@ class _GroupSync:
 
     def __init__(self, job: "Job", members: tuple[int, ...]) -> None:
         self.members = members
-        self.barrier = VirtualBarrier(len(members), aborted=job.aborted)
-        self.collectives = CollectiveState(len(members), aborted=job.aborted)
+        self.barrier = VirtualBarrier(
+            len(members),
+            aborted=job.aborted,
+            state=job.engine.make_barrier_state(members),
+        )
+        self.collectives = job.engine.make_collectives(
+            len(members), aborted=job.aborted, group=True
+        )
         # Per-member collective sequence numbers for this group (indexed
         # by position in `members`; each slot touched only by its owner).
         self._seq = {pe: 0 for pe in members}

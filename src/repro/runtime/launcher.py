@@ -35,11 +35,9 @@ stall deadline of the always-on :class:`~repro.sim.faults.Watchdog`.
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable, Sequence
 
-from repro.runtime.memory import PEMemory
-from repro.runtime.sync import CollectiveState, VirtualBarrier
+from repro.runtime.sync import VirtualBarrier
 from repro.sim.faults import FaultInjector, FaultPlan, Watchdog
 from repro.sim.machines import get_machine
 from repro.sim.netmodel import NetworkModel
@@ -115,15 +113,32 @@ class Job:
         self.num_pes = num_pes
         self.machine = machine
         self.topology = Topology(machine, num_pes)
-        self.network = NetworkModel(self.topology)
         self.heap_bytes = heap_bytes
-        self.memories = [PEMemory(heap_bytes) for _ in range(num_pes)]
+        # Cross-process engines allocate shared segments here, before
+        # any state that must live inside them exists.
+        self.engine.prepare(
+            num_pes=num_pes,
+            heap_bytes=heap_bytes,
+            num_nodes=self.topology.num_nodes,
+        )
+        self.network = NetworkModel(
+            self.topology, timeline_factory=self.engine.timeline_factory
+        )
+        self.memories = self.engine.make_memories(num_pes, heap_bytes)
         # One shared allocator: symmetric allocation means every PE gets
-        # the same offset, which a single metadata instance guarantees.
+        # the same offset, which a single metadata instance guarantees
+        # (cross-process engines rely on SPMD determinism of its
+        # per-process replicas instead).
         self.symmetric_allocator = FreeListAllocator(heap_bytes)
-        self._abort = threading.Event()
-        self.barrier = VirtualBarrier(num_pes, aborted=self.aborted)
-        self.collectives = CollectiveState(num_pes, aborted=self.aborted)
+        self._abort = self.engine.make_abort()
+        self.barrier = VirtualBarrier(
+            num_pes,
+            aborted=self.aborted,
+            state=self.engine.make_barrier_state((-1,)),
+        )
+        self.collectives = self.engine.make_collectives(
+            num_pes, aborted=self.aborted
+        )
         # Subset synchronization (OpenSHMEM active sets, CAF teams).
         from repro.runtime.groups import GroupRegistry
 
@@ -224,4 +239,9 @@ def run_spmd(
         scheduler=scheduler,
         engine=engine,
     )
-    return job.run(fn, args=args, kwargs=kwargs)
+    try:
+        return job.run(fn, args=args, kwargs=kwargs)
+    finally:
+        # One-shot job: release engine-held resources (shared-memory
+        # segments on engine="process") deterministically.
+        job.engine.cleanup()

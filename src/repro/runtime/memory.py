@@ -30,8 +30,8 @@ class PEMemory:
         if nbytes <= 0:
             raise ValueError("memory size must be positive")
         self.nbytes = nbytes
-        self._buf = np.zeros(nbytes, dtype=np.uint8)
-        self._cond = threading.Condition()
+        self._buf = self._make_buf(nbytes)
+        self._cond = self._make_cond()
         self._last_write_time = 0.0
         # Virtual timestamps of the last atomic update per word offset:
         # an atomic that *observes* a value cannot logically complete
@@ -40,6 +40,36 @@ class PEMemory:
         # Wall-order sequence number of atomic updates per word; the
         # sanitizer chains same-word atomics into happens-before edges.
         self._word_seq: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Backing hooks.  The defaults keep everything process-local; the
+    # cross-process subclass (repro.runtime.sharedheap.SharedPEMemory)
+    # redirects the buffer, the lock/notify protocol, and the published
+    # timestamps into shared-memory segments.  All hooks that touch
+    # state are called with ``self._cond`` held.
+    # ------------------------------------------------------------------
+    def _make_buf(self, nbytes: int) -> np.ndarray:
+        return np.zeros(nbytes, dtype=np.uint8)
+
+    def _make_cond(self):
+        return threading.Condition()
+
+    def _note_write(self, timestamp: float) -> None:
+        """Publish a write's virtual completion timestamp."""
+        if timestamp > self._last_write_time:
+            self._last_write_time = timestamp
+
+    def _read_write_time(self) -> float:
+        return self._last_write_time
+
+    def _word_update(self, offset: int, timestamp: float) -> tuple[float, int]:
+        """Record an atomic update to ``offset``; returns the previous
+        update's timestamp and this update's 1-based sequence number."""
+        prev_time = self._word_times.get(offset, 0.0)
+        self._word_times[offset] = max(timestamp, prev_time)
+        seq = self._word_seq.get(offset, 0) + 1
+        self._word_seq[offset] = seq
+        return prev_time, seq
 
     # ------------------------------------------------------------------
     def _check_range(self, offset: int, length: int) -> None:
@@ -76,8 +106,7 @@ class PEMemory:
         self._check_range(offset, raw.size)
         with self._cond:
             self._buf[offset : offset + raw.size] = raw
-            if timestamp > self._last_write_time:
-                self._last_write_time = timestamp
+            self._note_write(timestamp)
             self._cond.notify_all()
 
     def write_strided(
@@ -113,8 +142,7 @@ class PEMemory:
             else:
                 idx = (offset + np.arange(nelems) * stride_bytes)[:, None] + np.arange(elem_size)[None, :]
                 self._buf[idx.ravel()] = raw
-            if timestamp > self._last_write_time:
-                self._last_write_time = timestamp
+            self._note_write(timestamp)
             self._cond.notify_all()
 
     def read_strided(
@@ -191,8 +219,7 @@ class PEMemory:
                 self._buf[:usable].view(dt)[offsets // elem_size] = raw.view(dt)
             else:
                 self._buf[self._scatter_index(offsets, elem_size)] = raw
-            if timestamp > self._last_write_time:
-                self._last_write_time = timestamp
+            self._note_write(timestamp)
             self._cond.notify_all()
 
     def read_at(
@@ -258,8 +285,7 @@ class PEMemory:
                 dt = self._VIEW_DTYPES[elem_size]
                 usable = self.nbytes - self.nbytes % elem_size
                 self._buf[:usable].view(dt)[index] = raw.view(dt)
-            if timestamp > self._last_write_time:
-                self._last_write_time = timestamp
+            self._note_write(timestamp)
             self._cond.notify_all()
 
     def gather_at(
@@ -349,12 +375,8 @@ class PEMemory:
             view = self._buf[offset : offset + dt.itemsize].view(dt)
             old = view[0].copy()
             view[0] = fn(old)
-            prev_time = self._word_times.get(offset, 0.0)
-            self._word_times[offset] = max(timestamp, prev_time)
-            seq = self._word_seq.get(offset, 0) + 1
-            self._word_seq[offset] = seq
-            if timestamp > self._last_write_time:
-                self._last_write_time = timestamp
+            prev_time, seq = self._word_update(offset, timestamp)
+            self._note_write(timestamp)
             self._cond.notify_all()
             return old, prev_time, seq
 
@@ -374,8 +396,7 @@ class PEMemory:
         with self._cond:
             view = self._buf[offset : offset + arr.nbytes].view(dt)
             view[:] = op(view, arr)
-            if timestamp > self._last_write_time:
-                self._last_write_time = timestamp
+            self._note_write(timestamp)
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -404,9 +425,9 @@ class PEMemory:
                 if watch is not None:
                     watch()
                 self._cond.wait(timeout=poll_interval)
-            return self._last_write_time
+            return self._read_write_time()
 
     @property
     def last_write_time(self) -> float:
         with self._cond:
-            return self._last_write_time
+            return self._read_write_time()

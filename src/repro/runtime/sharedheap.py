@@ -1,0 +1,504 @@
+"""POSH-style shared-memory backing for cross-process PEs.
+
+The :class:`~repro.engine.process.ProcessEngine` runs every PE as a
+forked OS process; for one-sided RMA to stay a plain ``memcpy`` into
+the peer's heap (the POSH model — one symmetric heap per PE in real
+shared memory), all state that PEs mutate on each other must live in
+:mod:`multiprocessing.shared_memory` segments instead of process-local
+Python objects.  :class:`SharedHeap` owns exactly two segments:
+
+* the **data segment** — ``num_pes`` symmetric heaps back to back; each
+  PE's :class:`SharedPEMemory` is a NumPy view over its slice, so the
+  existing gather/scatter/strided fast paths of
+  :class:`~repro.runtime.memory.PEMemory` execute unchanged as
+  zero-copy cross-process writes;
+* the **control segment** — the scalar runtime state the in-process
+  engines keep in plain attributes: the abort flag, per-PE virtual
+  clocks and last-write timestamps, per-PE atomic word-time/sequence
+  tables, barrier episode state (keyed slots so lazily-created group
+  barriers resolve to the same slot in every process), and the network
+  model's per-node timeline accumulators.
+
+Cross-process blocking replaces condition variables with a
+polling/futex-style protocol: writers publish under the target's
+``multiprocessing.Lock`` and never notify; waiters re-check their
+predicate on a short sleep cadence (:class:`_SharedCond`).  Virtual
+time is untouched by this — polls cost wall clock only, which is why
+the process engine stays bit-identical to the threaded engine in
+simulated time.
+
+Segment lifetime: the creating process unlinks both segments when the
+heap is closed, garbage-collected, or the interpreter exits
+(``weakref.finalize``); forked children never unlink (guarded by the
+creator PID), so an aborted job cannot leak ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.runtime.memory import PEMemory
+from repro.sim.resources import Timeline, _chain_starts
+
+#: Linear-probe hash slots per PE for atomic word timestamps/sequences.
+#: Words under atomics are lock/event/counter cells — a handful per PE.
+WORD_SLOTS = 1024
+
+#: Keyed barrier-state slots shared by the job barrier and every lazily
+#: created group barrier (OpenSHMEM active sets).
+BARRIER_SLOTS = 256
+
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _fingerprint(key: tuple[int, ...]) -> int:
+    """Deterministic 63-bit FNV-1a over an int tuple; never 0.
+
+    Barrier slots are claimed lazily from *any* process, so the key must
+    hash identically everywhere — Python's ``hash`` is avoided on
+    principle (and strings are rejected outright: their hashes are
+    per-interpreter randomized).
+    """
+    h = 1469598103934665603
+    for v in key:
+        if not isinstance(v, int):
+            raise TypeError(f"barrier keys must be int tuples, got {v!r}")
+        h ^= (v + 0x9E3779B97F4A7C15) & _U64
+        h = (h * 1099511628211) & _U64
+    return (h & 0x7FFFFFFFFFFFFFFF) | 1
+
+
+class _SharedCond:
+    """Condition-variable stand-in over a ``multiprocessing.Lock``.
+
+    ``notify_all`` is a no-op — there is no cheap cross-process wakeup
+    without a real futex, so waiters poll: :meth:`wait` releases the
+    lock, naps briefly, and reacquires.  The nap is capped well below
+    the in-process poll interval because a missed wakeup here costs
+    latency on every ``wait_until``/``sync_images`` handoff.
+    """
+
+    __slots__ = ("_lock",)
+
+    #: Upper bound on one poll nap (seconds).
+    MAX_NAP_S = 0.0005
+
+    def __init__(self, lock) -> None:
+        self._lock = lock
+
+    def __enter__(self) -> "_SharedCond":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release()
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def notify_all(self) -> None:
+        pass
+
+    def wait(self, timeout: float | None = None) -> None:
+        self._lock.release()
+        try:
+            nap = self.MAX_NAP_S if timeout is None else min(timeout, self.MAX_NAP_S)
+            time.sleep(max(nap, 0.0))
+        finally:
+            self._lock.acquire()
+
+
+class SharedAbortEvent:
+    """``threading.Event``-shaped abort flag over a shared int64 slot.
+
+    Setting is a single aligned store and clearing never happens
+    mid-run, so no lock is needed: the flag is monotonic within a run.
+    """
+
+    __slots__ = ("_slot",)
+
+    def __init__(self, slot: np.ndarray) -> None:
+        self._slot = slot
+
+    def is_set(self) -> bool:
+        return bool(self._slot[0])
+
+    def set(self) -> None:
+        self._slot[0] = 1
+
+    def clear(self) -> None:
+        self._slot[0] = 0
+
+
+class SharedBarrierState:
+    """One barrier episode's state in the control segment.
+
+    Mirrors the in-process :class:`~repro.runtime.sync.VirtualBarrier`
+    arrival arithmetic exactly (same comparisons, same float adds) so
+    release times are bit-identical to the threaded engine.  All slots
+    update under one job-wide sync lock; waiters poll ``generation``
+    unlocked (a single aligned int64 read).
+    """
+
+    __slots__ = ("_gen", "_count", "_max", "_rel", "_lock")
+
+    def __init__(self, gen, count, max_arrival, release, lock) -> None:
+        self._gen = gen
+        self._count = count
+        self._max = max_arrival
+        self._rel = release
+        self._lock = lock
+
+    @property
+    def generation(self) -> int:
+        return int(self._gen[0])
+
+    @property
+    def release_time(self) -> float:
+        # Stable unlocked read: generation g's release time can only be
+        # overwritten after every PE departed g (same argument as the
+        # in-process barrier).
+        return float(self._rel[0])
+
+    def arrive(self, num_pes: int, now: float, cost: float) -> tuple[int, bool]:
+        with self._lock:
+            gen = int(self._gen[0])
+            if now > self._max[0]:
+                self._max[0] = now
+            self._count[0] += 1
+            released = int(self._count[0]) == num_pes
+            if released:
+                self._rel[0] = float(self._max[0]) + cost
+                self._count[0] = 0
+                self._max[0] = 0.0
+                self._gen[0] = gen + 1
+        return gen, released
+
+
+class SharedTimeline(Timeline):
+    """A :class:`~repro.sim.resources.Timeline` whose accumulators live
+    in the control segment, so NIC/CPU contention state is one FCFS
+    queue across all PE processes.
+
+    Replays the base class's float arithmetic operation for operation
+    (scalar ``max``/add, ``cumsum`` chains) under a
+    ``multiprocessing.Lock`` — required for the bit-identity oracle on
+    multi-node topologies where several processes share a node's
+    injection/reception engines.
+    """
+
+    __slots__ = ("_vals",)
+
+    def __init__(self, name: str, vals: np.ndarray, lock) -> None:
+        super().__init__(name)
+        self._vals = vals  # [next_free, busy_time, reservations]
+        self._lock = lock
+
+    def reserve(self, earliest: float, duration: float) -> tuple[float, float]:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        if earliest < 0:
+            raise ValueError("earliest must be non-negative")
+        with self._lock:
+            v = self._vals
+            start = max(earliest, float(v[0]))
+            end = start + duration
+            v[0] = end
+            v[1] = float(v[1]) + duration
+            v[2] += 1
+            return start, end
+
+    def reserve_batch(self, earliest: np.ndarray, duration: float) -> np.ndarray:
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        n = earliest.shape[0]
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        with self._lock:
+            v = self._vals
+            starts = _chain_starts(earliest, duration, float(v[0]))
+            v[0] = float(starts[-1] + duration)
+            busy = np.empty(n + 1, dtype=np.float64)
+            busy[0] = float(v[1])
+            busy[1:] = duration
+            v[1] = float(np.cumsum(busy)[-1])
+            v[2] += n
+            return starts
+
+    def push_batch(self, final_next_free: float, count: int, duration: float) -> None:
+        if count <= 0:
+            return
+        with self._lock:
+            v = self._vals
+            if final_next_free > float(v[0]):
+                v[0] = float(final_next_free)
+            busy = np.empty(count + 1, dtype=np.float64)
+            busy[0] = float(v[1])
+            busy[1:] = duration
+            v[1] = float(np.cumsum(busy)[-1])
+            v[2] += count
+
+    @property
+    def next_free(self) -> float:
+        with self._lock:
+            return float(self._vals[0])
+
+    @property
+    def busy_time(self) -> float:
+        with self._lock:
+            return float(self._vals[1])
+
+    @property
+    def reservations(self) -> int:
+        with self._lock:
+            return int(self._vals[2])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._vals[:] = 0
+
+
+class SharedPEMemory(PEMemory):
+    """A :class:`PEMemory` whose buffer and notification state live in
+    the shared heap; see the module docstring for the wait protocol."""
+
+    def __init__(
+        self,
+        nbytes: int,
+        *,
+        buf: np.ndarray,
+        lock,
+        lwt: np.ndarray,
+        word_keys: np.ndarray,
+        word_times: np.ndarray,
+        word_seqs: np.ndarray,
+    ) -> None:
+        # Stash the backing state first: the base __init__ calls the
+        # _make_buf/_make_cond hooks, which read these attributes.
+        self._shared_buf = buf
+        self._mp_lock = lock
+        self._lwt = lwt
+        self._wkeys = word_keys
+        self._wtimes = word_times
+        self._wseqs = word_seqs
+        super().__init__(nbytes)
+
+    # -- backing hooks --------------------------------------------------
+    def _make_buf(self, nbytes: int) -> np.ndarray:
+        return self._shared_buf
+
+    def _make_cond(self):
+        return _SharedCond(self._mp_lock)
+
+    def _note_write(self, timestamp: float) -> None:
+        if timestamp > self._lwt[0]:
+            self._lwt[0] = timestamp
+
+    def _read_write_time(self) -> float:
+        return float(self._lwt[0])
+
+    def _word_update(self, offset: int, timestamp: float) -> tuple[float, int]:
+        # Linear probe keyed by offset+1 (0 marks an empty slot); runs
+        # under the memory lock, so claim/update is race-free.
+        keys = self._wkeys
+        n = keys.shape[0]
+        key = offset + 1
+        i = (offset * 2654435761) % n
+        for _ in range(n):
+            cur = int(keys[i])
+            if cur == key:
+                break
+            if cur == 0:
+                keys[i] = key
+                break
+            i = (i + 1) % n
+        else:  # pragma: no cover - WORD_SLOTS distinct atomic words
+            raise RuntimeError(
+                f"shared atomic word table full ({n} slots); raise WORD_SLOTS"
+            )
+        prev_time = float(self._wtimes[i])
+        self._wtimes[i] = max(timestamp, prev_time)
+        seq = int(self._wseqs[i]) + 1
+        self._wseqs[i] = seq
+        return prev_time, seq
+
+
+def _unlink(data: shared_memory.SharedMemory,
+            ctrl: shared_memory.SharedMemory, owner_pid: int) -> None:
+    """Finalizer: close + unlink both segments, creator process only.
+
+    Forked children inherit the finalizer registration; the PID guard
+    keeps a child's exit from unlinking segments the parent still uses.
+    """
+    if os.getpid() != owner_pid:
+        return
+    for seg in (data, ctrl):
+        try:
+            seg.close()
+            seg.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - teardown best effort
+            pass
+
+
+class SharedHeap:
+    """Owner of the two shared segments and their carved-up views."""
+
+    def __init__(
+        self,
+        num_pes: int,
+        heap_bytes: int,
+        *,
+        num_timelines: int,
+        mp_context,
+        word_slots: int = WORD_SLOTS,
+        barrier_slots: int = BARRIER_SLOTS,
+    ) -> None:
+        if num_pes <= 0 or heap_bytes <= 0:
+            raise ValueError("num_pes and heap_bytes must be positive")
+        self.num_pes = num_pes
+        self.heap_bytes = heap_bytes
+        self._word_slots = word_slots
+        self._barrier_slots = barrier_slots
+        self._data = shared_memory.SharedMemory(
+            create=True, size=num_pes * heap_bytes
+        )
+        # Control layout, all 8-byte fields (offsets in slots):
+        #   abort[1] | clocks[P] | lwt[P] | word keys/times/seqs[P*W]
+        #   | barrier keys[B] + gen/count/max/rel[B] | timelines[T*3]
+        slots = (
+            1 + 2 * num_pes + 3 * num_pes * word_slots
+            + 5 * barrier_slots + 3 * num_timelines
+        )
+        self._ctrl = shared_memory.SharedMemory(create=True, size=8 * slots)
+        np.ndarray((slots,), dtype=np.int64, buffer=self._ctrl.buf)[:] = 0
+
+        def carve(n, dtype):
+            nonlocal off
+            a = np.ndarray((n,), dtype=dtype, buffer=self._ctrl.buf, offset=8 * off)
+            off += n
+            return a
+
+        off = 0
+        self._abort = carve(1, np.int64)
+        self._clocks = carve(num_pes, np.float64)
+        self._lwt = carve(num_pes, np.float64)
+        self._wkeys = carve(num_pes * word_slots, np.int64)
+        self._wtimes = carve(num_pes * word_slots, np.float64)
+        self._wseqs = carve(num_pes * word_slots, np.int64)
+        self._bkeys = carve(barrier_slots, np.int64)
+        self._bgen = carve(barrier_slots, np.int64)
+        self._bcount = carve(barrier_slots, np.int64)
+        self._bmax = carve(barrier_slots, np.float64)
+        self._brel = carve(barrier_slots, np.float64)
+        self._tvals = carve(3 * num_timelines, np.float64)
+
+        self._mem_locks = [mp_context.Lock() for _ in range(num_pes)]
+        self.sync_lock = mp_context.Lock()
+        self._timeline_locks = [mp_context.Lock() for _ in range(num_timelines)]
+        self._next_timeline = 0
+        self._owner_pid = os.getpid()
+        self.segment_names = (self._data.name, self._ctrl.name)
+        self._finalizer = weakref.finalize(
+            self, _unlink, self._data, self._ctrl, self._owner_pid
+        )
+
+    # ------------------------------------------------------------------
+    def memory(self, pe: int) -> SharedPEMemory:
+        w = self._word_slots
+        buf = np.ndarray(
+            (self.heap_bytes,), dtype=np.uint8, buffer=self._data.buf,
+            offset=pe * self.heap_bytes,
+        )
+        return SharedPEMemory(
+            self.heap_bytes,
+            buf=buf,
+            lock=self._mem_locks[pe],
+            lwt=self._lwt[pe : pe + 1],
+            word_keys=self._wkeys[pe * w : (pe + 1) * w],
+            word_times=self._wtimes[pe * w : (pe + 1) * w],
+            word_seqs=self._wseqs[pe * w : (pe + 1) * w],
+        )
+
+    def abort_event(self) -> SharedAbortEvent:
+        return SharedAbortEvent(self._abort)
+
+    def clock_slot(self, pe: int) -> np.ndarray:
+        return self._clocks[pe : pe + 1]
+
+    def clock_now(self, pe: int) -> float:
+        """Parent-side view of a PE's published virtual time."""
+        return float(self._clocks[pe])
+
+    def barrier_state(self, key: tuple[int, ...]) -> SharedBarrierState:
+        """Find-or-claim the barrier slot for ``key`` (any process).
+
+        Slots are claimed under the job sync lock and looked up by the
+        key's deterministic fingerprint, so processes creating the same
+        group in different orders still converge on one slot.
+        """
+        fp = _fingerprint(tuple(key))
+        n = self._barrier_slots
+        i = fp % n
+        with self.sync_lock:
+            for _ in range(n):
+                cur = int(self._bkeys[i])
+                if cur == fp:
+                    break
+                if cur == 0:
+                    self._bkeys[i] = fp
+                    break
+                i = (i + 1) % n
+            else:
+                raise RuntimeError(
+                    f"shared barrier table full ({n} slots); raise BARRIER_SLOTS"
+                )
+        return SharedBarrierState(
+            self._bgen[i : i + 1],
+            self._bcount[i : i + 1],
+            self._bmax[i : i + 1],
+            self._brel[i : i + 1],
+            self.sync_lock,
+        )
+
+    def timeline(self, name: str) -> SharedTimeline:
+        """Next timeline's shared accumulators (creation is pre-fork, in
+        the parent, in deterministic NetworkModel construction order)."""
+        if os.getpid() != self._owner_pid:
+            raise RuntimeError("shared timelines must be created pre-fork")
+        i = self._next_timeline
+        if i >= len(self._timeline_locks):
+            raise RuntimeError("shared heap sized for fewer timelines")
+        self._next_timeline = i + 1
+        return SharedTimeline(
+            name, self._tvals[3 * i : 3 * i + 3], self._timeline_locks[i]
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unlink both segments now (idempotent; creator process only)."""
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+
+__all__ = [
+    "BARRIER_SLOTS",
+    "WORD_SLOTS",
+    "SharedAbortEvent",
+    "SharedBarrierState",
+    "SharedHeap",
+    "SharedPEMemory",
+    "SharedTimeline",
+]

@@ -43,16 +43,29 @@ class VirtualBarrier:
 
     _ids = itertools.count(1)
 
-    def __init__(self, num_pes: int, *, aborted: Callable[[], bool]) -> None:
+    def __init__(
+        self,
+        num_pes: int,
+        *,
+        aborted: Callable[[], bool],
+        state: Any = None,
+    ) -> None:
         if num_pes <= 0:
             raise ValueError("num_pes must be positive")
         self.num_pes = num_pes
         self._aborted = aborted
-        self._cond = threading.Condition()
-        self._generation = 0
-        self._count = 0
-        self._max_arrival = 0.0
-        self._release_time = 0.0
+        #: Optional external episode state (cross-process engines back
+        #: it with shared-memory slots — see
+        #: :class:`repro.runtime.sharedheap.SharedBarrierState`); ``None``
+        #: keeps the historical in-process fields below, which the
+        #: threaded engine's ``barrier_wait`` reaches into directly.
+        self._shared = state
+        if state is None:
+            self._cond = threading.Condition()
+            self._generation = 0
+            self._count = 0
+            self._max_arrival = 0.0
+            self._release_time = 0.0
         #: Job-unique identity; with the generation number it names one
         #: barrier *episode* for the sanitizer's happens-before graph.
         self.sync_id = next(VirtualBarrier._ids)
@@ -60,6 +73,8 @@ class VirtualBarrier:
     @property
     def generation(self) -> int:
         """Current episode number (bumped at each release)."""
+        if self._shared is not None:
+            return self._shared.generation
         return self._generation
 
     def arrive(self, ctx: PEContext, cost: float = 0.0) -> tuple[int, bool]:
@@ -71,6 +86,8 @@ class VirtualBarrier:
         via the engine until the generation moves past theirs, then
         call :meth:`depart`.
         """
+        if self._shared is not None:
+            return self._shared.arrive(self.num_pes, ctx.clock.now, cost)
         with self._cond:
             gen = self._generation
             self._max_arrival = max(self._max_arrival, ctx.clock.now)
@@ -88,7 +105,10 @@ class VirtualBarrier:
         """Merge the episode's release time into ``ctx``'s clock and
         return it (see the class docstring for why the unlocked read
         is safe)."""
-        departure = self._release_time
+        if self._shared is not None:
+            departure = self._shared.release_time
+        else:
+            departure = self._release_time
         ctx.clock.merge(departure)
         return departure
 

@@ -158,7 +158,12 @@ def launch(
         job_kwargs["engine"] = engine
     job = Job(num_pes, machine, **job_kwargs)
     attach(job, profile)
-    return job.run(fn, args=args, kwargs=kwargs or {})
+    try:
+        return job.run(fn, args=args, kwargs=kwargs or {})
+    finally:
+        # One-shot job: release engine-held resources (shared-memory
+        # segments on engine="process") deterministically.
+        job.engine.cleanup()
 
 
 # ---------------------------------------------------------------------------

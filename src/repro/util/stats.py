@@ -22,13 +22,22 @@ class Summary:
         )
 
 
-def summarize(values: Sequence[float]) -> Summary:
-    """Mean/min/max/stddev of a non-empty sequence."""
+def summarize(values: Sequence[float], ddof: int = 0) -> Summary:
+    """Mean/min/max/stddev of a non-empty sequence.
+
+    ``ddof`` selects the stddev's delta degrees of freedom: the default
+    0 is the population stddev (divide by ``n``, the historical
+    behaviour — benchmark repeats are the whole population of interest);
+    pass 1 for the sample stddev (divide by ``n - 1``, Bessel's
+    correction) when the values are a sample of a larger population.
+    """
     if not values:
         raise ValueError("cannot summarize an empty sequence")
     n = len(values)
+    if not 0 <= ddof < n:
+        raise ValueError(f"ddof must be in [0, {n}) for {n} values, got {ddof}")
     mean = sum(values) / n
-    var = sum((v - mean) ** 2 for v in values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - ddof)
     return Summary(n=n, mean=mean, minimum=min(values), maximum=max(values), stddev=math.sqrt(var))
 
 
@@ -55,4 +64,6 @@ def speedup(baseline: float, improved: float) -> float:
 
 def percent_gain(baseline: float, improved: float) -> float:
     """Percentage time reduction of ``improved`` relative to ``baseline``."""
+    if improved <= 0 or baseline <= 0:
+        raise ValueError("times must be positive")
     return (baseline - improved) / baseline * 100.0

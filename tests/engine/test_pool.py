@@ -108,3 +108,74 @@ def test_worker_survives_task_exception():
     ev = threading.Event()
     pool.submit(ev.set)
     assert ev.wait(10.0)
+
+
+def test_failed_counter_counts_escaped_exceptions():
+    pool = WorkerPool()
+    assert pool.stats["failed"] == 0
+    for _ in range(3):
+        pool.submit(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    deadline = time.monotonic() + 10.0
+    while pool.stats["failed"] < 3 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert pool.stats["failed"] == 3
+    # The workers survived ordinary exceptions and stay usable.
+    ev = threading.Event()
+    pool.submit(ev.set)
+    assert ev.wait(10.0)
+
+
+def test_base_exception_is_reraised_not_swallowed():
+    """Regression: ``_worker`` used to eat ``BaseException`` bare, so a
+    ``KeyboardInterrupt`` delivered on a worker thread simply vanished.
+    It must now propagate off the worker (killing it) and be counted."""
+    pool = WorkerPool()
+    seen = []
+    orig_hook = threading.excepthook
+    threading.excepthook = lambda args: seen.append(args.exc_type)
+    try:
+        pool.submit(lambda: (_ for _ in ()).throw(KeyboardInterrupt()))
+        deadline = time.monotonic() + 10.0
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.01)
+    finally:
+        threading.excepthook = orig_hook
+    assert seen == [KeyboardInterrupt]
+    stats = pool.stats
+    assert stats["failed"] == 1
+    assert stats["workers"] == 0  # the dying worker took itself off the books
+    # The pool recovers: the next submission spawns a fresh worker.
+    ev = threading.Event()
+    pool.submit(ev.set)
+    assert ev.wait(10.0)
+
+
+def test_shared_pool_race_creates_exactly_one_pool(monkeypatch):
+    """Many first callers racing through ``shared_pool`` must all get
+    the same (single) pool instance."""
+    import repro.engine.pool as pool_mod
+
+    created = []
+    orig_init = WorkerPool.__init__
+
+    def counting_init(self, *a, **kw):
+        created.append(self)
+        orig_init(self, *a, **kw)
+
+    monkeypatch.setattr(pool_mod, "_pool", None)
+    monkeypatch.setattr(WorkerPool, "__init__", counting_init)
+    n = 16
+    start = threading.Barrier(n, timeout=10.0)
+    got = [None] * n
+
+    def caller(i):
+        start.wait()  # maximize the first-call race window
+        got[i] = pool_mod.shared_pool()
+
+    threads = [threading.Thread(target=caller, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert len(created) == 1
+    assert all(g is created[0] for g in got)

@@ -1,0 +1,219 @@
+"""The process engine: bit-identity to threaded, failure transport,
+segment lifetime, and feature guards.
+
+The process engine's correctness oracle is the threaded engine: on any
+workload whose threaded execution is schedule-independent, both engines
+must produce the same per-PE results, the same final virtual clocks,
+and the same trace digest — the arithmetic is unchanged, only the
+memory it runs against moved into shared segments.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import caf
+from repro.engine import EngineError, ProcessEngine, RemotePEFailure, resolve_engine
+from repro.explore import trace_digest
+from repro.runtime.context import current
+from repro.runtime.launcher import Job, JobFailure, run_spmd
+from repro.shmem import attach as shmem_attach
+from repro.trace.events import attach as trace_attach
+
+HEAP = 1 << 20
+
+
+def _ring_kernel():
+    import repro.shmem as sh
+
+    ctx = current()
+    me, n = sh.my_pe(), sh.num_pes()
+    src = sh.shmalloc_array(16, np.int64)
+    dst = sh.shmalloc_array(16, np.int64)
+    src.local[:] = me * 1000 + np.arange(16)
+    sh.barrier_all()
+    sh.put(dst, src.local, (me + 1) % n)
+    sh.barrier_all()
+    # Atomics reserve the node's shared AMO timeline, so exactly one PE
+    # is active per phase — concurrent atomics would resolve contention
+    # in (schedule-dependent) arrival order on any engine.
+    flag = sh.shmalloc_array(1, np.int64)
+    for active in range(n):
+        if me == active:
+            sh.atomic_fadd(flag, me + 1, (me + 1) % n)
+        sh.barrier_all()
+    return (ctx.clock.now, int(dst.local.sum()), int(flag.local[0]))
+
+
+def _run_ring(engine, num_pes=4):
+    job = Job(num_pes, heap_bytes=HEAP, engine=engine)
+    shmem_attach(job)
+    tracer = trace_attach(job)
+    results = job.run(_ring_kernel)
+    return results, trace_digest(tracer)
+
+
+def test_bit_identity_ring_puts_and_atomics():
+    threaded = _run_ring(None)
+    process = _run_ring("process")
+    assert process == threaded
+
+
+def test_bit_identity_section_assignment_multinode():
+    """A strided coarray section put across nodes (exercises the shared
+    NIC timelines) must match threaded bit-for-bit."""
+
+    def kernel():
+        ctx = current()
+        a = caf.coarray((20, 16), np.float32)
+        a[...] = 0
+        caf.sync_all()
+        partner = caf.this_image() % caf.num_images() + 1
+        a.on(partner)[0:20:2, 0:16:4] = float(caf.this_image())
+        caf.sync_all()
+        return ctx.clock.now, float(a.local.sum())
+
+    def run(engine):
+        # 18 images on stampede (16 cores/node) spans two nodes.
+        return caf.launch(kernel, 18, "stampede", heap_bytes=HEAP, engine=engine)
+
+    assert run("process") == run(None)
+
+
+def test_results_cross_the_process_boundary():
+    results = run_spmd(lambda: current().pe * 2, 4, engine="process")
+    assert results == [0, 2, 4, 6]
+
+
+def test_picklable_failure_keeps_its_type():
+    def crash():
+        import repro.shmem as sh
+
+        if sh.my_pe() == 1:
+            raise ValueError("boom from PE 1")
+        sh.barrier_all()
+
+    job = Job(4, heap_bytes=HEAP, engine="process")
+    shmem_attach(job)
+    with pytest.raises(JobFailure) as ei:
+        job.run(crash)
+    assert ei.value.pe == 1
+    assert isinstance(ei.value.failures[0][1], ValueError)
+    assert isinstance(ei.value.__cause__, ValueError)
+
+
+def test_unpicklable_failure_wrapped_with_traceback():
+    class Unpicklable(RuntimeError):
+        def __init__(self, fh):
+            super().__init__("cannot pickle me")
+            self.fh = fh  # an open file handle never pickles
+
+    def crash():
+        import repro.shmem as sh
+
+        if sh.my_pe() == 0:
+            with open(os.devnull) as fh:
+                raise Unpicklable(fh)
+        sh.barrier_all()
+
+    job = Job(2, heap_bytes=HEAP, engine="process")
+    shmem_attach(job)
+    with pytest.raises(JobFailure) as ei:
+        job.run(crash)
+    exc = ei.value.failures[0][1]
+    assert isinstance(exc, RemotePEFailure)
+    assert "Unpicklable" in str(exc)
+    assert "cannot pickle me" in str(exc)
+
+
+def test_child_death_without_report_becomes_failure():
+    def die():
+        import repro.shmem as sh
+
+        if sh.my_pe() == 1:
+            os._exit(17)  # no payload, no exception — just gone
+        sh.barrier_all()
+
+    job = Job(3, heap_bytes=HEAP, engine="process")
+    shmem_attach(job)
+    with pytest.raises(JobFailure) as ei:
+        job.run(die)
+    assert ei.value.pe == 1
+    assert isinstance(ei.value.failures[0][1], RemotePEFailure)
+    assert "died" in str(ei.value.failures[0][1])
+
+
+def test_segments_unlinked_after_failed_run():
+    """Satellite 6's no-leak requirement: a failed (aborted) run must
+    unlink its /dev/shm segments eagerly, not wait for GC."""
+    job = Job(2, heap_bytes=HEAP, engine="process")
+    shmem_attach(job)
+    names = job.engine._heap.segment_names
+    for name in names:
+        assert os.path.exists(f"/dev/shm/{name}")
+    with pytest.raises(JobFailure):
+        job.run(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    assert job.engine._heap.closed
+    for name in names:
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_segments_unlinked_on_engine_cleanup():
+    job = Job(2, heap_bytes=HEAP, engine="process")
+    names = job.engine._heap.segment_names
+    job.engine.cleanup()
+    for name in names:
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_one_shot_launch_releases_segments_immediately():
+    """A successful one-shot launch (``run_spmd``/``caf.launch``/
+    ``shmem.launch``) must unlink its /dev/shm segments as soon as it
+    returns — deterministically, not whenever GC collects the job."""
+    before = {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    run_spmd(lambda: current().pe, 2, heap_bytes=HEAP, engine="process")
+    caf.launch(lambda: caf.this_image(), 2, heap_bytes=HEAP, engine="process")
+    import repro.shmem as sh
+
+    sh.launch(lambda: sh.my_pe(), 2, heap_bytes=HEAP, engine="process")
+    after = {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    assert after <= before  # no new segments survive the launches
+
+
+def test_teams_raise_on_process_engine():
+    def body():
+        return caf.form_team(1)
+
+    with pytest.raises(JobFailure) as ei:
+        caf.launch(body, 2, heap_bytes=HEAP, engine="process")
+    assert "team" in str(ei.value.__cause__).lower()
+
+
+def test_group_collective_agreement_raises():
+    from repro.engine.process import _GroupCollectivesUnsupported
+
+    state = _GroupCollectivesUnsupported(2, aborted=lambda: False)
+    with pytest.raises(EngineError, match="subset collective"):
+        state.agree(None, "fp", lambda: 1)
+
+
+def test_resolve_engine_process():
+    eng = resolve_engine("process")
+    assert isinstance(eng, ProcessEngine)
+    assert eng.cross_process
+    with pytest.raises(ValueError, match="scheduler"):
+        resolve_engine("process", scheduler=object())
+
+
+def test_max_pes_ceiling():
+    with pytest.raises(ValueError, match=r"\[1, 64\]"):
+        Job(65, heap_bytes=HEAP, engine="process")
+
+
+def test_remote_pe_failure_pickles():
+    exc = RemotePEFailure("PE 3 process died without reporting a result")
+    clone = pickle.loads(pickle.dumps(exc))
+    assert isinstance(clone, RemotePEFailure)
+    assert str(clone) == str(exc)

@@ -83,6 +83,74 @@ def test_write_at_wakes_waiters():
 
 
 # ---------------------------------------------------------------------------
+# Aligned-view fast path at the ragged tail: heaps whose nbytes is not a
+# multiple of elem_size must view only the usable prefix, and offsets
+# touching the last usable element must round-trip exactly.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("elem_size", [2, 4, 8])
+@pytest.mark.parametrize("aligned", [None, True])
+def test_ragged_tail_last_usable_element(elem_size, aligned):
+    """``nbytes % elem_size != 0``: the aligned view must cover exactly
+    the usable prefix, and the last usable element must be writable and
+    readable whether alignment is inferred (None) or asserted (True)."""
+    nbytes = 131  # 131 % 2 == 1, % 4 == 3, % 8 == 3 — always ragged
+    assert nbytes % elem_size != 0
+    mem = PEMemory(nbytes)
+    usable = nbytes - nbytes % elem_size
+    last = usable - elem_size  # aligned offset of the last usable element
+    offsets = np.array([0, last], dtype=np.int64)
+    payload = np.arange(2 * elem_size, dtype=np.uint8) + 1
+    mem.write_at(offsets, elem_size, payload, timestamp=1.0, aligned=aligned)
+    got = mem.read_at(offsets, elem_size, aligned=aligned)
+    assert np.array_equal(got, payload)
+    # The bytes landed exactly where per-element writes would put them.
+    assert np.array_equal(mem.local_view(last, elem_size), payload[elem_size:])
+    # The ragged tail bytes beyond `usable` were never touched.
+    assert not mem.local_view(usable, nbytes - usable).any()
+
+
+@pytest.mark.parametrize("elem_size", [2, 4, 8])
+def test_ragged_tail_matches_per_element_writes(elem_size):
+    """Fast path vs write() oracle on a ragged heap, random aligned
+    offsets including the last usable element."""
+    nbytes = 1021  # prime: ragged for every elem_size of interest
+    rng = np.random.default_rng(nbytes * elem_size)
+    a, b = PEMemory(nbytes), PEMemory(nbytes)
+    usable = nbytes - nbytes % elem_size
+    pool = np.arange(0, usable, elem_size, dtype=np.int64)
+    offsets = rng.choice(pool, 17, replace=False)
+    offsets[0] = usable - elem_size  # always exercise the tail element
+    payload = rng.integers(0, 256, offsets.size * elem_size, dtype=np.uint8)
+    for i, off in enumerate(offsets):
+        a.write(int(off), payload[i * elem_size : (i + 1) * elem_size], timestamp=2.0)
+    b.write_at(offsets, elem_size, payload, timestamp=2.0, aligned=True)
+    assert np.array_equal(a.local_view(0, nbytes), b.local_view(0, nbytes))
+    assert np.array_equal(b.read_at(offsets, elem_size, aligned=True), payload)
+    # Inferred alignment must pick the same fast path and same bytes.
+    c = PEMemory(nbytes)
+    c.write_at(offsets, elem_size, payload, timestamp=2.0)
+    assert np.array_equal(a.local_view(0, nbytes), c.local_view(0, nbytes))
+
+
+@pytest.mark.parametrize("elem_size", [2, 4, 8])
+def test_ragged_tail_rejects_escape_into_tail(elem_size):
+    """An element that would start past the last usable slot (overlapping
+    the ragged tail) must be rejected by the bounds check, not silently
+    clipped by the usable-prefix view."""
+    nbytes = 131  # ragged for elem sizes 2/4/8
+    assert nbytes % elem_size != 0
+    mem = PEMemory(nbytes)
+    usable = nbytes - nbytes % elem_size
+    bad = np.array([usable], dtype=np.int64)  # starts inside the tail
+    with pytest.raises(IndexError):
+        mem.write_at(bad, elem_size, np.zeros(elem_size, np.uint8), 0.0)
+    with pytest.raises(IndexError):
+        mem.read_at(bad, elem_size)
+
+
+# ---------------------------------------------------------------------------
 # Strided paths: arithmetic bounds + as_strided fast path equivalence
 # ---------------------------------------------------------------------------
 

@@ -42,6 +42,32 @@ def test_speedup_and_gain():
         speedup(0.0, 1.0)
 
 
+def test_percent_gain_rejects_nonpositive_times():
+    # Regression: baseline == 0 used to divide by zero instead of
+    # getting the same validation speedup has.
+    with pytest.raises(ValueError):
+        percent_gain(0.0, 1.0)
+    with pytest.raises(ValueError):
+        percent_gain(1.0, 0.0)
+    with pytest.raises(ValueError):
+        percent_gain(-2.0, 1.0)
+
+
+def test_summarize_ddof():
+    values = [1.0, 2.0, 3.0]
+    # Default stays the historical population stddev (ddof=0).
+    assert summarize(values).stddev == pytest.approx(math.sqrt(2 / 3))
+    assert summarize(values, ddof=0).stddev == pytest.approx(math.sqrt(2 / 3))
+    # Bessel's correction: sample variance of [1,2,3] is exactly 1.
+    assert summarize(values, ddof=1).stddev == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        summarize(values, ddof=3)
+    with pytest.raises(ValueError):
+        summarize(values, ddof=-1)
+    with pytest.raises(ValueError):
+        summarize([5.0], ddof=1)
+
+
 @given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=30))
 def test_geomean_between_min_and_max(values):
     g = geomean(values)
