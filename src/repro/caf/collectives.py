@@ -5,14 +5,23 @@ argument, combining corresponding elements across the images of the
 *current team* in place.  Following the paper's footnote — *"In UHCAF,
 we implement CAF reductions and broadcasts using 1-sided communication
 and remote atomics available in OpenSHMEM"* — these are built from
-scratch coarray buffers plus one-sided get/put in a binomial tree, not
-from the layer's native collectives, so they work identically over
-every backend (GASNet has no reduction primitive) and inside teams.
+1-sided communication over scratch symmetric buffers, not from the
+layer's native collectives, so they work identically over every backend
+(GASNet has no reduction primitive) and inside teams.
+
+The heavy lifting lives in :mod:`repro.collectives`: the runtime maps
+the current team onto a :class:`~repro.collectives.comm.TeamComm` and
+the algorithm (binomial tree, recursive doubling, ring, hierarchical
+two-level, or flat linear) is chosen per call by the topology-aware
+cost model — or forced via ``REPRO_COLLECTIVE``.  On ``engine='process'``
+the runtime falls back to the historical barrier-synchronized binomial
+tree: the library's shared comm state (like CAF teams themselves) lives
+in genuinely shared Python objects.
 
 ``co_sum(a)`` leaves the result on every image; ``co_sum(a,
 result_image=j)`` only guarantees it on image ``j`` (other images'
 arrays become undefined per the standard — here they keep the partial
-tree values, which tests treat as unspecified).
+reduction values, which tests treat as unspecified).
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from typing import Callable
 import numpy as np
 
 from repro.caf.runtime import CafRuntime
+from repro.collectives import team_broadcast, team_reduce
 from repro.runtime.context import current
 
 _NAMED_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
@@ -32,20 +42,35 @@ _NAMED_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
 }
 
 
-def _tree_reduce(
+def _check_array(arr) -> None:
+    if not isinstance(arr, np.ndarray):
+        raise TypeError("CAF collectives operate on NumPy arrays in place")
+
+
+def _use_direct(rt: CafRuntime) -> bool:
+    return bool(getattr(rt.job.engine, "cross_process", False))
+
+
+def _team_root_rank(rt: CafRuntime, image: int) -> int:
+    """Team rank of a 1-based (team-relative) image number."""
+    root_pe = rt.image_to_pe(image)
+    team = rt.current_team()
+    if team is None:
+        return root_pe
+    return team.rank_of(root_pe)
+
+
+def _tree_reduce_direct(
     rt: CafRuntime,
     arr: np.ndarray,
     op: Callable[[np.ndarray, np.ndarray], np.ndarray],
     result_image: int | None,
 ) -> None:
-    """In-place binomial-tree reduction of ``arr`` across the current
-    team's images (ranks are positions within the team)."""
-    if not isinstance(arr, np.ndarray):
-        raise TypeError("CAF collectives operate on NumPy arrays in place")
+    """Barrier-synchronized binomial reduction (process-engine path)."""
     ctx = current()
     pes = rt.team_pes()
     n = len(pes)
-    rank = pes.index(ctx.pe)
+    rank = rt.team_rank_of(ctx.pe)
     scratch = rt.alloc_symmetric((max(arr.size, 1),), arr.dtype)
     try:
         scratch.local.reshape(-1)[: arr.size] = arr.reshape(-1)
@@ -73,7 +98,7 @@ def _tree_reduce(
             arr.reshape(-1)[:] = scratch.local.reshape(-1)[: arr.size]
         else:
             root_pe = rt.image_to_pe(result_image)
-            root_rank = pes.index(root_pe)
+            root_rank = rt.team_rank_of(root_pe)
             if root_rank != 0 and rank == 0:
                 rt.layer.put(scratch, scratch.local.reshape(-1)[: arr.size], root_pe)
             rt.barrier()
@@ -85,38 +110,13 @@ def _tree_reduce(
         rt.free_symmetric(scratch)
 
 
-def co_reduce(
-    rt: CafRuntime,
-    arr: np.ndarray,
-    op: Callable[[np.ndarray, np.ndarray], np.ndarray],
-    result_image: int | None = None,
-) -> None:
-    """``co_reduce``: reduce with a user binary operation (elementwise,
-    must be associative and commutative)."""
-    _tree_reduce(rt, arr, op, result_image)
-
-
-def co_named(
-    rt: CafRuntime, arr: np.ndarray, name: str, result_image: int | None = None
-) -> None:
-    """``co_sum``/``co_min``/``co_max``/``co_prod`` by name."""
-    try:
-        op = _NAMED_OPS[name]
-    except KeyError:
-        raise ValueError(f"unknown collective {name!r}; expected {sorted(_NAMED_OPS)}") from None
-    _tree_reduce(rt, arr, op, result_image)
-
-
-def co_broadcast(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
-    """``co_broadcast``: replace ``arr`` on every team image with
-    ``source_image``'s value (binomial tree of 1-sided puts)."""
-    if not isinstance(arr, np.ndarray):
-        raise TypeError("CAF collectives operate on NumPy arrays in place")
+def _bcast_direct(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
+    """Barrier-synchronized binomial broadcast (process-engine path)."""
     ctx = current()
     pes = rt.team_pes()
     n = len(pes)
-    rank = pes.index(ctx.pe)
-    root_rank = pes.index(rt.image_to_pe(source_image))
+    rank = rt.team_rank_of(ctx.pe)
+    root_rank = rt.team_rank_of(rt.image_to_pe(source_image))
     scratch = rt.alloc_symmetric((max(arr.size, 1),), arr.dtype)
     try:
         if rank == root_rank:
@@ -137,3 +137,68 @@ def co_broadcast(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
         rt.barrier()
     finally:
         rt.free_symmetric(scratch)
+
+
+def _reduce(
+    rt: CafRuntime,
+    arr: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    result_image: int | None,
+) -> None:
+    _check_array(arr)
+    pes = rt.team_pes()
+    if arr.size == 0 or len(pes) == 1:
+        # Zero-size arrays and one-image teams combine nothing: no
+        # scratch, no synchronization (``sync all`` still orders program
+        # segments if the caller wants that).
+        return
+    if _use_direct(rt):
+        _tree_reduce_direct(rt, arr, op, result_image)
+        return
+    if result_image is None:
+        res = team_reduce(rt.layer, pes, arr, op)
+    else:
+        res = team_reduce(
+            rt.layer, pes, arr, op,
+            root_rank=_team_root_rank(rt, result_image), broadcast=False,
+        )
+    # Non-result images receive their partial values (unspecified per
+    # the standard); the result image receives the full reduction.
+    arr.reshape(-1)[:] = res
+
+
+def co_reduce(
+    rt: CafRuntime,
+    arr: np.ndarray,
+    op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    result_image: int | None = None,
+) -> None:
+    """``co_reduce``: reduce with a user binary operation (elementwise,
+    must be associative and commutative)."""
+    _reduce(rt, arr, op, result_image)
+
+
+def co_named(
+    rt: CafRuntime, arr: np.ndarray, name: str, result_image: int | None = None
+) -> None:
+    """``co_sum``/``co_min``/``co_max``/``co_prod`` by name."""
+    try:
+        op = _NAMED_OPS[name]
+    except KeyError:
+        raise ValueError(f"unknown collective {name!r}; expected {sorted(_NAMED_OPS)}") from None
+    _reduce(rt, arr, op, result_image)
+
+
+def co_broadcast(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
+    """``co_broadcast``: replace ``arr`` on every team image with
+    ``source_image``'s value."""
+    _check_array(arr)
+    pes = rt.team_pes()
+    root_rank = _team_root_rank(rt, source_image)  # validates source_image
+    if arr.size == 0 or len(pes) == 1:
+        return
+    if _use_direct(rt):
+        _bcast_direct(rt, arr, source_image)
+        return
+    res = team_broadcast(rt.layer, pes, arr, root_rank=root_rank)
+    arr.reshape(-1)[:] = res

@@ -38,18 +38,25 @@ class Team:
         self.runtime = runtime
         self.team_number = team_number
         self.member_pes = member_pes
+        # pe -> 0-based team rank, cached once: membership lookups are
+        # on every collective's hot path (no linear member scans).
+        self._rank_of = {pe: r for r, pe in enumerate(member_pes)}
         self.group: "_GroupSync" = runtime.job.groups.get(member_pes)
 
     @property
     def num_images(self) -> int:
         return len(self.member_pes)
 
+    def rank_of(self, pe: int) -> int:
+        """0-based team rank of an absolute PE."""
+        try:
+            return self._rank_of[pe]
+        except KeyError:
+            raise CafError(f"PE {pe} is not a member of team {self.team_number}") from None
+
     def team_image_of(self, pe: int) -> int:
         """1-based team image index of an absolute PE."""
-        try:
-            return self.member_pes.index(pe) + 1
-        except ValueError:
-            raise CafError(f"PE {pe} is not a member of team {self.team_number}") from None
+        return self.rank_of(pe) + 1
 
     def pe_of(self, team_image: int) -> int:
         """Absolute PE of a 1-based team image index."""

@@ -291,8 +291,16 @@ class OneSidedLayer:
     # ------------------------------------------------------------------
     # Contiguous RMA
     # ------------------------------------------------------------------
-    def put(self, dest: SymmetricArray, value, pe: int, offset: int = 0) -> None:
-        """Contiguous put; returns after local completion."""
+    def put(self, dest: SymmetricArray, value, pe: int, offset: int = 0,
+            *, uncontended: bool = False) -> None:
+        """Contiguous put; returns after local completion.
+
+        ``uncontended=True`` prices through the closed-form idle-lane
+        model (:meth:`NetworkModel.put_uncontended`) instead of the
+        contended per-node timelines — used by the collective library,
+        whose algorithms schedule their own traffic and whose virtual
+        times must be schedule-independent.
+        """
         self._check_pe(pe)
         data = self._coerce(dest, value)
         dest.check_span(offset, data.size)
@@ -301,7 +309,12 @@ class OneSidedLayer:
         ctx = current()
         self._decide(ctx, "put", pe)
         t_start = ctx.clock.now
-        if self.vectorized:
+        if uncontended:
+            def price(now, _n=data.nbytes):
+                return self.job.network.put_uncontended(
+                    ctx.pe, pe, _n, self.profile, now
+                )
+        elif self.vectorized:
             key = ("p", ctx.pe, pe, data.nbytes)
             price = self._pricers.get(key)
             if price is None:
@@ -340,8 +353,12 @@ class OneSidedLayer:
                 addr=addr, footprint=fp,
             )
 
-    def get(self, src: SymmetricArray, nelems: int, pe: int, offset: int = 0) -> np.ndarray:
-        """Blocking contiguous get; returns the fetched elements."""
+    def get(self, src: SymmetricArray, nelems: int, pe: int, offset: int = 0,
+            *, uncontended: bool = False) -> np.ndarray:
+        """Blocking contiguous get; returns the fetched elements.
+
+        ``uncontended`` as in :meth:`put`.
+        """
         self._check_pe(pe)
         src.check_span(offset, nelems)
         if nelems == 0:
@@ -350,7 +367,12 @@ class OneSidedLayer:
         self._decide(ctx, "get", pe)
         nbytes = nelems * src.itemsize
         t_start = ctx.clock.now
-        if self.vectorized:
+        if uncontended:
+            def price(now, _n=nbytes):
+                return self.job.network.get_uncontended(
+                    ctx.pe, pe, _n, self.profile, now
+                )
+        elif self.vectorized:
             key = ("g", ctx.pe, pe, nbytes)
             price = self._pricers.get(key)
             if price is None:
@@ -777,24 +799,28 @@ class OneSidedLayer:
         if tracer is not None and tracer.capture_sync:
             tracer.record(ctx.pe, "fence", -1, 0, t_start, ctx.clock.now)
 
-    def _barrier_arrive(self, ctx) -> tuple[float, int, bool]:
+    def _barrier_arrive(self, ctx, barrier=None, npes: int | None = None) -> tuple[float, int, bool]:
         """Arrival half of :meth:`barrier_all`: collective jitter,
         quiet, then barrier bookkeeping.  Returns ``(t_start,
         generation, released)``; non-released callers must park via the
         engine before :meth:`_barrier_depart` (the event engine parks
         the continuation of a :class:`~repro.engine.steps.BarrierStep`
-        here)."""
+        here).  ``barrier``/``npes`` select a team-scoped barrier; the
+        default is the job-wide barrier over all PEs."""
         t_start = ctx.clock.now
         self._jitter(ctx, self, "barrier")
         self.quiet()
-        cost = self.job.network.barrier_cost(self.job.num_pes, self.profile)
-        gen, released = self.job.barrier.arrive(ctx, cost)
+        if barrier is None:
+            barrier = self.job.barrier
+            npes = self.job.num_pes
+        cost = self.job.network.barrier_cost(npes, self.profile)
+        gen, released = barrier.arrive(ctx, cost)
         return t_start, gen, released
 
-    def _barrier_depart(self, ctx, t_start: float, gen: int) -> None:
+    def _barrier_depart(self, ctx, t_start: float, gen: int, barrier=None) -> None:
         """Departure half of :meth:`barrier_all`: merge the episode's
         release time and trace the barrier record."""
-        bar = self.job.barrier
+        bar = self.job.barrier if barrier is None else barrier
         bar.depart(ctx, gen)
         tracer = self.job.tracer
         if tracer is not None:
@@ -811,11 +837,27 @@ class OneSidedLayer:
             self.engine.barrier_wait(ctx, self.job.barrier, gen)
         self._barrier_depart(ctx, t_start, gen)
 
+    def team_barrier(self, barrier, npes: int) -> None:
+        """Quiet + dissemination barrier over a team's ``npes`` members.
+
+        ``barrier`` is the team's shared
+        :class:`~repro.runtime.sync.VirtualBarrier` (every member must
+        pass the same instance).  Blocking form; step programs use
+        :class:`~repro.engine.steps.BarrierStep` with
+        ``barrier=``/``npes=`` instead.
+        """
+        ctx = current()
+        t_start, gen, released = self._barrier_arrive(ctx, barrier, npes)
+        if not released:
+            self.engine.barrier_wait(ctx, barrier, gen)
+        self._barrier_depart(ctx, t_start, gen, barrier)
+
     # ------------------------------------------------------------------
     # 8-byte atomics
     # ------------------------------------------------------------------
     def atomic(
-        self, target: SymmetricArray, pe: int, offset: int, op: str, *operands
+        self, target: SymmetricArray, pe: int, offset: int, op: str, *operands,
+        uncontended: bool = False,
     ) -> np.generic | None:
         """Execute an 8-byte atomic on ``target[offset]`` at ``pe``.
 
@@ -823,6 +865,8 @@ class OneSidedLayer:
         ``set``, ``and``, ``or``, ``xor``; returns the old value.
         Pricing depends on the profile: NIC atomic unit when offloaded,
         active-message round trip through the target CPU otherwise.
+        ``uncontended`` as in :meth:`put` (the causality lift on the
+        word's previous timestamp still applies — it is deterministic).
         """
         self._check_pe(pe)
         target.check_span(offset, 1)
@@ -837,7 +881,14 @@ class OneSidedLayer:
         # not write-buffered): they execute at the chosen step.
         self._decide(ctx, "atomic", pe)
         t_start = ctx.clock.now
-        if self.vectorized:
+        if uncontended:
+            proc = back = None
+
+            def price(now):
+                return self.job.network.amo_uncontended(
+                    ctx.pe, pe, self.profile, now
+                )
+        elif self.vectorized:
             key = ("a", ctx.pe, pe)
             entry = self._pricers.get(key)
             if entry is None:
@@ -956,9 +1007,10 @@ class OneSidedLayer:
     # ------------------------------------------------------------------
     def _wait_probe(self, ivar: SymmetricArray, cmp: str, value, offset: int = 0):
         """Validate a wait target and build its polling predicate;
-        returns ``(mem, predicate)``.  Shared by :meth:`wait_until` and
-        the event engine's :class:`~repro.engine.steps.WaitStep`
-        handler so both poll identical logic."""
+        returns ``(mem, predicate, elem_offset)``.  Shared by
+        :meth:`wait_until` and the event engine's
+        :class:`~repro.engine.steps.WaitStep` handler so both poll
+        identical logic."""
         ivar.check_span(offset, 1)
         op = comparator(cmp)
         ctx = current()
@@ -969,15 +1021,28 @@ class OneSidedLayer:
         def predicate() -> bool:
             return bool(op(mem.read_scalar(elem_offset, ivar.dtype), target_value))
 
-        return mem, predicate
+        return mem, predicate, elem_offset
 
-    def wait_until(self, ivar: SymmetricArray, cmp: str, value, offset: int = 0) -> None:
+    def wait_until(
+        self, ivar: SymmetricArray, cmp: str, value, offset: int = 0,
+        *, word: bool = False,
+    ) -> None:
         """Block until local ``ivar[offset] <cmp> value`` holds; merges
-        the satisfying write's virtual timestamp into the clock."""
+        the satisfying write's virtual timestamp into the clock.
+
+        ``word=True`` merges the awaited word's own atomic timestamp
+        instead of the memory-global last-write time.  That makes the
+        merged clock independent of unordered writes to *other* words
+        landing first, but is only sound when the protocol guarantees
+        strict post/consume alternation on this word (one outstanding
+        post per channel — the collective library's discipline).
+        """
         ctx = current()
-        mem, predicate = self._wait_probe(ivar, cmp, value, offset)
+        mem, predicate, elem_offset = self._wait_probe(ivar, cmp, value, offset)
         ts = self.engine.wait_value(
             ctx, mem, predicate,
-            f"wait_until(offset={ivar.element_offset(offset)}, {cmp} {value!r})",
+            f"wait_until(offset={elem_offset}, {cmp} {value!r})",
         )
+        if word:
+            ts = mem.word_time(elem_offset)
         ctx.clock.merge(ts)

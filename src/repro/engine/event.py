@@ -56,27 +56,34 @@ class EventDeadlock(EngineError):
 class _Parked:
     """A PE parked at a barrier (waiting for its generation's release)."""
 
-    __slots__ = ("pe", "ctx", "layer", "t_start", "cont")
+    __slots__ = ("pe", "ctx", "layer", "t_start", "cont", "barrier")
 
-    def __init__(self, pe, ctx, layer, t_start, cont) -> None:
+    def __init__(self, pe, ctx, layer, t_start, cont, barrier) -> None:
         self.pe = pe
         self.ctx = ctx
         self.layer = layer
         self.t_start = t_start
         self.cont = cont
+        self.barrier = barrier
 
 
 class _Waiter:
-    """A PE parked on a local-value predicate (WaitStep)."""
+    """A PE parked on a local-value predicate (WaitStep).
 
-    __slots__ = ("pe", "ctx", "mem", "predicate", "cont")
+    ``word_offset`` is ``None`` for memory-global time merges, or the
+    element offset whose per-word atomic timestamp to merge instead
+    (``WaitStep(word=True)``).
+    """
 
-    def __init__(self, pe, ctx, mem, predicate, cont) -> None:
+    __slots__ = ("pe", "ctx", "mem", "predicate", "cont", "word_offset")
+
+    def __init__(self, pe, ctx, mem, predicate, cont, word_offset) -> None:
         self.pe = pe
         self.ctx = ctx
         self.mem = mem
         self.predicate = predicate
         self.cont = cont
+        self.word_offset = word_offset
 
 
 class EventEngine(Engine):
@@ -138,7 +145,10 @@ class EventEngine(Engine):
             for w in waiters:
                 if w.predicate():
                     # Same merge a woken thread performs in wait_until.
-                    w.ctx.clock.merge(w.mem.last_write_time)
+                    if w.word_offset is None:
+                        w.ctx.clock.merge(w.mem.last_write_time)
+                    else:
+                        w.ctx.clock.merge(w.mem.word_time(w.word_offset))
                     schedule(w.pe, w.cont, w.ctx.clock.now)
                 else:
                     still.append(w)
@@ -156,30 +166,40 @@ class EventEngine(Engine):
                     return
                 if cls is BarrierStep:
                     layer = step.layer
-                    bar = layer.job.barrier
-                    t_start, gen, released = layer._barrier_arrive(ctx)
+                    bar = step.barrier
+                    if bar is None:
+                        bar = layer.job.barrier
+                    t_start, gen, released = layer._barrier_arrive(
+                        ctx, step.barrier, step.npes
+                    )
                     if not released:
                         parked.setdefault((bar.sync_id, gen), []).append(
-                            _Parked(pe, ctx, layer, t_start, step.cont)
+                            _Parked(pe, ctx, layer, t_start, step.cont, bar)
                         )
                         return
-                    layer._barrier_depart(ctx, t_start, gen)
+                    layer._barrier_depart(ctx, t_start, gen, bar)
                     schedule(pe, step.cont, ctx.clock.now)
                     for p in parked.pop((bar.sync_id, gen), ()):
                         set_current(p.ctx)
-                        p.layer._barrier_depart(p.ctx, p.t_start, gen)
+                        p.layer._barrier_depart(p.ctx, p.t_start, gen, p.barrier)
                         schedule(p.pe, p.cont, p.ctx.clock.now)
                     set_current(ctx)
                     return
                 if cls is WaitStep:
-                    mem, predicate = step.layer._wait_probe(
+                    mem, predicate, elem_offset = step.layer._wait_probe(
                         step.ivar, step.cmp, step.value, step.offset
                     )
                     if predicate():
-                        ctx.clock.merge(mem.last_write_time)
+                        if step.word:
+                            ctx.clock.merge(mem.word_time(elem_offset))
+                        else:
+                            ctx.clock.merge(mem.last_write_time)
                         step = step.cont()  # continue in this slice
                         continue
-                    waiters.append(_Waiter(pe, ctx, mem, predicate, step.cont))
+                    waiters.append(_Waiter(
+                        pe, ctx, mem, predicate, step.cont,
+                        elem_offset if step.word else None,
+                    ))
                     return
                 if cls is DelayStep:
                     ctx.clock.advance(step.delay_us)

@@ -57,30 +57,47 @@ class Done(Step):
 
 
 class BarrierStep(Step):
-    """Arrive at the job-wide barrier through ``layer``; run ``cont()``
-    after release."""
+    """Arrive at a barrier through ``layer``; run ``cont()`` after
+    release.
 
-    __slots__ = ("layer", "cont")
+    By default this is the job-wide barrier (exactly
+    ``layer.barrier_all``).  Team-scoped collectives pass an explicit
+    ``barrier`` (a :class:`~repro.runtime.sync.VirtualBarrier` over the
+    team, e.g. a group's) plus the member count ``npes`` that prices the
+    dissemination rounds — the step form of ``layer.team_barrier``.
+    """
 
-    def __init__(self, layer, cont: Callable[[], Any]) -> None:
+    __slots__ = ("layer", "cont", "barrier", "npes")
+
+    def __init__(self, layer, cont: Callable[[], Any], *,
+                 barrier=None, npes: int | None = None) -> None:
         self.layer = layer
         self.cont = cont
+        self.barrier = barrier
+        self.npes = npes
 
 
 class WaitStep(Step):
     """Block until ``ivar[offset] <cmp> value`` holds locally, then run
-    ``cont()`` (the step form of ``layer.wait_until``)."""
+    ``cont()`` (the step form of ``layer.wait_until``).
 
-    __slots__ = ("layer", "ivar", "cmp", "value", "offset", "cont")
+    ``word=True`` merges the awaited *word's* atomic timestamp instead
+    of the memory-global last-write time — valid only under strict
+    post/consume alternation on that word (see
+    :meth:`~repro.runtime.memory.PEMemory.word_time`).
+    """
+
+    __slots__ = ("layer", "ivar", "cmp", "value", "offset", "cont", "word")
 
     def __init__(self, layer, ivar, cmp: str, value, cont: Callable[[], Any],
-                 offset: int = 0) -> None:
+                 offset: int = 0, word: bool = False) -> None:
         self.layer = layer
         self.ivar = ivar
         self.cmp = cmp
         self.value = value
         self.offset = offset
         self.cont = cont
+        self.word = word
 
 
 class DelayStep(Step):
@@ -118,10 +135,15 @@ def drive(step: Any) -> Any:
         if cls is Done:
             return step.value
         if cls is BarrierStep:
-            step.layer.barrier_all()
+            if step.barrier is None:
+                step.layer.barrier_all()
+            else:
+                step.layer.team_barrier(step.barrier, step.npes)
             step = step.cont()
         elif cls is WaitStep:
-            step.layer.wait_until(step.ivar, step.cmp, step.value, step.offset)
+            step.layer.wait_until(
+                step.ivar, step.cmp, step.value, step.offset, word=step.word
+            )
             step = step.cont()
         elif cls is DelayStep:
             current().clock.advance(step.delay_us)

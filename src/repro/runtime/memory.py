@@ -62,6 +62,9 @@ class PEMemory:
     def _read_write_time(self) -> float:
         return self._last_write_time
 
+    def _read_word_time(self, offset: int) -> float:
+        return self._word_times.get(offset, 0.0)
+
     def _word_update(self, offset: int, timestamp: float) -> tuple[float, int]:
         """Record an atomic update to ``offset``; returns the previous
         update's timestamp and this update's 1-based sequence number."""
@@ -431,3 +434,17 @@ class PEMemory:
     def last_write_time(self) -> float:
         with self._cond:
             return self._read_write_time()
+
+    def word_time(self, offset: int) -> float:
+        """Virtual timestamp of the last *atomic* update to the word at
+        ``offset`` (0.0 if never atomically touched).
+
+        Unlike :attr:`last_write_time` this is per-word: a waiter whose
+        protocol guarantees strict post/consume alternation on one flag
+        word can merge this instead of the memory-global maximum, making
+        its merged clock independent of whether unrelated writes to
+        *other* words landed first — the property the collective
+        library's trace-digest stability rests on.
+        """
+        with self._cond:
+            return self._read_word_time(offset)

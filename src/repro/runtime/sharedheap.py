@@ -330,6 +330,22 @@ class SharedPEMemory(PEMemory):
         self._wseqs[i] = seq
         return prev_time, seq
 
+    def _read_word_time(self, offset: int) -> float:
+        # Read-only probe: never claims a slot (a miss means the word
+        # was never atomically updated).
+        keys = self._wkeys
+        n = keys.shape[0]
+        key = offset + 1
+        i = (offset * 2654435761) % n
+        for _ in range(n):
+            cur = int(keys[i])
+            if cur == key:
+                return float(self._wtimes[i])
+            if cur == 0:
+                return 0.0
+            i = (i + 1) % n
+        return 0.0
+
 
 def _unlink(data: shared_memory.SharedMemory,
             ctrl: shared_memory.SharedMemory, owner_pid: int) -> None:

@@ -19,6 +19,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from repro.collectives import team_allgather, team_broadcast, team_reduce
 from repro.comm.base import OneSidedLayer
 from repro.comm.heap import SymmetricArray
 from repro.runtime.context import current
@@ -39,6 +40,18 @@ _REDUCERS = {
     "and": np.bitwise_and.reduce,
     "or": np.bitwise_or.reduce,
     "xor": np.bitwise_xor.reduce,
+}
+
+# Element-wise binary forms of the same operators, fed to the collective
+# algorithm library (every OpenSHMEM reduction is commutative).
+_BINARY_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+    "and": np.bitwise_and,
+    "or": np.bitwise_or,
+    "xor": np.bitwise_xor,
 }
 
 
@@ -164,26 +177,52 @@ class ShmemLayer(OneSidedLayer):
         dest.check_span(0, nelems)
         ctx = _current()
         members = active_set_pes(pe_start, log_pe_stride, pe_size, self.job.num_pes)
-        self.active_set_barrier(pe_start, log_pe_stride, pe_size)
-        parts = np.stack(
-            [
-                self.job.memories[p]
-                .read(source.byte_offset, nelems * source.itemsize)
-                .view(source.dtype)
-                for p in members
-            ]
-        )
-        dest.local.reshape(-1)[:nelems] = reducer(parts, axis=0)
-        ctx.clock.advance(
-            self.job.network.reduction_cost(
-                len(members), nelems * source.itemsize, self.profile
+        if self._use_direct_collectives():
+            # Historical barrier-framed path: the library's shared comm
+            # state (like subset agreement) is per-process replicas on
+            # engine='process'.
+            self.active_set_barrier(pe_start, log_pe_stride, pe_size)
+            parts = np.stack(
+                [
+                    self.job.memories[p]
+                    .read(source.byte_offset, nelems * source.itemsize)
+                    .view(source.dtype)
+                    for p in members
+                ]
             )
-        )
-        self.active_set_barrier(pe_start, log_pe_stride, pe_size)
+            dest.local.reshape(-1)[:nelems] = reducer(parts, axis=0)
+            ctx.clock.advance(
+                self.job.network.reduction_cost(
+                    len(members), nelems * source.itemsize, self.profile
+                )
+            )
+            self.active_set_barrier(pe_start, log_pe_stride, pe_size)
+            return
+        if ctx.pe not in members:
+            raise ValueError(
+                f"PE {ctx.pe} called a barrier over active set {members} "
+                f"it does not belong to"
+            )
+        data = np.asarray(source.local).reshape(-1)[:nelems]
+        res = team_reduce(self, members, data, _BINARY_OPS[op])
+        dest.local.reshape(-1)[:nelems] = res
 
     # ------------------------------------------------------------------
     # Collectives
+    #
+    # All four ride on :mod:`repro.collectives`: the algorithm (linear,
+    # binomial, recursive doubling, ring, or hierarchical two-level) is
+    # chosen per call by the topology-aware cost model, or forced via
+    # ``REPRO_COLLECTIVE``.  On ``engine='process'`` the historical
+    # barrier-framed direct path is kept: the library's shared comm
+    # state lives in genuinely shared Python objects.
     # ------------------------------------------------------------------
+    def _use_direct_collectives(self) -> bool:
+        return bool(getattr(self.engine, "cross_process", False))
+
+    def _all_pes(self) -> tuple[int, ...]:
+        return tuple(range(self.job.num_pes))
+
     def broadcast(
         self, dest: SymmetricArray, source: SymmetricArray, nelems: int, root: int
     ) -> None:
@@ -193,36 +232,47 @@ class ShmemLayer(OneSidedLayer):
         source.check_span(0, nelems)
         dest.check_span(0, nelems)
         ctx = current()
-        self.barrier_all()
-        if ctx.pe != root:
-            raw = self.job.memories[root].read(source.byte_offset, nelems * source.itemsize)
-            dest.local.reshape(-1)[:nelems] = raw.view(source.dtype)
-        ctx.clock.advance(
-            self.job.network.reduction_cost(
-                self.job.num_pes, nelems * source.itemsize, self.profile
+        if self._use_direct_collectives():
+            self.barrier_all()
+            if ctx.pe != root:
+                raw = self.job.memories[root].read(source.byte_offset, nelems * source.itemsize)
+                dest.local.reshape(-1)[:nelems] = raw.view(source.dtype)
+            ctx.clock.advance(
+                self.job.network.reduction_cost(
+                    self.job.num_pes, nelems * source.itemsize, self.profile
+                )
             )
-        )
-        self.barrier_all()
+            self.barrier_all()
+            return
+        data = np.asarray(source.local).reshape(-1)[:nelems]
+        res = team_broadcast(self, self._all_pes(), data, root_rank=root)
+        if ctx.pe != root:
+            dest.local.reshape(-1)[:nelems] = res
 
     def fcollect(self, dest: SymmetricArray, source: SymmetricArray, nelems: int) -> None:
         """Concatenate every PE's ``nelems`` source elements, PE order."""
         source.check_span(0, nelems)
         dest.check_span(0, nelems * self.job.num_pes)
         ctx = current()
-        self.barrier_all()
-        parts = [
-            self.job.memories[p]
-            .read(source.byte_offset, nelems * source.itemsize)
-            .view(source.dtype)
-            for p in range(self.job.num_pes)
-        ]
-        dest.local.reshape(-1)[: nelems * self.job.num_pes] = np.concatenate(parts)
-        ctx.clock.advance(
-            self.job.network.reduction_cost(
-                self.job.num_pes, nelems * source.itemsize * self.job.num_pes, self.profile
+        if self._use_direct_collectives():
+            self.barrier_all()
+            parts = [
+                self.job.memories[p]
+                .read(source.byte_offset, nelems * source.itemsize)
+                .view(source.dtype)
+                for p in range(self.job.num_pes)
+            ]
+            dest.local.reshape(-1)[: nelems * self.job.num_pes] = np.concatenate(parts)
+            ctx.clock.advance(
+                self.job.network.reduction_cost(
+                    self.job.num_pes, nelems * source.itemsize * self.job.num_pes, self.profile
+                )
             )
-        )
-        self.barrier_all()
+            self.barrier_all()
+            return
+        data = np.asarray(source.local).reshape(-1)[:nelems]
+        res = team_allgather(self, self._all_pes(), data)
+        dest.local.reshape(-1)[: nelems * self.job.num_pes] = res
 
     def to_all(
         self, dest: SymmetricArray, source: SymmetricArray, nelems: int, op: str
@@ -239,22 +289,27 @@ class ShmemLayer(OneSidedLayer):
         source.check_span(0, nelems)
         dest.check_span(0, nelems)
         ctx = current()
-        self.barrier_all()
-        parts = np.stack(
-            [
-                self.job.memories[p]
-                .read(source.byte_offset, nelems * source.itemsize)
-                .view(source.dtype)
-                for p in range(self.job.num_pes)
-            ]
-        )
-        dest.local.reshape(-1)[:nelems] = reducer(parts, axis=0)
-        ctx.clock.advance(
-            self.job.network.reduction_cost(
-                self.job.num_pes, nelems * source.itemsize, self.profile
+        if self._use_direct_collectives():
+            self.barrier_all()
+            parts = np.stack(
+                [
+                    self.job.memories[p]
+                    .read(source.byte_offset, nelems * source.itemsize)
+                    .view(source.dtype)
+                    for p in range(self.job.num_pes)
+                ]
             )
-        )
-        self.barrier_all()
+            dest.local.reshape(-1)[:nelems] = reducer(parts, axis=0)
+            ctx.clock.advance(
+                self.job.network.reduction_cost(
+                    self.job.num_pes, nelems * source.itemsize, self.profile
+                )
+            )
+            self.barrier_all()
+            return
+        data = np.asarray(source.local).reshape(-1)[:nelems]
+        res = team_reduce(self, self._all_pes(), data, _BINARY_OPS[op])
+        dest.local.reshape(-1)[:nelems] = res
 
     # ------------------------------------------------------------------
     # Global locks (single logically-global entity — paper Sec. IV-D

@@ -1125,6 +1125,79 @@ class NetworkModel:
         _, end = self._cpu[dst_node].reserve(arrival, m.cpu_am_process_us)
         return end + m.link_latency_us
 
+    # -- uncontended (closed-form) pricing -----------------------------
+    #
+    # The collective library prices its traffic with these pure variants:
+    # same formulas as put/get/amo but with every shared lane assumed
+    # idle, so no Timeline is reserved.  Two reasons.  First, collective
+    # algorithms schedule their own traffic — the staggered rounds of a
+    # tree or ring are exactly what keeps lanes conflict-free, and that
+    # is the structure the closed-form cost model already accounts for.
+    # Second, Timeline.reserve depends on *call order*, which differs
+    # between the threaded engine (wall clock) and the event engine
+    # (deterministic heap order); pricing a synchronized algorithm
+    # through contended lanes would make its virtual times schedule-
+    # dependent.  With the pure forms, completion times are a function
+    # of the algorithm's happens-before order alone, so results *and*
+    # virtual times are bit-identical across engines and across explorer
+    # schedules.
+
+    def put_uncontended(
+        self, src: int, dst: int, nbytes: int, conduit: ConduitProfile, now: float
+    ) -> TransferTiming:
+        """:meth:`put` with idle lanes: pure arithmetic, no reservations."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        if self.topology.node_of(src) == self.topology.node_of(dst):
+            ready = now + 0.5 * conduit.o_put_us
+            done = ready + m.intra_latency_us + nbytes / m.intra_bandwidth_Bpus
+            return TransferTiming(local_complete=done, remote_complete=done)
+        overhead = conduit.o_put_us
+        if nbytes > conduit.eager_threshold:
+            overhead += conduit.rendezvous_extra_us
+        ready = now + overhead
+        wire = self._wire_time(nbytes, conduit)
+        local = ready if nbytes <= conduit.eager_threshold else ready + wire
+        return TransferTiming(
+            local_complete=local,
+            remote_complete=ready + m.link_latency_us + wire,
+        )
+
+    def get_uncontended(
+        self, src: int, dst: int, nbytes: int, conduit: ConduitProfile, now: float
+    ) -> float:
+        """:meth:`get` with idle lanes: pure arithmetic, no reservations."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        m = self._machine
+        if self.topology.node_of(src) == self.topology.node_of(dst):
+            return (
+                now + 0.5 * conduit.o_get_us + m.intra_latency_us
+                + nbytes / m.intra_bandwidth_Bpus
+            )
+        return (
+            now + conduit.o_get_us + 2.0 * m.link_latency_us
+            + self._wire_time(nbytes, conduit)
+        )
+
+    def amo_uncontended(
+        self, src: int, dst: int, conduit: ConduitProfile, now: float
+    ) -> float:
+        """:meth:`amo` with an idle atomic unit: pure arithmetic."""
+        m = self._machine
+        if self.topology.node_of(src) == self.topology.node_of(dst):
+            return now + 0.5 * conduit.o_amo_us + m.amo_process_us
+        if conduit.amo_offload:
+            return (
+                now + conduit.o_amo_us + m.link_latency_us
+                + m.amo_process_us + m.link_latency_us
+            )
+        return (
+            now + conduit.o_amo_us + m.link_latency_us
+            + m.am_attentiveness_us + m.cpu_am_process_us + m.link_latency_us
+        )
+
     # -- active messages ----------------------------------------------
     def am_request(
         self, src: int, dst: int, payload: int, conduit: ConduitProfile, now: float
@@ -1187,3 +1260,190 @@ class NetworkModel:
             conduit.o_put_us + self._machine.link_latency_us + self._wire_time(nbytes, conduit)
         )
         return rounds * per_round
+
+    # -- collective algorithm closed forms ------------------------------
+    def _collective_primitives(
+        self, nbytes: int, conduit: ConduitProfile, inter: bool
+    ) -> tuple[float, float, float, float]:
+        """(put, get, post, lift) critical-path estimates for one link
+        class.
+
+        Pure arithmetic — no timeline reservations — so pricing a
+        candidate algorithm never perturbs the simulation state.  The
+        first three mirror the uncontended paths of :meth:`put`/
+        :meth:`get`/:meth:`amo`; ``lift`` is the causality charge the
+        waiter's *consume* atomic pays on top of the poster's fadd
+        (target-side processing plus the return leg — always intra,
+        because the consume is a self-targeted atomic on the waiter's
+        own flag word).
+        """
+        m = self._machine
+        lift = m.amo_process_us + m.intra_latency_us
+        if not inter:
+            move = m.intra_latency_us + nbytes / m.intra_bandwidth_Bpus
+            put = 0.5 * conduit.o_put_us + move
+            get = 0.5 * conduit.o_get_us + move
+            post = 0.5 * conduit.o_amo_us + m.amo_process_us
+            return put, get, post, lift
+        L = m.link_latency_us
+        wire = self._wire_time(nbytes, conduit)
+        put = conduit.o_put_us + L + wire
+        if nbytes > conduit.eager_threshold:
+            put += conduit.o_put_us  # rendezvous handshake
+        get = conduit.o_get_us + 2.0 * L + wire
+        if conduit.amo_offload:
+            post = conduit.o_amo_us + 2.0 * L + m.amo_process_us
+        else:
+            post = (
+                conduit.o_amo_us + 2.0 * L + m.am_attentiveness_us
+                + m.cpu_am_process_us
+            )
+        return put, get, post, lift
+
+    def collective_cost(
+        self,
+        algo: str,
+        npes: int,
+        nbytes: int,
+        conduit: ConduitProfile,
+        *,
+        kind: str = "reduce",
+        nnodes: int = 1,
+        max_per_node: int | None = None,
+        broadcast: bool = True,
+        inter_bits: tuple[bool, ...] | None = None,
+    ) -> float:
+        """Closed-form critical-path estimate of one collective call's
+        algorithm body (excluding the team barrier that frames every
+        call — identical across candidates, so irrelevant to ranking).
+
+        ``kind`` is ``reduce`` / ``bcast`` / ``allgather``; ``algo`` one
+        of ``linear`` / ``binomial`` / ``recdbl`` / ``ring`` / ``hier``
+        (each kind admits a subset); ``npes`` the team size, ``nbytes``
+        the payload (the per-PE slice for ``allgather``),
+        ``nnodes``/``max_per_node`` the team's shape on the topology.
+        ``inter_bits[i]`` says whether tree round ``i`` (rank distance
+        ``2^i``) crosses nodes (:attr:`TeamComm.tree_inter_bits`); when
+        omitted, a node-aligned rank order is assumed.  Pure arithmetic
+        over machine/conduit constants (same pattern as
+        :meth:`barrier_cost`), used by the
+        :class:`repro.collectives.AlgorithmSelector` to rank candidates
+        and validated against measured virtual times in
+        ``repro.bench.collectives``; see docs/MODEL.md §11 for the
+        derivation.
+        """
+        if npes <= 0:
+            raise ValueError("npes must be positive")
+        if npes == 1:
+            return 0.0
+        per_node = max_per_node
+        if per_node is None:
+            per_node = -(-npes // max(nnodes, 1))
+        rounds = max((npes - 1).bit_length(), 1)
+        if inter_bits is None:
+            # Aligned assumption: rank distances below the node width
+            # stay on-node.
+            inter_bits = tuple(
+                nnodes > 1 and (1 << i) >= per_node for i in range(rounds)
+            )
+        iput, iget, ipost, lift = self._collective_primitives(
+            nbytes, conduit, False
+        )
+        xput, xget, xpost, _ = self._collective_primitives(
+            nbytes, conduit, True
+        )
+        inter_any = nnodes > 1
+
+        def up(x: bool) -> float:
+            # Child posts (quiet + fadd), parent's consume rides the
+            # causality lift, parent pulls the child's accumulator.
+            return (xpost + lift + xget) if x else (ipost + lift + iget)
+
+        def down(x: bool) -> float:
+            # Parent deposits and flags; child's consume pays the lift.
+            return (xput + xpost + lift) if x else (iput + ipost + lift)
+
+        def cls(i: int) -> bool:
+            return inter_bits[i] if i < len(inter_bits) else inter_any
+
+        put, get, post = (
+            (xput, xget, xpost) if inter_any else (iput, iget, ipost)
+        )
+        if kind == "bcast":
+            if algo == "linear":
+                return (npes - 1) * (put + post) + lift
+            if algo == "binomial":
+                return sum(down(cls(i)) for i in range(rounds))
+            if algo == "hier":
+                xrounds = max((nnodes - 1).bit_length(), 0)
+                return (
+                    xrounds * down(True)
+                    + max(per_node - 1, 0) * (iput + ipost) + lift
+                )
+            raise ValueError(f"unknown collective algorithm {algo!r}")
+        if kind == "allgather":
+            if algo == "linear":
+                # Everyone posts readiness once, then pulls the other
+                # m-1 slices back to back.
+                return post + lift + (npes - 1) * get
+            if algo == "ring":
+                # m-1 rounds of the 6-step neighbor handshake, one full
+                # slice pulled per round.
+                return (npes - 1) * (2.0 * (post + lift) + get)
+            raise ValueError(f"unknown collective algorithm {algo!r}")
+        if kind != "reduce":
+            raise ValueError(f"unknown collective kind {kind!r}")
+        if algo == "linear":
+            cost = (npes - 1) * (post + get) + lift
+            if broadcast:
+                cost += (npes - 1) * (put + post) + lift
+            return cost
+        if algo == "binomial":
+            cost = sum(up(cls(i)) for i in range(rounds))
+            if broadcast:
+                cost += sum(down(cls(i)) for i in range(rounds))
+            return cost
+        if algo == "recdbl":
+            # Always an allreduce.  Each doubling round is a symmetric
+            # exchange: post readiness, pull the partner's accumulator
+            # (an up-hop), then an ack post the partner's consume lifts.
+            p = 1 << (npes.bit_length() - 1)  # largest power of two <= m
+            cost = sum(
+                up(cls(i)) + (xpost if cls(i) else ipost) + lift
+                for i in range(max(p.bit_length() - 1, 0))
+            )
+            if p != npes:
+                # Non-power-of-two fold: adjacent-rank pre-fold up-hop
+                # plus the finished-result down-hop.  When the fold hop
+                # crosses nodes, the up-leg is almost entirely absorbed
+                # by first-round slack — by the time a fold survivor
+                # enters the core rounds its partners' flags are already
+                # posted, so the straggler's extra critical-path
+                # contribution is one consume lift plus the local
+                # staging copy, not a full inter-node post/wait hop
+                # (measured on node-misaligned teams to ~25 ns).
+                if cls(0):
+                    fold_up = (
+                        lift + nbytes / self._machine.intra_bandwidth_Bpus
+                    )
+                else:
+                    fold_up = up(False)
+                cost += fold_up + down(cls(0))
+            return cost
+        if algo == "ring":
+            chunk = -(-nbytes // npes)  # ceil: per-round chunk payload
+            cput, cget, cpost, _ = self._collective_primitives(
+                chunk, conduit, inter_any
+            )
+            return 2.0 * (npes - 1) * (2.0 * (cpost + lift) + cget)
+        if algo == "hier":
+            # Leader gathers its node linearly over intra links, a
+            # binomial tree runs over node leaders (inter links), then
+            # leaders scatter back.  Always delivers everywhere.
+            xrounds = max((nnodes - 1).bit_length(), 0)
+            return (
+                max(per_node - 1, 0) * ((ipost + iget) + (iput + ipost))
+                + xrounds * (up(True) + down(True))
+                + lift
+            )
+        raise ValueError(f"unknown collective algorithm {algo!r}")

@@ -31,6 +31,41 @@ def test_co_sum_result_image_only():
     assert out[1] == 10.0  # image 2 holds the result
 
 
+@pytest.mark.parametrize(
+    "algo", ["linear", "binomial", "recdbl", "ring", "hier", None]
+)
+def test_co_sum_result_image_semantics(algo, monkeypatch):
+    """``result_image=j``: image j holds the exact reduction; other
+    images' arrays become undefined per the Fortran standard (they hold
+    *some* value — don't pin it), but shape and dtype are preserved.
+    Holds under every forced algorithm and under auto-selection."""
+    if algo is not None:
+        monkeypatch.setenv("REPRO_COLLECTIVE", algo)
+    else:
+        monkeypatch.delenv("REPRO_COLLECTIVE", raising=False)
+
+    def kernel():
+        me = caf.this_image()
+        arr = np.array([[me, 10 * me], [100 * me, -me]], dtype=np.int64)
+        caf.co_sum(arr, result_image=3)
+        return arr
+
+    out = caf.launch(kernel, num_images=6)
+    tot = sum(range(1, 7))
+    expect = np.array([[tot, 10 * tot], [100 * tot, -tot]], dtype=np.int64)
+    assert np.array_equal(out[2], expect), algo  # image 3 == index 2
+    for o in out:
+        assert o.shape == (2, 2) and o.dtype == np.int64
+
+
+def test_co_sum_result_image_out_of_range():
+    def kernel():
+        caf.co_sum(np.array([1.0]), result_image=9)
+
+    with pytest.raises(RuntimeError, match="out of range"):
+        caf.launch(kernel, num_images=2)
+
+
 def test_co_min_max_prod():
     def kernel():
         me = caf.this_image()
