@@ -25,6 +25,7 @@ import numpy as np
 from repro import caf
 from repro.bench.harness import CafConfig
 from repro.runtime.context import current
+from repro.runtime.failures import ImageFailedError
 
 EMPTY_KEY = -1
 
@@ -146,6 +147,203 @@ class DistributedHashTable:
         vals = self.values.local
         occupied = int(np.count_nonzero(keys != EMPTY_KEY))
         return occupied, int(vals[keys != EMPTY_KEY].sum())
+
+
+# ---------------------------------------------------------------------------
+# Replicated DHT (failed-images case study)
+# ---------------------------------------------------------------------------
+
+#: Region indices into the replicated table's lock array.
+_PRIMARY = 0
+_REPLICA = 1
+
+
+class ReplicatedHashTable:
+    """A k=2 replicated DHT that survives the failure of any one image.
+
+    Built purely on the public CAF API plus the failed-images model
+    (``survivable=True`` launches): every bucket lives on its *primary*
+    image and is mirrored into a *replica* region on the next image on
+    the ring.  Updates write both copies (primary first, each under its
+    own bucket lock — sequential, never nested, so a crash can strand
+    at most one lock); reads prefer the primary and fail over to the
+    replica when the primary has failed (``ImageFailedError``).  When a
+    primary dies, its buckets are *re-homed*: the ring successor's
+    replica region becomes authoritative and absorbs all further
+    writes.
+
+    An update is **acknowledged** — appended to the per-image ``acked``
+    ledger and its new value returned — only once at least one copy
+    landed on an image that was live at that moment.  A write that
+    raised on one region may still have physically landed there, but
+    only when that region's host died mid-operation, i.e. on a copy no
+    reader will ever consult; counting it unacked is therefore safe.
+    With both copies dead (two failures; beyond k=2) the update raises
+    ``ImageFailedError`` and nothing is acked.
+
+    Survivable jobs should launch with ``lock_algorithm="tas"``: TAS
+    recovery from a dead holder is unconditional (central-word steal),
+    while MCS has an unrecoverable queued-behind-a-live-holder case
+    (see docs/MODEL.md §12).
+    """
+
+    def __init__(self, slots_per_image: int, locks_per_image: int = 1) -> None:
+        if caf.num_images() < 2:
+            raise ValueError("ReplicatedHashTable needs at least 2 images")
+        if slots_per_image < 1 or locks_per_image < 1:
+            raise ValueError("slots_per_image and locks_per_image must be >= 1")
+        if locks_per_image > slots_per_image:
+            raise ValueError("cannot have more locks than slots")
+        self.slots_per_image = slots_per_image
+        self.locks_per_image = locks_per_image
+        # region 0 = primary buckets owned here; region 1 = mirror of
+        # the ring predecessor's primary buckets.
+        self.keys = caf.coarray((2, slots_per_image), np.int64)
+        self.values = caf.coarray((2, slots_per_image), np.int64)
+        self.locks = caf.lock_type((2, locks_per_image))
+        self.keys[:] = EMPTY_KEY
+        self.values[:] = 0
+        #: Per-image ledger of acknowledged writes ``(key, delta)`` —
+        #: the chaos gate's "zero lost acked writes" evidence.
+        self.acked: list[tuple[int, int]] = []
+        caf.sync_all()
+
+    # ------------------------------------------------------------------
+    def home(self, key: int) -> tuple[int, int]:
+        """(primary image, home slot) of ``key``."""
+        h = _mix(int(key))
+        image = h % caf.num_images() + 1
+        slot = (h >> 20) % self.slots_per_image
+        return image, slot
+
+    def secondary(self, image: int) -> int:
+        """The replica host for ``image``'s buckets: next on the ring."""
+        return image % caf.num_images() + 1
+
+    def _lock_index(self, slot: int) -> int:
+        return slot * self.locks_per_image // self.slots_per_image
+
+    # ------------------------------------------------------------------
+    def _apply(self, image: int, region: int, home: int, key: int,
+               delta: int) -> int:
+        """Read-modify-write one copy under its bucket lock; returns the
+        new value.  Raises ``ImageFailedError`` if ``image`` is (or
+        becomes) failed, ``DhtFullError`` if the bucket is full."""
+        lock_idx = self._lock_index(home)
+        with self.locks.guard(image, (region, lock_idx)):
+            slot = home
+            for _ in range(self.slots_per_image):
+                k = int(self.keys.on(image)[region, slot])
+                if k == key:
+                    new = int(self.values.on(image)[region, slot]) + delta
+                    self.values.on(image)[region, slot] = new
+                    return new
+                if k == EMPTY_KEY:
+                    self.keys.on(image)[region, slot] = key
+                    self.values.on(image)[region, slot] = delta
+                    return delta
+                nxt = (slot + 1) % self.slots_per_image
+                if self._lock_index(nxt) != lock_idx:
+                    break
+                slot = nxt
+        raise DhtFullError(
+            f"bucket {lock_idx} (region {region}) on image {image} is full"
+        )
+
+    def _probe(self, image: int, region: int, home: int, key: int) -> int | None:
+        """Locked read of one copy; None if absent."""
+        lock_idx = self._lock_index(home)
+        with self.locks.guard(image, (region, lock_idx)):
+            slot = home
+            for _ in range(self.slots_per_image):
+                k = int(self.keys.on(image)[region, slot])
+                if k == key:
+                    return int(self.values.on(image)[region, slot])
+                if k == EMPTY_KEY:
+                    return None
+                nxt = (slot + 1) % self.slots_per_image
+                if self._lock_index(nxt) != lock_idx:
+                    return None
+                slot = nxt
+        return None
+
+    # ------------------------------------------------------------------
+    def update(self, key: int, delta: int = 1) -> int:
+        """Add ``delta`` to ``key``'s counter on both copies; returns
+        the new value from the authoritative copy.
+
+        Acks (ledger append) once either copy is written; raises
+        ``ImageFailedError`` only when both copy hosts have failed.
+        """
+        key = int(key)
+        if key == EMPTY_KEY:
+            raise ValueError(f"key {EMPTY_KEY} is reserved for empty slots")
+        primary, home = self.home(key)
+        new: int | None = None
+        try:
+            new = self._apply(primary, _PRIMARY, home, key, delta)
+        except ImageFailedError:
+            pass  # primary dead: the replica copy is now authoritative
+        try:
+            rnew = self._apply(self.secondary(primary), _REPLICA, home, key, delta)
+            if new is None:
+                new = rnew
+        except ImageFailedError:
+            if new is None:
+                raise  # both copies lost — cannot acknowledge
+        self.acked.append((key, delta))
+        return new
+
+    def lookup(self, key: int) -> int | None:
+        """Counter of ``key`` (locked read, primary preferred), or None."""
+        key = int(key)
+        primary, home = self.home(key)
+        try:
+            return self._probe(primary, _PRIMARY, home, key)
+        except ImageFailedError:
+            return self._probe(self.secondary(primary), _REPLICA, home, key)
+
+    # ------------------------------------------------------------------
+    def acked_totals(self) -> dict[int, int]:
+        """This image's acked writes folded per key."""
+        totals: dict[int, int] = {}
+        for key, delta in self.acked:
+            totals[key] = totals.get(key, 0) + delta
+        return totals
+
+    def verify_acked(self) -> list[tuple[int, int, int | None]]:
+        """Re-read every acked key; returns the mismatches
+        ``(key, expected, found)`` — empty means zero lost acked writes
+        (valid when this image's key space is disjoint from other
+        writers', as in the chaos kernels)."""
+        bad = []
+        for key, expected in self.acked_totals().items():
+            found = self.lookup(key)
+            if found != expected:
+                bad.append((key, expected, found))
+        return bad
+
+    def authoritative_items(self) -> list[tuple[int, int]]:
+        """This image's authoritative (key, value) pairs: its primary
+        region, plus its replica region when the ring predecessor has
+        failed (those buckets re-homed here).  Sorted; collected from
+        local memory only, so survivors can build a global digest
+        without touching failed images."""
+        me = caf.this_image()
+        n = caf.num_images()
+        regions = [_PRIMARY]
+        pred = (me - 2) % n + 1
+        if caf.image_status(pred) == caf.STAT_FAILED_IMAGE:
+            regions.append(_REPLICA)
+        pairs: list[tuple[int, int]] = []
+        karr = self.keys.local
+        varr = self.values.local
+        for region in regions:
+            mask = karr[region] != EMPTY_KEY
+            pairs.extend(
+                zip(karr[region][mask].tolist(), varr[region][mask].tolist())
+            )
+        return sorted(pairs)
 
 
 # ---------------------------------------------------------------------------

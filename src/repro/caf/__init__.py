@@ -60,6 +60,11 @@ from repro.caf.runtime import (
 )
 from repro.caf.teams import ChangeTeam, Team
 from repro.caf import teams as _teams
+from repro.runtime.failures import (
+    STAT_FAILED_IMAGE,
+    STAT_STOPPED_IMAGE,
+    ImageFailedError,
+)
 from repro.runtime.launcher import Job
 from repro.util.bitpack import RemotePointer, pack_remote_pointer, unpack_remote_pointer
 
@@ -87,6 +92,11 @@ __all__ = [
     "sync_all",
     "sync_images",
     "sync_memory",
+    "failed_images",
+    "image_status",
+    "STAT_FAILED_IMAGE",
+    "STAT_STOPPED_IMAGE",
+    "ImageFailedError",
     "critical",
     "co_sum",
     "co_min",
@@ -148,6 +158,7 @@ def launch(
     watchdog_s: float | None = None,
     scheduler: Any = None,
     engine: Any = None,
+    survivable: bool = False,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -175,6 +186,12 @@ def launch(
     interleaving.  ``engine`` selects the execution engine
     (``"threaded"``/``"event"`` or an :class:`~repro.engine.Engine`
     instance; see :mod:`repro.engine`).
+    ``survivable=True`` enables the Fortran-2018 failed-images model: an
+    injected crash marks the image *failed* instead of aborting the job;
+    survivors keep running, ``failed_images()``/``image_status()``
+    report the failures, image-control statements accept ``stat=``, and
+    operations targeting a failed image raise
+    :class:`~repro.runtime.failures.ImageFailedError`.
     Returns the per-image return values of ``fn``.
     """
     job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -186,6 +203,8 @@ def launch(
         job_kwargs["scheduler"] = scheduler
     if engine is not None:
         job_kwargs["engine"] = engine
+    if survivable:
+        job_kwargs["survivable"] = True
     job = Job(num_images, machine, **job_kwargs)
     rt_kwargs: dict[str, Any] = {
         "backend": backend,
@@ -245,13 +264,24 @@ def num_images() -> int:
 # ---------------------------------------------------------------------------
 
 
-def coarray(shape, dtype=np.float64, codim: "Codimensions | None" = None) -> Coarray:
+def coarray(
+    shape,
+    dtype=np.float64,
+    codim: "Codimensions | None" = None,
+    stat: list | None = None,
+) -> Coarray:
     """Allocate a coarray (``allocate(x(shape)[*])``); collective.
 
     Pass ``codim=Codimensions(extents=(2, 3))`` for a corank-3 coarray
     ``[2, 3, *]`` with cosubscript co-indexing via ``x.at(...)``.
+    ``stat`` mirrors Fortran's ``allocate(..., stat=st)``: slot 0
+    receives 0, or ``STAT_FAILED_IMAGE`` if some image of the team has
+    failed (the survivors' allocation still completes).
     """
-    return Coarray(_rt(), shape, dtype, codim=codim)
+    arr = Coarray(_rt(), shape, dtype, codim=codim)
+    if stat is not None:
+        stat[0] = _rt()._failure_stat()
+    return arr
 
 
 def lock_type(shape=()) -> CafLock:
@@ -275,14 +305,32 @@ def nonsymmetric(shape, dtype=np.float64) -> ManagedObject:
 # ---------------------------------------------------------------------------
 
 
-def sync_all() -> None:
-    """``sync all``."""
-    _rt().sync_all()
+def sync_all(stat: list | None = None) -> int:
+    """``sync all`` (``stat=`` takes a one-element mutable sequence:
+    slot 0 receives 0 or ``STAT_FAILED_IMAGE``; also returned)."""
+    return _rt().sync_all(stat=stat)
 
 
-def sync_images(images) -> None:
-    """``sync images(list)`` — 1-based image list, or ``"*"``."""
-    _rt().sync_images(images)
+def sync_images(images, stat: list | None = None) -> int:
+    """``sync images(list)`` — 1-based image list, or ``"*"``.
+
+    With ``stat=``, failed partners are skipped and slot 0 receives
+    ``STAT_FAILED_IMAGE``; without it a failed partner raises
+    :class:`~repro.runtime.failures.ImageFailedError`.
+    """
+    return _rt().sync_images(images, stat=stat)
+
+
+def failed_images() -> tuple[int, ...]:
+    """``failed_images()`` — 1-based indices (current team) of failed
+    images, in increasing order."""
+    return _rt().failed_images()
+
+
+def image_status(image: int) -> int:
+    """``image_status(image)`` — 0 for a live image,
+    ``STAT_FAILED_IMAGE`` for a failed one."""
+    return _rt().image_status(image)
 
 
 def sync_memory() -> None:

@@ -51,13 +51,17 @@ def _use_direct(rt: CafRuntime) -> bool:
     return bool(getattr(rt.job.engine, "cross_process", False))
 
 
-def _team_root_rank(rt: CafRuntime, image: int) -> int:
-    """Team rank of a 1-based (team-relative) image number."""
+def _root_rank_in(rt: CafRuntime, pes, image: int, op_name: str) -> int:
+    """Rank of a 1-based (team-relative) image within the (possibly
+    survivor-filtered) member list; a failed root raises
+    :class:`~repro.runtime.failures.ImageFailedError`."""
     root_pe = rt.image_to_pe(image)
-    team = rt.current_team()
-    if team is None:
-        return root_pe
-    return team.rank_of(root_pe)
+    try:
+        return pes.index(root_pe)
+    except ValueError:
+        from repro.runtime.failures import raise_image_failed
+
+        raise_image_failed(current(), op_name, root_pe, rt.job.failed, rt.job.tracer)
 
 
 def _tree_reduce_direct(
@@ -65,12 +69,12 @@ def _tree_reduce_direct(
     arr: np.ndarray,
     op: Callable[[np.ndarray, np.ndarray], np.ndarray],
     result_image: int | None,
+    pes: tuple[int, ...],
 ) -> None:
     """Barrier-synchronized binomial reduction (process-engine path)."""
     ctx = current()
-    pes = rt.team_pes()
     n = len(pes)
-    rank = rt.team_rank_of(ctx.pe)
+    rank = pes.index(ctx.pe)
     scratch = rt.alloc_symmetric((max(arr.size, 1),), arr.dtype)
     try:
         scratch.local.reshape(-1)[: arr.size] = arr.reshape(-1)
@@ -98,7 +102,7 @@ def _tree_reduce_direct(
             arr.reshape(-1)[:] = scratch.local.reshape(-1)[: arr.size]
         else:
             root_pe = rt.image_to_pe(result_image)
-            root_rank = rt.team_rank_of(root_pe)
+            root_rank = _root_rank_in(rt, pes, result_image, "co_reduce")
             if root_rank != 0 and rank == 0:
                 rt.layer.put(scratch, scratch.local.reshape(-1)[: arr.size], root_pe)
             rt.barrier()
@@ -110,13 +114,14 @@ def _tree_reduce_direct(
         rt.free_symmetric(scratch)
 
 
-def _bcast_direct(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
+def _bcast_direct(
+    rt: CafRuntime, arr: np.ndarray, source_image: int, pes: tuple[int, ...]
+) -> None:
     """Barrier-synchronized binomial broadcast (process-engine path)."""
     ctx = current()
-    pes = rt.team_pes()
     n = len(pes)
-    rank = rt.team_rank_of(ctx.pe)
-    root_rank = rt.team_rank_of(rt.image_to_pe(source_image))
+    rank = pes.index(ctx.pe)
+    root_rank = _root_rank_in(rt, pes, source_image, "co_broadcast")
     scratch = rt.alloc_symmetric((max(arr.size, 1),), arr.dtype)
     try:
         if rank == root_rank:
@@ -146,21 +151,24 @@ def _reduce(
     result_image: int | None,
 ) -> None:
     _check_array(arr)
-    pes = rt.team_pes()
+    # Degraded-mode collectives: failed images are excised from the
+    # member list, so the tree/ring rank maps only span survivors.
+    pes = rt.live_pes(rt.team_pes())
     if arr.size == 0 or len(pes) == 1:
         # Zero-size arrays and one-image teams combine nothing: no
         # scratch, no synchronization (``sync all`` still orders program
         # segments if the caller wants that).
         return
     if _use_direct(rt):
-        _tree_reduce_direct(rt, arr, op, result_image)
+        _tree_reduce_direct(rt, arr, op, result_image, pes)
         return
     if result_image is None:
         res = team_reduce(rt.layer, pes, arr, op)
     else:
         res = team_reduce(
             rt.layer, pes, arr, op,
-            root_rank=_team_root_rank(rt, result_image), broadcast=False,
+            root_rank=_root_rank_in(rt, pes, result_image, "co_reduce"),
+            broadcast=False,
         )
     # Non-result images receive their partial values (unspecified per
     # the standard); the result image receives the full reduction.
@@ -193,12 +201,12 @@ def co_broadcast(rt: CafRuntime, arr: np.ndarray, source_image: int) -> None:
     """``co_broadcast``: replace ``arr`` on every team image with
     ``source_image``'s value."""
     _check_array(arr)
-    pes = rt.team_pes()
-    root_rank = _team_root_rank(rt, source_image)  # validates source_image
+    pes = rt.live_pes(rt.team_pes())
+    root_rank = _root_rank_in(rt, pes, source_image, "co_broadcast")
     if arr.size == 0 or len(pes) == 1:
         return
     if _use_direct(rt):
-        _bcast_direct(rt, arr, source_image)
+        _bcast_direct(rt, arr, source_image, pes)
         return
     res = team_broadcast(rt.layer, pes, arr, root_rank=root_rank)
     arr.reshape(-1)[:] = res

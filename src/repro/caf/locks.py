@@ -28,6 +28,7 @@ the MCS adaptation beats in the paper's Fig 8.
 from __future__ import annotations
 
 import itertools
+import time
 from contextlib import nullcontext
 
 import numpy as np
@@ -35,6 +36,7 @@ import numpy as np
 from repro.caf.runtime import CafError, CafRuntime
 from repro.comm.constants import CMP_EQ, CMP_NE
 from repro.runtime.context import current
+from repro.runtime.failures import ImageFailedError
 from repro.runtime.launcher import JobAborted
 from repro.util.bitpack import NIL, pack_remote_pointer, unpack_remote_pointer
 
@@ -42,6 +44,16 @@ from repro.util.bitpack import NIL, pack_remote_pointer, unpack_remote_pointer
 QNODE_BYTES = 16
 _LOCKED_WORD = 0  # word index within the qnode
 _NEXT_WORD = 1
+
+#: Locked-word states: 1 = waiting, 0 = lock handed over.  A dead MCS
+#: holder that could not see its successor's link poisons its own qnode
+#: instead; the successor claims the lock on observing it.
+_POISON = 2
+
+#: Wall-clock budget for the successor-side MCS rescue: the dead
+#: holder's crash handler runs concurrently (threaded engine) and its
+#: handoff/poison store lands within microseconds.
+_RESCUE_DEADLINE_S = 2.0
 
 _TAS_BACKOFF_START_US = 0.4
 _TAS_BACKOFF_MAX_US = 204.8
@@ -215,9 +227,21 @@ def _mcs_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
             )
             rt.layer.quiet()
             # Spin locally on my qnode's locked word (the MCS property:
-            # no remote polling while waiting).
-            rt.layer.wait_until(rt.managed_u64, CMP_EQ, 0, offset=qoff // 8 + _LOCKED_WORD)
-    held[key] = qoff
+            # no remote polling while waiting).  ``target`` names the
+            # predecessor: if it fails mid-protocol, the wait raises and
+            # the rescue path decides whether the lock was handed over.
+            try:
+                rt.layer.wait_until(
+                    rt.managed_u64, CMP_EQ, 0,
+                    offset=qoff // 8 + _LOCKED_WORD, target=p.image - 1,
+                )
+            except ImageFailedError:
+                if not _rescue_dead_pred(rt, p, qoff):
+                    # Predecessor died queued behind a live holder: the
+                    # queue link through it is unrecoverable.  The qnode
+                    # stays allocated (successors may still link to it).
+                    raise
+    held[key] = (qoff, lck, target_pe)
     rt.my_stats["lock_acquires"] += 1
     _record_lock(rt, "lock_acquire", "la", target_pe, t_start, lck, image, flat)
 
@@ -229,11 +253,12 @@ def _mcs_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
     target_pe = rt.image_to_pe(image)
     key = _held_key(lck, image, flat)
     held = rt._held[me_pe]
-    qoff = held.pop(key, None)
-    if qoff is None:
+    entry = held.pop(key, None)
+    if entry is None:
         raise LockError(
             f"image {me_image} does not hold lock {lck.lock_id}[{flat}] at image {image}"
         )
+    qoff = entry[0]
     my_ptr = pack_remote_pointer(me_image, qoff)
     t_start = ctx.clock.now
     # Writes from the critical section must be remotely complete before
@@ -266,6 +291,102 @@ def _mcs_release(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
     _record_lock(rt, "lock_release", "lr", target_pe, t_start, lck, image, flat)
 
 
+def _rescue_dead_pred(rt: CafRuntime, p, qoff: int) -> bool:
+    """Successor-side MCS recovery: the awaited predecessor failed.
+
+    Returns True once this image holds the lock, through one of three
+    doors — the dead holder's crash handler handed it over (our locked
+    word went to 0), it poisoned its qnode before seeing our link (we
+    claim), or the dead node received a posthumous handoff from a live
+    holder (its locked word went to 0: F2018 unlocks a failed image's
+    locks, and we, its linked successor, claim).  False means the dead
+    node is an unrecoverable zombie mid-queue.
+
+    Raw memory reads only: the predecessor is dead, so priced layer
+    traffic toward it would itself raise.  The wall-clock bound covers
+    the threaded engine, where the crash handler runs concurrently; on
+    the cooperative engine the handler completed before this PE resumed,
+    so the first iteration decides.
+    """
+    ctx = current()
+    mymem = rt.job.memories[ctx.pe]
+    my_locked = rt.managed_byte_offset(qoff) + 8 * _LOCKED_WORD
+    dead_locked = rt.managed_byte_offset(p.offset) + 8 * _LOCKED_WORD
+    deadmem = rt.job.memories[p.image - 1]
+    deadline = time.monotonic() + _RESCUE_DEADLINE_S
+    while True:
+        if int(mymem.read_scalar(my_locked, np.uint64)) == 0:
+            return True
+        dead_word = int(deadmem.read_scalar(dead_locked, np.uint64))
+        if dead_word in (_POISON, 0):
+            mymem.write(
+                my_locked, np.array([0], dtype=np.uint64),
+                timestamp=ctx.clock.now,
+            )
+            return True
+        if time.monotonic() >= deadline:
+            return False
+        time.sleep(0.001)
+
+
+def force_release(rt: CafRuntime, pe: int, key, entry) -> None:
+    """Raw-mode release of a dead image's held lock (F2018 11.6.11).
+
+    Runs from the engine's crash handler on the dying PE — before the
+    failure is observable by survivors on the cooperative engine, and
+    concurrently with them on the threaded engine — so it must not issue
+    priced layer traffic or block.  All stores go straight to the
+    backing memories, stamped at the dying image's crash time.
+    """
+    lock_id, image, flat = key
+    qoff, lck, target_pe = entry
+    ts = current().clock.now
+    tmem = rt.job.memories[target_pe]
+    word_addr = lck.handle.element_offset(flat)
+    if qoff < 0:
+        # TAS: the central word holds the dead holder's image number.
+        # The guarded rmw leaves the word alone if a survivor already
+        # stole it through the acquire loop's keyed cswap.
+        me_image = pe + 1
+        tmem.atomic_rmw(
+            word_addr, np.uint64,
+            lambda old: NIL if int(old) == me_image else old,
+            timestamp=ts,
+        )
+        return
+    # MCS: the dead image is the queue head.  Swing the tail back to
+    # NIL if no successor has queued.
+    my_ptr = pack_remote_pointer(pe + 1, qoff)
+    old = int(
+        tmem.atomic_rmw(
+            word_addr, np.uint64,
+            lambda cur: NIL if int(cur) == my_ptr else cur,
+            timestamp=ts,
+        )
+    )
+    if old in (my_ptr, NIL):
+        return
+    # A successor exists.  If it has linked, hand the lock over; if its
+    # link is still in flight, poison this qnode's locked word so the
+    # successor's failed wait claims the lock instead (_rescue_dead_pred).
+    mymem = rt.job.memories[pe]
+    base = rt.managed_byte_offset(qoff)
+    nxt_word = int(mymem.read_scalar(base + 8 * _NEXT_WORD, np.uint64))
+    if nxt_word != NIL:
+        nxt = unpack_remote_pointer(nxt_word)
+        rt.job.memories[nxt.image - 1].write(
+            rt.managed_byte_offset(nxt.offset) + 8 * _LOCKED_WORD,
+            np.array([0], dtype=np.uint64),
+            timestamp=ts,
+        )
+    else:
+        mymem.write(
+            base + 8 * _LOCKED_WORD,
+            np.array([_POISON], dtype=np.uint64),
+            timestamp=ts,
+        )
+
+
 # ---------------------------------------------------------------------------
 # Test-and-set baseline (Cray CAF reference model)
 # ---------------------------------------------------------------------------
@@ -296,13 +417,28 @@ def _tas_acquire(rt: CafRuntime, lck: CafLock, image: int, flat: int) -> None:
             old = int(rt.layer.atomic(lck.handle, target_pe, flat, "cswap", me_image, NIL))
             if old == NIL:
                 break
+            # F2018 11.6.11: a failed image's locks become unlocked.
+            # The crash handler force-releases the word; the keyed cswap
+            # here closes the window where the holder is marked failed
+            # but the release has not landed yet (steal from the dead).
+            holder_pe = old - 1
+            if (
+                rt.job.survivable
+                and 0 <= holder_pe < rt.job.num_pes
+                and rt.job.failed.is_failed(holder_pe)
+            ):
+                stolen = int(
+                    rt.layer.atomic(lck.handle, target_pe, flat, "cswap", me_image, old)
+                )
+                if stolen == old:
+                    break
             ctx.clock.advance(backoff)
             backoff = min(backoff * 2, _TAS_BACKOFF_MAX_US)
             # Wall-clock yield on the threaded engine; cooperative spin
             # yield under a scheduler so priority strategies can demote
             # this spinner until the holder releases.
             spin(ctx, "lock_spin", target_pe)
-    held[key] = -1  # no qnode for TAS
+    held[key] = (-1, lck, target_pe)  # no qnode for TAS
     rt.my_stats["lock_acquires"] += 1
     _record_lock(rt, "lock_acquire", "la", target_pe, t_start, lck, image, flat)
 

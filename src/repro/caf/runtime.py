@@ -37,6 +37,7 @@ from repro.caf.strided import make_plan, normalize_selection
 from repro.comm.constants import CMP_GE
 from repro.comm.heap import SymmetricArray
 from repro.runtime.context import PEContext, current
+from repro.runtime.failures import STAT_FAILED_IMAGE, ImageFailedError
 from repro.runtime.launcher import Job
 from repro.sim.netmodel import ConduitProfile
 from repro.util.allocator import FreeListAllocator
@@ -134,11 +135,15 @@ class CafRuntime:
         self.managed_u8: SymmetricArray | None = None
         self.managed_u64: SymmetricArray | None = None
         self._sync_counters: SymmetricArray | None = None
-        # Per-image held-lock hash table: (lock id, image, index) -> qnode offset
-        # (the paper's (lck, j) hash table).
-        self._held: list[dict[tuple[int, int, int], int]] = [
+        # Per-image held-lock hash table: (lock id, image, index) ->
+        # (qnode offset, lock object, target pe) — the paper's (lck, j)
+        # hash table, extended so the crash handler can force-release a
+        # failed image's locks (Fortran 2018: they become unlocked).
+        self._held: list[dict[tuple[int, int, int], tuple]] = [
             {} for _ in range(job.num_pes)
         ]
+        if getattr(job, "survivable", False):
+            job.failure_hooks.append(self._force_release_locks)
         # Per-image sync_images bookkeeping: how many syncs I have posted
         # to image j / consumed from image j.
         self._sync_expected: list[dict[int, int]] = [{} for _ in range(job.num_pes)]
@@ -253,6 +258,64 @@ class CafRuntime:
                 f"(CAF images are 1-based)"
             )
         return image - 1
+
+    # ------------------------------------------------------------------
+    # Failed images (Fortran 2018, 16.9.{78,98})
+    # ------------------------------------------------------------------
+    def failed_images(self) -> tuple[int, ...]:
+        """``failed_images()`` — 1-based indices (current team) of images
+        that have failed, in increasing order."""
+        reg = self.job.failed
+        team = self._team[current().pe]
+        if team is None:
+            return tuple(p + 1 for p in reg.failed_pes())
+        members = set(team.member_pes)
+        return tuple(
+            sorted(team.team_image_of(p) for p in reg.failed_pes() if p in members)
+        )
+
+    def image_status(self, image: int) -> int:
+        """``image_status(image)`` — 0 for a live image,
+        ``STAT_FAILED_IMAGE`` for a failed one."""
+        pe = self.image_to_pe(image)
+        return STAT_FAILED_IMAGE if self.job.failed.is_failed(pe) else 0
+
+    def _failure_stat(self) -> int:
+        """The ``stat=`` value of an image-control statement: nonzero iff
+        some image of the current team has failed."""
+        job = self.job
+        if getattr(job, "survivable", False) and job.failed.count:
+            if any(job.failed.is_failed(p) for p in self.team_pes()):
+                return STAT_FAILED_IMAGE
+        return 0
+
+    def live_pes(self, pes) -> tuple[int, ...]:
+        """Survivor subset of ``pes`` (identity unless survivable and at
+        least one image has failed)."""
+        job = self.job
+        if not getattr(job, "survivable", False) or not job.failed.count:
+            return tuple(pes)
+        return job.failed.survivors(tuple(pes))
+
+    def _force_release_locks(self, pe: int) -> None:
+        """Failure hook: force-release every lock the dying image holds
+        (F2018 11.6.11 — a failed image's locks become unlocked).
+
+        Runs from the engine's crash handler on the dying PE, before the
+        failure is visible to survivors, so survivors never observe a
+        dead holder without a recovery path in flight.
+        """
+        held = self._held[pe]
+        if not held:
+            return
+        from repro.caf.locks import force_release
+
+        for key, entry in list(held.items()):
+            try:
+                force_release(self, pe, key, entry)
+            except Exception:  # a corrupt lock must not mask the crash
+                pass
+        held.clear()
 
     # ------------------------------------------------------------------
     # Team-aware collective building blocks
@@ -504,17 +567,36 @@ class CafRuntime:
     # ------------------------------------------------------------------
     # Synchronization (Section IV's direct mappings)
     # ------------------------------------------------------------------
-    def sync_all(self) -> None:
-        """``sync all`` -> quiet + barrier over the current team."""
+    def sync_all(self, stat: list | None = None) -> int:
+        """``sync all`` -> quiet + barrier over the current team.
+
+        ``stat`` is the Fortran ``stat=`` out-argument: a one-element
+        mutable sequence whose slot 0 receives 0 on success or
+        ``STAT_FAILED_IMAGE`` if some image of the team has failed (the
+        barrier itself completes among the survivors either way).  The
+        status is also returned.
+        """
         self._check_started()
         self.barrier()
+        code = self._failure_stat()
+        if stat is not None:
+            stat[0] = code
+        return code
 
-    def sync_images(self, images) -> None:
+    def sync_images(self, images, stat: list | None = None) -> int:
         """``sync images(list)``: pairwise synchronization.
 
         Each named image must also execute a ``sync images`` naming this
         image.  Implemented with remote atomic increments on a counter
         coarray plus local waits — 1-sided, as UHCAF does it.
+
+        With ``stat=`` (a one-element mutable sequence), a failed
+        partner does not hang or error-terminate the statement: the
+        failed image is skipped, the survivors' pairwise syncs still
+        complete, and slot 0 receives ``STAT_FAILED_IMAGE``.  Without
+        ``stat=``, a failed partner raises
+        :class:`~repro.runtime.failures.ImageFailedError` (the
+        simulation's form of F2018 error termination).
         """
         self._check_started()
         ctx = current()
@@ -523,17 +605,34 @@ class CafRuntime:
             targets = [p for p in self.team_pes() if p != me]
         else:
             targets = sorted({self.image_to_pe(i) for i in images})
+        registry = self.job.failed if getattr(self.job, "survivable", False) else None
         expected = self._sync_expected[me]
         posted = self._sync_posted[me]
         tracer = self.job.tracer
         capture = tracer is not None and tracer.capture_sync
+        code = 0
         # Post my arrival to every partner (their slot index = my pe).
         self.layer.quiet()  # my prior puts are visible before I signal
+        live: list[int] = []
         for p in targets:
             if p == me:
                 continue
+            if registry is not None and registry.is_failed(p):
+                code = STAT_FAILED_IMAGE
+                if stat is None:
+                    from repro.runtime.failures import raise_image_failed
+
+                    raise_image_failed(ctx, "sync_images", p, registry, tracer)
+                continue
             t_start = ctx.clock.now
-            self.layer.atomic(self._sync_counters, p, me, "fadd", 1)
+            try:
+                self.layer.atomic(self._sync_counters, p, me, "fadd", 1)
+            except ImageFailedError:
+                code = STAT_FAILED_IMAGE
+                if stat is None:
+                    raise
+                continue
+            live.append(p)
             posted[p] = posted.get(p, 0) + 1
             if capture:
                 # Channel "si:<waiter>:<poster>" with a cumulative ticket:
@@ -544,17 +643,26 @@ class CafRuntime:
                     meta=("po", f"si:{p}:{me}", posted[p]),
                 )
         # Wait for every partner's matching arrival.
-        for p in targets:
-            if p == me:
-                continue
+        for p in live:
             expected[p] = expected.get(p, 0) + 1
             t_start = ctx.clock.now
-            self.layer.wait_until(self._sync_counters, CMP_GE, expected[p], offset=p)
+            try:
+                self.layer.wait_until(
+                    self._sync_counters, CMP_GE, expected[p], offset=p, target=p
+                )
+            except ImageFailedError:
+                code = STAT_FAILED_IMAGE
+                if stat is None:
+                    raise
+                continue
             if capture:
                 tracer.record(
                     ctx.pe, "wait", p, 0, t_start, ctx.clock.now,
                     meta=("wa", f"si:{me}:{p}", expected[p]),
                 )
+        if stat is not None:
+            stat[0] = code
+        return code
 
     def sync_memory(self) -> None:
         """``sync memory`` — the F2008 memory fence: completes this

@@ -12,7 +12,12 @@ rather than noise — for every schedule, exactly one of:
 * **clean abort** — the run raises a :class:`JobFailure` whose root
   cause is structured (:class:`TransientCommError`,
   :class:`InjectedCrash`, :class:`HangError`, or
-  :class:`OutOfMemoryError`), with every PE thread joined.
+  :class:`OutOfMemoryError`), with every PE thread joined;
+* **degraded-but-correct** — a ``survivable=True`` run over the
+  replicated DHT completes *without* the crashed PE: survivors see
+  ``STAT_FAILED_IMAGE``, re-read every acknowledged write intact (zero
+  lost acked writes), and the merged survivor data digest is identical
+  across execution engines (:func:`run_survivable_cell`).
 
 Anything else — a digest mismatch (silent corruption), an unstructured
 failure, or a wall-clock hang (caught by the watchdog, and by
@@ -52,7 +57,10 @@ STRUCTURED_CAUSES = (
     OutOfMemoryError,
 )
 
-TARGETS = ("dht", "locks", "himeno")
+TARGETS = ("dht", "locks", "himeno", "collectives")
+
+#: Targets for the survivable (failed-images) gate.
+SURVIVABLE_TARGETS = ("rdht",)
 
 #: Watchdog deadline for harness runs: far above any legitimate stall,
 #: far below CI patience.
@@ -167,7 +175,203 @@ def _run_himeno(images: int, machine: str, faults, deadline_s: float, quick: boo
     return _digest([float(res.gosa).hex()]), res.elapsed_us
 
 
-_RUNNERS = {"dht": _run_dht, "locks": _run_locks, "himeno": _run_himeno}
+def _collectives_kernel(rounds: int, seed: int):
+    from repro import caf
+    from repro.runtime.context import current
+
+    me = caf.this_image()
+    n = caf.num_images()
+    vec = np.arange(8, dtype=np.float64) * me + seed
+    team = caf.form_team(1 + (me - 1) % 2)
+    caf.sync_all()
+    ctx = current()
+    t0 = ctx.clock.now
+    for r in range(rounds):
+        with caf.change_team(team):
+            caf.co_sum(vec)  # team allreduce
+        caf.co_broadcast(vec, 1 + r % n)
+        vec += me
+    caf.sync_all()
+    return vec.tolist(), ctx.clock.now - t0
+
+
+def _run_collectives(images, machine, faults, deadline_s, quick):
+    from repro import caf
+
+    rounds = 2 if quick else 4
+    results = caf.launch(
+        _collectives_kernel,
+        images,
+        machine,
+        faults=faults,
+        watchdog_s=deadline_s,
+        args=(rounds, 3),
+    )
+    # Every image holds the same broadcast-then-incremented vector
+    # modulo the deterministic per-image tail increment; fold the full
+    # per-image matrix so any divergence trips the digest.
+    vecs = [[float(x).hex() for x in r[0]] for r in results]
+    return _digest(vecs), max(r[1] for r in results)
+
+
+_RUNNERS = {
+    "dht": _run_dht,
+    "locks": _run_locks,
+    "himeno": _run_himeno,
+    "collectives": _run_collectives,
+}
+
+
+# ---------------------------------------------------------------------------
+# The survivable (failed-images) gate
+# ---------------------------------------------------------------------------
+
+
+def _rdht_kernel(updates: int, slots: int, seed: int):
+    """Replicated-DHT kernel for survivable runs.
+
+    Each image writes ``updates`` counters into its own disjoint key
+    range (so the acked-ledger check is an exact equality), then — in
+    degraded mode if a crash fired — verifies every acked write is
+    still readable and reports its locally-authoritative pairs.
+    """
+    from repro import caf
+    from repro.bench.dht import ReplicatedHashTable
+    from repro.runtime.context import current
+
+    me = caf.this_image()
+    table = ReplicatedHashTable(slots, locks_per_image=4)
+    rng = np.random.default_rng(seed + me)
+    keys = (me << 24) + rng.integers(0, 1 << 24, size=updates)
+    caf.sync_all()
+    ctx = current()
+    t0 = ctx.clock.now
+    for k in keys:
+        table.update(int(k))
+    stat = [0]
+    caf.sync_all(stat=stat)
+    lost = table.verify_acked()
+    return {
+        "lost": lost,
+        "acked": len(table.acked),
+        "pairs": table.authoritative_items(),
+        "stat": stat[0],
+        "failed": list(caf.failed_images()),
+        "elapsed": ctx.clock.now - t0,
+    }
+
+
+def _run_rdht(images, machine, faults, deadline_s, quick, engine, seed):
+    from repro import caf
+
+    kw = {}
+    if engine == "cooperative":
+        # Cooperative execution is selected by the scheduler itself;
+        # the seeded walk pins one exact interleaving.
+        from repro.explore import RandomWalk, Scheduler
+
+        kw["scheduler"] = Scheduler(RandomWalk(seed))
+    else:
+        kw["engine"] = engine
+    updates, slots = (6, 32) if quick else (12, 64)
+    return caf.launch(
+        _rdht_kernel,
+        images,
+        machine,
+        survivable=True,
+        lock_algorithm="tas",
+        faults=faults,
+        watchdog_s=deadline_s,
+        args=(updates, slots, 77),
+        **kw,
+    )
+
+
+def survivable_crash_plan(seed: int, victim: int = 1, at: int = 40) -> FaultPlan:
+    """A schedule that kills one PE mid-run of a survivable job: the
+    survivors must complete in degraded mode with zero lost acked
+    writes."""
+    return FaultPlan(seed=seed, crash_at={victim: at})
+
+
+def run_survivable_cell(
+    target: str,
+    plan: FaultPlan,
+    *,
+    images: int = 4,
+    machine: str = "stampede",
+    deadline_s: float = DEFAULT_DEADLINE_S,
+    quick: bool = False,
+    engines: tuple[str, ...] = ("threaded", "cooperative"),
+) -> ChaosOutcome:
+    """Run one survivable target under one crash schedule on each
+    engine and apply the degraded-mode gate:
+
+    * the job must *complete* (no ``JobFailure``) with the crashed PE's
+      result slot ``None`` and every survivor reporting
+      ``STAT_FAILED_IMAGE``;
+    * **zero lost acknowledged writes** — every survivor's acked-ledger
+      re-read must match exactly;
+    * the merged survivor data digest must be identical across the
+      engines (schedule-stable degraded state).
+
+    A plan whose crash never fires must instead produce the fault-free
+    result on every engine (status ``identical``).
+    """
+    if target not in SURVIVABLE_TARGETS:
+        raise ValueError(f"unknown survivable target {target!r}")
+    digests: dict[str, str] = {}
+    crashed: dict[str, int] = {}
+    for engine in engines:
+        inj = FaultInjector(plan, images)
+        try:
+            results = _run_rdht(
+                images, machine, inj, deadline_s, quick, engine, plan.seed
+            )
+        except JobFailure as jf:
+            return ChaosOutcome(
+                target, "survivable-crash", plan.seed, "violation",
+                detail=f"[{engine}] survivable job aborted: {jf.__cause__!r}",
+                injected=inj.summary(),
+            )
+        dead = [i for i, r in enumerate(results) if r is None]
+        survivors = [r for r in results if r is not None]
+        crashed[engine] = len(dead)
+        lost = [m for r in survivors for m in r["lost"]]
+        if lost:
+            return ChaosOutcome(
+                target, "survivable-crash", plan.seed, "violation",
+                detail=f"[{engine}] lost acked writes: {lost[:4]}",
+                injected=inj.summary(),
+            )
+        if dead:
+            bad_stat = [r["stat"] for r in survivors if r["stat"] == 0]
+            if bad_stat or any(not r["failed"] for r in survivors):
+                return ChaosOutcome(
+                    target, "survivable-crash", plan.seed, "violation",
+                    detail=f"[{engine}] crash fired but survivors saw no "
+                           f"STAT_FAILED_IMAGE",
+                    injected=inj.summary(),
+                )
+        digests[engine] = _digest(
+            sorted(p for r in survivors for p in r["pairs"])
+        )
+    if len(set(digests.values())) != 1:
+        return ChaosOutcome(
+            target, "survivable-crash", plan.seed, "violation",
+            detail=f"survivor digests differ across engines: {digests}",
+        )
+    if len(set(crashed.values())) != 1:
+        return ChaosOutcome(
+            target, "survivable-crash", plan.seed, "violation",
+            detail=f"crash fired on some engines only: {crashed}",
+        )
+    status = "degraded" if next(iter(crashed.values())) else "identical"
+    detail = "" if status == "degraded" else "crash index beyond run length"
+    return ChaosOutcome(
+        target, "survivable-crash", plan.seed, status, detail=detail,
+        injected=inj.summary(),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -205,7 +409,7 @@ class ChaosOutcome:
     target: str
     schedule: str
     seed: int
-    status: str  # "identical" | "aborted" | "violation"
+    status: str  # "identical" | "aborted" | "degraded" | "violation"
     detail: str = ""
     injected: dict = field(default_factory=dict)
     elapsed_us: float | None = None
@@ -315,10 +519,13 @@ __all__ = [
     "ChaosOutcome",
     "DEFAULT_DEADLINE_S",
     "STRUCTURED_CAUSES",
+    "SURVIVABLE_TARGETS",
     "TARGETS",
     "crash_plan",
     "escalate_plan",
     "mixed_plan",
     "run_cell",
+    "run_survivable_cell",
     "run_target",
+    "survivable_crash_plan",
 ]

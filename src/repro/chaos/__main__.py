@@ -16,7 +16,14 @@ import argparse
 import json
 import sys
 
-from repro.chaos import DEFAULT_DEADLINE_S, TARGETS, run_target
+from repro.chaos import (
+    DEFAULT_DEADLINE_S,
+    SURVIVABLE_TARGETS,
+    TARGETS,
+    run_survivable_cell,
+    run_target,
+    survivable_crash_plan,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -46,6 +53,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-aborts", action="store_true",
         help="skip the crash/escalation schedules",
     )
+    parser.add_argument(
+        "--survivable", action="store_true",
+        help="also run the failed-images gate: a survivable replicated-DHT "
+        "job per seed must complete degraded with zero lost acked writes "
+        "and engine-identical survivor digests",
+    )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
     try:
         args = parser.parse_args(argv)
@@ -68,6 +81,20 @@ def main(argv: list[str] | None = None) -> int:
                 with_aborts=not args.no_aborts,
             )
         )
+
+    if args.survivable:
+        for target in SURVIVABLE_TARGETS:
+            for seed in args.seeds:
+                cells.append(
+                    run_survivable_cell(
+                        target,
+                        survivable_crash_plan(seed),
+                        images=args.images,
+                        machine=args.machine,
+                        deadline_s=args.deadline,
+                        quick=args.quick,
+                    )
+                )
 
     violations = [c for c in cells if not c.ok]
     if args.json:

@@ -216,6 +216,11 @@ class OneSidedLayer:
         self._jitter = eng.jitter
         self._deposit = eng.deposit
         self._drain = eng.drain
+        # Failed-image detection (survivable jobs only).  ``None`` in
+        # the default mode, so the per-op guard in every RMA/AMO entry
+        # point is a single ``is not None`` test and the clean-abort
+        # baseline stays byte-for-byte.
+        self._failed = job.failed if getattr(job, "survivable", False) else None
         # Wall-clock threshold for the vectorized index path (plans
         # moving fewer elements take the plain route; virtual times are
         # unaffected — see :func:`vector_min_elems`).
@@ -280,6 +285,17 @@ class OneSidedLayer:
         if not 0 <= pe < self.job.num_pes:
             raise ValueError(f"PE {pe} out of range [0, {self.job.num_pes})")
 
+    def _check_failed(self, ctx, op: str, pe: int) -> None:
+        """Initiator-side failed-image detection (survivable jobs only):
+        an RMA/AMO targeting a failed PE pays the detection latency in
+        virtual time, traces a ``fail`` record, and raises a structured
+        :class:`~repro.runtime.failures.ImageFailedError`."""
+        registry = self._failed
+        if registry is not None and registry.is_failed(pe):
+            from repro.runtime.failures import raise_image_failed
+
+            raise_image_failed(ctx, op, pe, registry, self.job.tracer)
+
     def _coerce(
         self, array: SymmetricArray, value, nelems: int | None = None
     ) -> np.ndarray:
@@ -308,6 +324,7 @@ class OneSidedLayer:
             return  # nothing moves: no pricing, no lock, no clock advance
         ctx = current()
         self._decide(ctx, "put", pe)
+        self._check_failed(ctx, "put", pe)
         t_start = ctx.clock.now
         if uncontended:
             def price(now, _n=data.nbytes):
@@ -365,6 +382,7 @@ class OneSidedLayer:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
         self._decide(ctx, "get", pe)
+        self._check_failed(ctx, "get", pe)
         nbytes = nelems * src.itemsize
         t_start = ctx.clock.now
         if uncontended:
@@ -435,6 +453,7 @@ class OneSidedLayer:
         if self.profile.iput_native:
             # Non-native conduits loop over put(), which decides per call.
             self._decide(ctx, "iput", pe)
+            self._check_failed(ctx, "iput", pe)
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         if self.profile.iput_native:
@@ -513,6 +532,7 @@ class OneSidedLayer:
         ctx = current()
         if self.profile.iput_native:
             self._decide(ctx, "iget", pe)
+            self._check_failed(ctx, "iget", pe)
         t_start = ctx.clock.now
         itemsize = src.itemsize
         if self.profile.iput_native:
@@ -665,6 +685,7 @@ class OneSidedLayer:
             return
         ctx = current()
         self._decide(ctx, "plan_put", pe)
+        self._check_failed(ctx, "put", pe)
         t_start = ctx.clock.now
         itemsize = dest.itemsize
         price, op, calls = self._plan_price("put", spec, itemsize, pe)
@@ -739,6 +760,7 @@ class OneSidedLayer:
             return np.empty(0, dtype=src.dtype)
         ctx = current()
         self._decide(ctx, "plan_get", pe)
+        self._check_failed(ctx, "get", pe)
         t_start = ctx.clock.now
         itemsize = src.itemsize
         price, op, calls = self._plan_price("get", spec, itemsize, pe)
@@ -880,6 +902,7 @@ class OneSidedLayer:
         # Atomics bypass the delivery queues (the NIC atomic unit is
         # not write-buffered): they execute at the chosen step.
         self._decide(ctx, "atomic", pe)
+        self._check_failed(ctx, "atomic", pe)
         t_start = ctx.clock.now
         if uncontended:
             proc = back = None
@@ -1025,7 +1048,7 @@ class OneSidedLayer:
 
     def wait_until(
         self, ivar: SymmetricArray, cmp: str, value, offset: int = 0,
-        *, word: bool = False,
+        *, word: bool = False, target: int = -1,
     ) -> None:
         """Block until local ``ivar[offset] <cmp> value`` holds; merges
         the satisfying write's virtual timestamp into the clock.
@@ -1036,12 +1059,19 @@ class OneSidedLayer:
         landing first, but is only sound when the protocol guarantees
         strict post/consume alternation on this word (one outstanding
         post per channel — the collective library's discipline).
+
+        ``target`` names the remote PE whose write is awaited, when the
+        protocol knows it: a survivable job then fails the wait with
+        :class:`~repro.runtime.failures.ImageFailedError` as soon as
+        that PE is marked failed, instead of blocking until the
+        watchdog's wall-clock deadline.
         """
         ctx = current()
         mem, predicate, elem_offset = self._wait_probe(ivar, cmp, value, offset)
         ts = self.engine.wait_value(
             ctx, mem, predicate,
             f"wait_until(offset={elem_offset}, {cmp} {value!r})",
+            target if self._failed is not None else -1,
         )
         if word:
             ts = mem.word_time(elem_offset)

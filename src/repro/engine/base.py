@@ -175,6 +175,14 @@ class Engine:
         group barriers), or ``None`` for in-process state."""
         return None
 
+    def make_failed_state(self, num_pes: int):
+        """External backing for the job's
+        :class:`~repro.runtime.failures.FailedImageRegistry`, or ``None``
+        for the in-process flag list.  A cross-process engine returns a
+        shared-memory slot view so every PE process sees one failed set.
+        """
+        return None
+
     def make_collectives(self, num_pes: int, *, aborted, group: bool = False):
         """Collective-agreement state (``group=True`` for PE subsets)."""
         from repro.runtime.sync import CollectiveState
@@ -298,10 +306,61 @@ class Engine:
         """Park until barrier ``gen`` releases (non-final arrivers)."""
         raise NotImplementedError
 
-    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+    def wait_value(self, ctx, mem, predicate, what: str,
+                   target: int = -1) -> float:
         """Block until ``predicate()`` holds over ``mem``; returns the
-        virtual timestamp to merge (the satisfying write's time)."""
+        virtual timestamp to merge (the satisfying write's time).
+
+        ``target`` names the remote PE whose write is being waited for,
+        when known: survivable jobs then fail the wait immediately with
+        :class:`~repro.runtime.failures.ImageFailedError` if that PE is
+        (or becomes) a failed image, instead of blocking forever.
+        """
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Survivable failure handling (see repro.runtime.failures)
+    # ------------------------------------------------------------------
+    def on_pe_failed(self, ctx, exc) -> list:
+        """Convert a survivable crash of ``ctx.pe`` into a failed image.
+
+        Runs on the dying PE, from the engine's crash handler, while the
+        PE's context is still current.  In order: mark the registry
+        (idempotence guard — a PE dies once), run the job's registered
+        failure hooks (e.g. CAF lock recovery releases the dead image's
+        held locks, per the Fortran 2018 rule that a failed image's
+        locks become unlocked), trace a ``fail`` record for the death
+        itself, then excise the PE from the job barrier and every group
+        barrier it belongs to so survivors' episode arithmetic completes
+        without it.
+
+        Returns the ``(barrier, released_generation)`` pairs whose
+        current episode the excision released — the event engine departs
+        the continuations parked on those episodes.
+        """
+        job = self.job
+        pe = ctx.pe
+        if not job.failed.mark_failed(pe):
+            return []
+        for hook in job.failure_hooks:
+            try:
+                hook(pe)
+            except Exception:  # recovery must never mask the crash
+                pass
+        tracer = job.tracer
+        if tracer is not None:
+            tracer.record(
+                ctx.pe, "fail", -1, 0, ctx.clock.now, ctx.clock.now,
+                internal=True, meta=("f", "crash"),
+            )
+        released = []
+        barriers = [job.barrier]
+        if job.groups is not None:
+            barriers.extend(job.groups.barriers())
+        for bar in barriers:
+            if bar.exclude(pe):
+                released.append((bar, bar.generation - 1))
+        return released
 
     # ------------------------------------------------------------------
     def run(self, job: "Job", fn, args, kwargs) -> list:

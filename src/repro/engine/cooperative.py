@@ -49,7 +49,24 @@ class CooperativeEngine(ThreadRunMixin, Engine):
             f"barrier(sync_id={barrier.sync_id}, gen={gen})",
         )
 
-    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+    def wait_value(self, ctx, mem, predicate, what: str,
+                   target: int = -1) -> float:
+        job = self.job
+        if target >= 0 and job.survivable:
+            # Unblock on either the awaited value or the target's death;
+            # re-raising happens on this PE's own thread, not inside the
+            # scheduler's predicate evaluation.
+            registry = job.failed
+
+            def value_or_failed() -> bool:
+                return predicate() or registry.is_failed(target)
+
+            self.scheduler.block_until(ctx.pe, value_or_failed, what)
+            if not predicate() and registry.is_failed(target):
+                from repro.runtime.failures import raise_image_failed
+
+                raise_image_failed(ctx, "wait", target, registry, job.tracer)
+            return mem.last_write_time
         self.scheduler.block_until(ctx.pe, predicate, what)
         return mem.last_write_time
 

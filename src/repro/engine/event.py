@@ -44,6 +44,8 @@ import typing
 from repro.engine.base import Engine, EngineError, WouldBlock
 from repro.engine.steps import BarrierStep, DelayStep, Done, Step, WaitStep
 from repro.runtime.context import PEContext, set_current
+from repro.runtime.failures import raise_image_failed
+from repro.sim.faults import InjectedCrash
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.launcher import Job
@@ -72,18 +74,43 @@ class _Waiter:
 
     ``word_offset`` is ``None`` for memory-global time merges, or the
     element offset whose per-word atomic timestamp to merge instead
-    (``WaitStep(word=True)``).
+    (``WaitStep(word=True)``).  ``target`` is the remote PE whose write
+    is awaited (when known; -1 otherwise) — survivable jobs fail the
+    wait with ``ImageFailedError`` if that PE dies.
     """
 
-    __slots__ = ("pe", "ctx", "mem", "predicate", "cont", "word_offset")
+    __slots__ = ("pe", "ctx", "mem", "predicate", "cont", "word_offset",
+                 "target")
 
-    def __init__(self, pe, ctx, mem, predicate, cont, word_offset) -> None:
+    def __init__(self, pe, ctx, mem, predicate, cont, word_offset,
+                 target=-1) -> None:
         self.pe = pe
         self.ctx = ctx
         self.mem = mem
         self.predicate = predicate
         self.cont = cont
         self.word_offset = word_offset
+        self.target = target
+
+
+def _make_wait_failure(w: _Waiter, dead: int, job):
+    """Continuation that fails a parked waiter whose partner died.
+
+    The predicate is re-checked first: the dead PE's failure hooks (lock
+    handoff, forced releases) may have satisfied the wait while the
+    crash was being processed — then the waiter resumes normally.
+    """
+
+    def thunk():
+        if w.predicate():
+            if w.word_offset is None:
+                w.ctx.clock.merge(w.mem.last_write_time)
+            else:
+                w.ctx.clock.merge(w.mem.word_time(w.word_offset))
+            return w.cont()
+        raise_image_failed(w.ctx, "wait", dead, job.failed, job.tracer)
+
+    return thunk
 
 
 class EventEngine(Engine):
@@ -111,7 +138,8 @@ class EventEngine(Engine):
             "directly, and which PE releases is schedule-dependent)"
         )
 
-    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+    def wait_value(self, ctx, mem, predicate, what: str,
+                   target: int = -1) -> float:
         if predicate():
             return mem.last_write_time
         raise WouldBlock(
@@ -196,9 +224,18 @@ class EventEngine(Engine):
                             ctx.clock.merge(mem.last_write_time)
                         step = step.cont()  # continue in this slice
                         continue
+                    if (
+                        step.target >= 0
+                        and job.survivable
+                        and job.failed.is_failed(step.target)
+                    ):
+                        raise_image_failed(
+                            ctx, "wait", step.target, job.failed, job.tracer
+                        )
                     waiters.append(_Waiter(
                         pe, ctx, mem, predicate, step.cont,
                         elem_offset if step.word else None,
+                        step.target,
                     ))
                     return
                 if cls is DelayStep:
@@ -221,6 +258,34 @@ class EventEngine(Engine):
                 except JobAborted:
                     continue  # secondary failure; root cause recorded
                 except BaseException as exc:  # noqa: BLE001 - collect all
+                    if job.survivable and isinstance(exc, InjectedCrash):
+                        # Survivable mode: registry mark + barrier
+                        # excision; an excision that released a barrier
+                        # episode departs its parked survivors, and
+                        # waiters on the dead PE fail with a structured
+                        # ImageFailedError instead of deadlocking.
+                        released = self.on_pe_failed(ctx, exc)
+                        for bar, gen in released:
+                            for p in parked.pop((bar.sync_id, gen), ()):
+                                set_current(p.ctx)
+                                p.layer._barrier_depart(
+                                    p.ctx, p.t_start, gen, p.barrier
+                                )
+                                schedule(p.pe, p.cont, p.ctx.clock.now)
+                        set_current(ctx)
+                        still: list[_Waiter] = []
+                        for w in waiters:
+                            if w.target == pe:
+                                schedule(
+                                    w.pe,
+                                    _make_wait_failure(w, pe, job),
+                                    w.ctx.clock.now,
+                                )
+                            else:
+                                still.append(w)
+                        waiters[:] = still
+                        check_waiters()
+                        continue
                     failures.append((pe, exc))
                     job.abort()
                     continue

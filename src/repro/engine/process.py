@@ -159,6 +159,9 @@ class ProcessEngine(Engine):
     def make_barrier_state(self, key: tuple):
         return self._heap.barrier_state(key)
 
+    def make_failed_state(self, num_pes: int):
+        return self._heap.failed_state()
+
     def make_collectives(self, num_pes: int, *, aborted, group: bool = False):
         if group:
             return _GroupCollectivesUnsupported(num_pes, aborted=aborted)
@@ -200,12 +203,12 @@ class ProcessEngine(Engine):
             if guard is not None:
                 guard.__exit__(None, None, None)
 
-    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+    def wait_value(self, ctx, mem, predicate, what: str, target: int = -1) -> float:
         job = ctx.job
         wd = job.watchdog
         if wd is None:
             return mem.wait_until(predicate, aborted=job.aborted)
-        with wd.watch(ctx.pe, what) as guard:
+        with wd.watch(ctx.pe, what, target, ctx) as guard:
             return mem.wait_until(predicate, aborted=job.aborted, watch=guard.poll)
 
     # ------------------------------------------------------------------
@@ -279,6 +282,20 @@ class ProcessEngine(Engine):
     def _adopt(self, job, pe: int, payload, results, failures) -> None:
         """Fold one child's report (or its absence) into the job."""
         if payload is None:
+            if getattr(job, "survivable", False):
+                # Real child death (SIGKILL, OOM, os._exit) in a
+                # survivable job is a failed image, not a job failure:
+                # mark the registry and excise the PE from every barrier
+                # so the surviving processes complete without it.  The
+                # dead child's failure hooks cannot run — survivors
+                # recover held locks through the is_failed steal paths.
+                if job.failed.mark_failed(pe):
+                    barriers = [job.barrier]
+                    if job.groups is not None:
+                        barriers.extend(job.groups.barriers())
+                    for bar in barriers:
+                        bar.exclude(pe)
+                return
             failures.append((
                 pe,
                 RemotePEFailure(
@@ -293,6 +310,8 @@ class ProcessEngine(Engine):
         elif status == "failed":
             failures.append((pe, payload.get("error")))
         # "aborted": secondary failure, root cause recorded elsewhere.
+        # "failed_image": survivable crash — the child already marked the
+        # shared registry and excised itself; its result stays None.
         tracer = job.tracer
         if tracer is not None and "trace" in payload:
             tracer.adopt_events(pe, payload["trace"])
@@ -323,8 +342,23 @@ class ProcessEngine(Engine):
         except JobAborted:
             pass  # secondary failure; the root cause is recorded
         except BaseException as exc:  # noqa: BLE001 - must cross the pipe
-            job.abort()
-            payload = {"status": "failed", "error": self._portable(exc, pe)}
+            from repro.sim.faults import InjectedCrash
+
+            if job.survivable and isinstance(exc, InjectedCrash):
+                try:
+                    # Shared registry + barrier slots: the mark and the
+                    # excisions are visible to every sibling process.
+                    self.on_pe_failed(ctx, exc)
+                    payload = {"status": "failed_image"}
+                except BaseException as handler_exc:
+                    job.abort()
+                    payload = {
+                        "status": "failed",
+                        "error": self._portable(handler_exc, pe),
+                    }
+            else:
+                job.abort()
+                payload = {"status": "failed", "error": self._portable(exc, pe)}
         finally:
             set_current(None)
             payload["clock"] = ctx.clock.now

@@ -85,12 +85,19 @@ class WaitStep(Step):
     of the memory-global last-write time — valid only under strict
     post/consume alternation on that word (see
     :meth:`~repro.runtime.memory.PEMemory.word_time`).
+
+    ``target`` names the remote PE whose write is awaited, when known:
+    a survivable job then fails the wait with
+    :class:`~repro.runtime.failures.ImageFailedError` if that PE dies,
+    instead of parking forever.
     """
 
-    __slots__ = ("layer", "ivar", "cmp", "value", "offset", "cont", "word")
+    __slots__ = ("layer", "ivar", "cmp", "value", "offset", "cont", "word",
+                 "target")
 
     def __init__(self, layer, ivar, cmp: str, value, cont: Callable[[], Any],
-                 offset: int = 0, word: bool = False) -> None:
+                 offset: int = 0, word: bool = False,
+                 target: int = -1) -> None:
         self.layer = layer
         self.ivar = ivar
         self.cmp = cmp
@@ -98,6 +105,7 @@ class WaitStep(Step):
         self.offset = offset
         self.cont = cont
         self.word = word
+        self.target = target
 
 
 class DelayStep(Step):
@@ -142,7 +150,8 @@ def drive(step: Any) -> Any:
             step = step.cont()
         elif cls is WaitStep:
             step.layer.wait_until(
-                step.ivar, step.cmp, step.value, step.offset, word=step.word
+                step.ivar, step.cmp, step.value, step.offset, word=step.word,
+                target=step.target,
             )
             step = step.cont()
         elif cls is DelayStep:

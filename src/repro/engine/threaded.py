@@ -17,6 +17,7 @@ from repro.engine.base import Engine
 from repro.engine.pool import shared_pool
 from repro.engine.steps import Step, drive
 from repro.runtime.context import PEContext, set_current
+from repro.sim.faults import InjectedCrash
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.launcher import Job
@@ -65,9 +66,20 @@ class ThreadRunMixin:
                 except JobAborted:
                     pass  # secondary failure; the root cause is recorded
                 except BaseException as exc:  # noqa: BLE001 - must not leak
-                    with failures_lock:
-                        failures.append((pe, exc))
-                    job.abort()
+                    if job.survivable and isinstance(exc, InjectedCrash):
+                        # Survivable mode: the crash makes this PE a
+                        # failed image (registry mark, lock recovery,
+                        # barrier excision) instead of aborting the job.
+                        try:
+                            self.on_pe_failed(ctx, exc)
+                        except BaseException as handler_exc:  # noqa: BLE001
+                            with failures_lock:
+                                failures.append((pe, handler_exc))
+                            job.abort()
+                    else:
+                        with failures_lock:
+                            failures.append((pe, exc))
+                        job.abort()
                 finally:
                     self._task_exit(pe)
                     set_current(None)
@@ -129,10 +141,11 @@ class ThreadedEngine(ThreadRunMixin, Engine):
                 if guard is not None:
                     guard.__exit__(None, None, None)
 
-    def wait_value(self, ctx, mem, predicate, what: str) -> float:
+    def wait_value(self, ctx, mem, predicate, what: str,
+                   target: int = -1) -> float:
         job = ctx.job
         wd = job.watchdog
         if wd is None:
             return mem.wait_until(predicate, aborted=job.aborted)
-        with wd.watch(ctx.pe, what) as guard:
+        with wd.watch(ctx.pe, what, target, ctx) as guard:
             return mem.wait_until(predicate, aborted=job.aborted, watch=guard.poll)

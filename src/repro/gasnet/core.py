@@ -104,6 +104,7 @@ class GasnetLayer(OneSidedLayer):
         fn = self._resolve_handler(handler)
         ctx = current()
         self._decide(ctx, "am", pe)
+        self._check_failed(ctx, "am", pe)
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
         timing = self._priced(
@@ -137,6 +138,7 @@ class GasnetLayer(OneSidedLayer):
         fn = self._resolve_handler(handler)
         ctx = current()
         self._decide(ctx, "am", pe)
+        self._check_failed(ctx, "am", pe)
         nbytes = 0 if payload is None else int(np.asarray(payload).nbytes)
         t_start = ctx.clock.now
         done = self._priced(

@@ -52,7 +52,15 @@ class _GroupSync:
             len(members),
             aborted=job.aborted,
             state=job.engine.make_barrier_state(members),
+            members=members,
         )
+        # A group formed after an image has already failed must not wait
+        # for the dead member (survivable mode only; the set is final at
+        # failure time — later deaths excise via Engine.on_pe_failed).
+        if job.survivable:
+            for pe in members:
+                if job.failed.is_failed(pe):
+                    self.barrier.exclude(pe)
         self.collectives = job.engine.make_collectives(
             len(members), aborted=job.aborted, group=True
         )
@@ -88,3 +96,8 @@ class GroupRegistry:
                 group = _GroupSync(self._job, key)
                 self._groups[key] = group
             return group
+
+    def barriers(self) -> list[VirtualBarrier]:
+        """Snapshot of every group barrier (for failed-PE excision)."""
+        with self._lock:
+            return [g.barrier for g in self._groups.values()]

@@ -94,6 +94,7 @@ class Job:
         watchdog_s: float | None = None,
         scheduler: Any = None,
         engine: Any = None,
+        survivable: bool = False,
     ) -> None:
         # Resolve the engine before sizing anything: the PE ceiling is
         # the engine's (4096 threads for the thread-backed engines, more
@@ -139,6 +140,22 @@ class Job:
         self.collectives = self.engine.make_collectives(
             num_pes, aborted=self.aborted
         )
+        # Failed-images model (Fortran 2018): with survivable=True an
+        # injected crash (or real child-process death on the process
+        # engine) marks the PE failed here instead of aborting the job.
+        # The registry always exists — failed_images() is just empty in
+        # the default mode — but layers skip every registry check unless
+        # survivable, keeping the clean-abort baseline byte-for-byte.
+        from repro.runtime.failures import FailedImageRegistry
+
+        self.survivable = bool(survivable)
+        self.failed = FailedImageRegistry(
+            num_pes, state=self.engine.make_failed_state(num_pes)
+        )
+        #: Callables ``hook(pe)`` run on the dying PE when it becomes a
+        #: failed image (before barrier excision) — e.g. CAF lock
+        #: recovery registers here.
+        self.failure_hooks: list[Callable[[int], None]] = []
         # Subset synchronization (OpenSHMEM active sets, CAF teams).
         from repro.runtime.groups import GroupRegistry
 
@@ -221,14 +238,15 @@ def run_spmd(
     watchdog_s: float | None = None,
     scheduler: Any = None,
     engine: Any = None,
+    survivable: bool = False,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
     """One-shot convenience: build a :class:`Job` and run ``fn`` on it.
 
-    ``faults``, ``watchdog_s``, ``scheduler``, and ``engine`` are
-    forwarded to the :class:`Job` (historically ``faults``/``watchdog_s``
-    were silently dropped here).
+    ``faults``, ``watchdog_s``, ``scheduler``, ``engine``, and
+    ``survivable`` are forwarded to the :class:`Job` (historically
+    ``faults``/``watchdog_s`` were silently dropped here).
     """
     job = Job(
         num_pes,
@@ -238,6 +256,7 @@ def run_spmd(
         watchdog_s=watchdog_s,
         scheduler=scheduler,
         engine=engine,
+        survivable=survivable,
     )
     try:
         return job.run(fn, args=args, kwargs=kwargs)

@@ -138,6 +138,35 @@ class SharedAbortEvent:
         self._slot[0] = 0
 
 
+class SharedFailedState:
+    """Failed-image flags over shared int64 slots (one per PE).
+
+    Backs :class:`~repro.runtime.failures.FailedImageRegistry` on the
+    process engine: marking is an idempotent set-once under the job sync
+    lock; reads are single aligned loads (monotonic flags, like abort).
+    """
+
+    __slots__ = ("_flags", "_lock")
+
+    def __init__(self, flags: np.ndarray, lock) -> None:
+        self._flags = flags
+        self._lock = lock
+
+    def mark(self, pe: int) -> bool:
+        with self._lock:
+            if int(self._flags[pe]):
+                return False
+            self._flags[pe] = 1
+            return True
+
+    def is_failed(self, pe: int) -> bool:
+        return bool(self._flags[pe])
+
+    def snapshot(self) -> tuple[int, ...]:
+        """The failed PE indices (not the raw flags)."""
+        return tuple(int(p) for p in np.flatnonzero(self._flags))
+
+
 class SharedBarrierState:
     """One barrier episode's state in the control segment.
 
@@ -148,14 +177,17 @@ class SharedBarrierState:
     unlocked (a single aligned int64 read).
     """
 
-    __slots__ = ("_gen", "_count", "_max", "_rel", "_lock")
+    __slots__ = ("_gen", "_count", "_max", "_rel", "_lock", "_excl", "_cost")
 
-    def __init__(self, gen, count, max_arrival, release, lock) -> None:
+    def __init__(self, gen, count, max_arrival, release, lock,
+                 excluded, cost) -> None:
         self._gen = gen
         self._count = count
         self._max = max_arrival
         self._rel = release
         self._lock = lock
+        self._excl = excluded
+        self._cost = cost
 
     @property
     def generation(self) -> int:
@@ -174,13 +206,32 @@ class SharedBarrierState:
             if now > self._max[0]:
                 self._max[0] = now
             self._count[0] += 1
-            released = int(self._count[0]) == num_pes
+            self._cost[0] = cost
+            released = int(self._count[0]) >= num_pes - int(self._excl[0])
             if released:
                 self._rel[0] = float(self._max[0]) + cost
                 self._count[0] = 0
                 self._max[0] = 0.0
                 self._gen[0] = gen + 1
         return gen, released
+
+    def exclude(self, num_pes: int) -> bool:
+        """Excise one failed participant (survivable jobs).
+
+        The exclusion count lives in the shared slot — per-process
+        ``VirtualBarrier`` replicas keep passing their original
+        ``num_pes``, so every process sees the same shrunken quorum.
+        """
+        with self._lock:
+            self._excl[0] += 1
+            required = num_pes - int(self._excl[0])
+            released = 0 < required <= int(self._count[0])
+            if released:
+                self._rel[0] = float(self._max[0]) + float(self._cost[0])
+                self._count[0] = 0
+                self._max[0] = 0.0
+                self._gen[0] = int(self._gen[0]) + 1
+        return released
 
 
 class SharedTimeline(Timeline):
@@ -389,11 +440,13 @@ class SharedHeap:
             create=True, size=num_pes * heap_bytes
         )
         # Control layout, all 8-byte fields (offsets in slots):
-        #   abort[1] | clocks[P] | lwt[P] | word keys/times/seqs[P*W]
-        #   | barrier keys[B] + gen/count/max/rel[B] | timelines[T*3]
+        #   abort[1] | failed[P] | clocks[P] | lwt[P]
+        #   | word keys/times/seqs[P*W]
+        #   | barrier keys[B] + gen/count/max/rel/excl/cost[B]
+        #   | timelines[T*3]
         slots = (
-            1 + 2 * num_pes + 3 * num_pes * word_slots
-            + 5 * barrier_slots + 3 * num_timelines
+            1 + 3 * num_pes + 3 * num_pes * word_slots
+            + 7 * barrier_slots + 3 * num_timelines
         )
         self._ctrl = shared_memory.SharedMemory(create=True, size=8 * slots)
         np.ndarray((slots,), dtype=np.int64, buffer=self._ctrl.buf)[:] = 0
@@ -406,6 +459,7 @@ class SharedHeap:
 
         off = 0
         self._abort = carve(1, np.int64)
+        self._failed = carve(num_pes, np.int64)
         self._clocks = carve(num_pes, np.float64)
         self._lwt = carve(num_pes, np.float64)
         self._wkeys = carve(num_pes * word_slots, np.int64)
@@ -416,6 +470,8 @@ class SharedHeap:
         self._bcount = carve(barrier_slots, np.int64)
         self._bmax = carve(barrier_slots, np.float64)
         self._brel = carve(barrier_slots, np.float64)
+        self._bexcl = carve(barrier_slots, np.int64)
+        self._bcost = carve(barrier_slots, np.float64)
         self._tvals = carve(3 * num_timelines, np.float64)
 
         self._mem_locks = [mp_context.Lock() for _ in range(num_pes)]
@@ -484,7 +540,14 @@ class SharedHeap:
             self._bmax[i : i + 1],
             self._brel[i : i + 1],
             self.sync_lock,
+            self._bexcl[i : i + 1],
+            self._bcost[i : i + 1],
         )
+
+    def failed_state(self) -> "SharedFailedState":
+        """The failed-image flag array (survivable jobs), shared so a
+        child's crash marks the PE failed in every process at once."""
+        return SharedFailedState(self._failed, self.sync_lock)
 
     def timeline(self, name: str) -> SharedTimeline:
         """Next timeline's shared accumulators (creation is pre-fork, in
@@ -514,6 +577,7 @@ __all__ = [
     "WORD_SLOTS",
     "SharedAbortEvent",
     "SharedBarrierState",
+    "SharedFailedState",
     "SharedHeap",
     "SharedPEMemory",
     "SharedTimeline",

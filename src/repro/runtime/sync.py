@@ -49,11 +49,16 @@ class VirtualBarrier:
         *,
         aborted: Callable[[], bool],
         state: Any = None,
+        members: tuple | None = None,
     ) -> None:
         if num_pes <= 0:
             raise ValueError("num_pes must be positive")
         self.num_pes = num_pes
         self._aborted = aborted
+        #: Participating PEs (``None`` = all job PEs).  Survivable jobs
+        #: consult this when excising a failed PE: only barriers the
+        #: dead PE belonged to shrink.
+        self.members = members
         #: Optional external episode state (cross-process engines back
         #: it with shared-memory slots — see
         #: :class:`repro.runtime.sharedheap.SharedBarrierState`); ``None``
@@ -66,6 +71,7 @@ class VirtualBarrier:
             self._count = 0
             self._max_arrival = 0.0
             self._release_time = 0.0
+            self._last_cost = 0.0
         #: Job-unique identity; with the generation number it names one
         #: barrier *episode* for the sanitizer's happens-before graph.
         self.sync_id = next(VirtualBarrier._ids)
@@ -92,7 +98,8 @@ class VirtualBarrier:
             gen = self._generation
             self._max_arrival = max(self._max_arrival, ctx.clock.now)
             self._count += 1
-            released = self._count == self.num_pes
+            self._last_cost = cost
+            released = self._count >= self.num_pes
             if released:
                 self._release_time = self._max_arrival + cost
                 self._count = 0
@@ -100,6 +107,36 @@ class VirtualBarrier:
                 self._generation += 1
                 self._cond.notify_all()
         return gen, released
+
+    def exclude(self, pe: int) -> bool:
+        """Permanently excise a failed participant from the episode
+        arithmetic; returns True if this released the current episode.
+
+        The survivor release time is unchanged by *when* the exclusion
+        lands relative to the survivors' arrivals: every arriver of one
+        barrier passes the same ``cost``, so whether the last survivor's
+        ``arrive`` or this ``exclude`` completes the episode, the
+        release time is ``max(survivor arrivals) + cost`` — survivable
+        runs stay bit-identical across engines.  (A crashing PE never
+        holds an open arrival: the injected crash fires in the barrier's
+        jitter pricing, *before* ``arrive``.)
+        """
+        if self.members is not None and pe not in self.members:
+            return False
+        if self._shared is not None:
+            # The exclusion count lives in the shared slot; this
+            # process's num_pes replica stays at its original value.
+            return self._shared.exclude(self.num_pes)
+        with self._cond:
+            self.num_pes -= 1
+            released = 0 < self.num_pes <= self._count
+            if released:
+                self._release_time = self._max_arrival + self._last_cost
+                self._count = 0
+                self._max_arrival = 0.0
+                self._generation += 1
+                self._cond.notify_all()
+        return released
 
     def depart(self, ctx: PEContext, gen: int) -> float:
         """Merge the episode's release time into ``ctx``'s clock and

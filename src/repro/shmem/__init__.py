@@ -134,6 +134,7 @@ def launch(
     watchdog_s: float | None = None,
     scheduler: Any = None,
     engine: Any = None,
+    survivable: bool = False,
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> list[Any]:
@@ -145,6 +146,10 @@ def launch(
     the hang watchdog's wall-clock stall deadline.  ``engine`` selects
     the execution engine (``"threaded"``/``"event"`` or an
     :class:`~repro.engine.Engine` instance; see :mod:`repro.engine`).
+    ``survivable=True`` turns injected crashes into *failed images*
+    (Fortran-2018 semantics) instead of job aborts: survivors keep
+    running, and operations targeting a failed PE raise
+    :class:`~repro.runtime.failures.ImageFailedError`.
     Returns the per-PE return values of ``fn``.
     """
     job_kwargs: dict[str, Any] = {} if heap_bytes is None else {"heap_bytes": heap_bytes}
@@ -156,6 +161,8 @@ def launch(
         job_kwargs["scheduler"] = scheduler
     if engine is not None:
         job_kwargs["engine"] = engine
+    if survivable:
+        job_kwargs["survivable"] = True
     job = Job(num_pes, machine, **job_kwargs)
     attach(job, profile)
     try:

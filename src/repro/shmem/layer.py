@@ -204,7 +204,7 @@ class ShmemLayer(OneSidedLayer):
                 f"it does not belong to"
             )
         data = np.asarray(source.local).reshape(-1)[:nelems]
-        res = team_reduce(self, members, data, _BINARY_OPS[op])
+        res = team_reduce(self, self._live_pes(members), data, _BINARY_OPS[op])
         dest.local.reshape(-1)[:nelems] = res
 
     # ------------------------------------------------------------------
@@ -222,6 +222,18 @@ class ShmemLayer(OneSidedLayer):
 
     def _all_pes(self) -> tuple[int, ...]:
         return tuple(range(self.job.num_pes))
+
+    def _live_pes(self, members: tuple[int, ...]) -> tuple[int, ...]:
+        """Degraded-mode collectives: failed PEs are excised from the
+        member list (and therefore from the algorithms' tree/ring rank
+        maps) before the collective runs.  Callers must only reach a
+        collective after a synchronization point has ordered the failure
+        (the survivable discipline); in the default mode this is the
+        identity."""
+        registry = self._failed
+        if registry is None:
+            return members
+        return registry.survivors(members)
 
     def broadcast(
         self, dest: SymmetricArray, source: SymmetricArray, nelems: int, root: int
@@ -245,7 +257,13 @@ class ShmemLayer(OneSidedLayer):
             self.barrier_all()
             return
         data = np.asarray(source.local).reshape(-1)[:nelems]
-        res = team_broadcast(self, self._all_pes(), data, root_rank=root)
+        pes = self._live_pes(self._all_pes())
+        if len(pes) < self.job.num_pes and root not in pes:
+            from repro.runtime.failures import raise_image_failed
+
+            raise_image_failed(ctx, "broadcast", root, self._failed,
+                               self.job.tracer)
+        res = team_broadcast(self, pes, data, root_rank=pes.index(root))
         if ctx.pe != root:
             dest.local.reshape(-1)[:nelems] = res
 
@@ -271,8 +289,9 @@ class ShmemLayer(OneSidedLayer):
             self.barrier_all()
             return
         data = np.asarray(source.local).reshape(-1)[:nelems]
-        res = team_allgather(self, self._all_pes(), data)
-        dest.local.reshape(-1)[: nelems * self.job.num_pes] = res
+        pes = self._live_pes(self._all_pes())
+        res = team_allgather(self, pes, data)
+        dest.local.reshape(-1)[: nelems * len(pes)] = res
 
     def to_all(
         self, dest: SymmetricArray, source: SymmetricArray, nelems: int, op: str
@@ -308,7 +327,9 @@ class ShmemLayer(OneSidedLayer):
             self.barrier_all()
             return
         data = np.asarray(source.local).reshape(-1)[:nelems]
-        res = team_reduce(self, self._all_pes(), data, _BINARY_OPS[op])
+        res = team_reduce(
+            self, self._live_pes(self._all_pes()), data, _BINARY_OPS[op]
+        )
         dest.local.reshape(-1)[:nelems] = res
 
     # ------------------------------------------------------------------
@@ -358,6 +379,17 @@ class ShmemLayer(OneSidedLayer):
                 old = self.atomic(lock, 0, 0, "cswap", ctx.pe + 1, 0)
                 if int(old) == 0:
                     break
+                # F2018 rule carried over to shmem locks: a failed image's
+                # locks become unlocked.  Steal the word from a dead holder
+                # (cswap keyed on the observed owner keeps the steal atomic
+                # against a racing survivor).
+                holder = int(old) - 1
+                if self._failed is not None and self._failed.is_failed(holder):
+                    stolen = self.atomic(
+                        lock, 0, 0, "cswap", ctx.pe + 1, int(old)
+                    )
+                    if int(stolen) == int(old):
+                        break
                 ctx.clock.advance(backoff)
                 backoff = min(backoff * 2, self._LOCK_BACKOFF_MAX_US)
                 spin(ctx, "lock_spin", 0)  # wall-clock yield; cost is virtual

@@ -120,6 +120,53 @@ class FaultPlan:
             raise ValueError("max_failures must be >= 1")
         if self.latency_us < 0:
             raise ValueError("latency_us must be >= 0")
+        # Frozen dataclass: write the validated, canonicalized maps back
+        # with object.__setattr__ (the dataclass idiom for __post_init__).
+        object.__setattr__(
+            self, "crash_at", _validate_sites("crash_at", self.crash_at)
+        )
+        object.__setattr__(
+            self, "alloc_fail_at",
+            _validate_sites("alloc_fail_at", self.alloc_fail_at),
+        )
+
+
+def _validate_sites(name: str, value) -> dict:
+    """Canonicalize a ``{pe: op_index}`` fault-site map.
+
+    Accepts a mapping or a sequence of ``(pe, index)`` pairs.  A bad
+    entry (negative op index, negative PE, non-integer key) or a
+    duplicate PE in pair form — which a dict literal would silently
+    collapse, so the intended site never fires — raises ``ValueError``
+    naming the offending entry.  PE range against ``num_pes`` is checked
+    later, at :class:`FaultInjector` construction, where the job size is
+    known.
+    """
+    items = value.items() if isinstance(value, Mapping) else value
+    out: dict = {}
+    for entry in items:
+        try:
+            pe, idx = entry
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{name} entry {entry!r} is not a (pe, op_index) pair"
+            ) from None
+        if not isinstance(pe, int) or isinstance(pe, bool) or pe < 0:
+            raise ValueError(
+                f"{name} entry {entry!r}: PE must be a non-negative int"
+            )
+        if not isinstance(idx, int) or isinstance(idx, bool) or idx < 0:
+            raise ValueError(
+                f"{name} entry {entry!r}: op index must be a "
+                f"non-negative int"
+            )
+        if pe in out:
+            raise ValueError(
+                f"{name} entry {entry!r}: duplicate PE {pe} "
+                f"(already scheduled at index {out[pe]})"
+            )
+        out[pe] = idx
+    return out
 
 
 class FaultInjector:
@@ -132,6 +179,13 @@ class FaultInjector:
     """
 
     def __init__(self, plan: FaultPlan, num_pes: int) -> None:
+        for name in ("crash_at", "alloc_fail_at"):
+            for pe in getattr(plan, name):
+                if pe >= num_pes:
+                    raise ValueError(
+                        f"{name} entry ({pe}, {getattr(plan, name)[pe]}): "
+                        f"PE {pe} out of range for a {num_pes}-PE job"
+                    )
         self.plan = plan
         self.num_pes = num_pes
         self._op_count = [0] * num_pes
@@ -295,15 +349,25 @@ class _WatchGuard:
     watchdog's per-PE slot, ``__exit__`` clears it; :meth:`poll` is
     called from inside the primitive's wait loop and raises
     :class:`HangError` past the deadline.
+
+    When the wait has a known remote ``target`` (a lock spin, a
+    ``sync images`` partner wait) and the job is survivable, ``poll``
+    also checks the failed-image registry: a wait on a dead peer fires
+    *immediately* with a structured
+    :class:`~repro.runtime.failures.ImageFailedError` naming the failed
+    PE, instead of stalling until the wall-clock deadline.
     """
 
-    __slots__ = ("wd", "pe", "what", "t0")
+    __slots__ = ("wd", "pe", "what", "t0", "target", "ctx")
 
-    def __init__(self, wd: "Watchdog", pe: int, what: str) -> None:
+    def __init__(self, wd: "Watchdog", pe: int, what: str,
+                 target: int = -1, ctx=None) -> None:
         self.wd = wd
         self.pe = pe
         self.what = what
         self.t0 = 0.0
+        self.target = target
+        self.ctx = ctx
 
     def __enter__(self) -> "_WatchGuard":
         self.t0 = time.monotonic()
@@ -314,6 +378,17 @@ class _WatchGuard:
         self.wd._blocked[self.pe] = None
 
     def poll(self) -> None:
+        target = self.target
+        if target >= 0:
+            job = self.wd.job
+            registry = job.failed
+            if job.survivable and registry.is_failed(target):
+                from repro.runtime.failures import raise_image_failed
+
+                self.wd._blocked[self.pe] = None
+                raise_image_failed(
+                    self.ctx, "wait", target, registry, job.tracer
+                )
         if time.monotonic() - self.t0 > self.wd.deadline_s:
             self.wd._trip(self.pe)
 
@@ -343,8 +418,12 @@ class Watchdog:
         self._fire_lock = threading.Lock()
         self.fired = False
 
-    def watch(self, pe: int, what: str) -> _WatchGuard:
-        return _WatchGuard(self, pe, what)
+    def watch(self, pe: int, what: str, target: int = -1,
+              ctx=None) -> _WatchGuard:
+        """Guard one blocked primitive; pass ``target``/``ctx`` when the
+        wait is on a known remote PE so a survivable job detects that
+        PE's failure immediately (see :class:`_WatchGuard`)."""
+        return _WatchGuard(self, pe, what, target, ctx)
 
     # ------------------------------------------------------------------
     def _trip(self, pe: int) -> None:

@@ -53,6 +53,7 @@ OPS = (
     "wait",
     "fault",
     "retry",
+    "fail",
 )
 
 #: Ops that move payload bytes (conflict candidates for the sanitizer).

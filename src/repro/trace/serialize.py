@@ -16,8 +16,9 @@ from repro.trace.events import OPS, TraceEvent, Tracer
 
 # v2 appended the per-event logical call count; v3 appends the
 # sync-capture fields (addr, footprint, internal, meta); v4 admits the
-# fault-injection ops ("fault", "retry") with an unchanged record shape.
-FORMAT_VERSION = 4
+# fault-injection ops ("fault", "retry") and v5 the failed-image op
+# ("fail"), both with an unchanged record shape.
+FORMAT_VERSION = 5
 
 
 def to_dict(tracer: Tracer) -> dict:
@@ -55,11 +56,11 @@ def events_from_dict(doc: dict) -> list[TraceEvent]:
     """Decode a document back into a flat, start-time-ordered event list.
 
     Accepts formats 1 (no call counts), 2 (call counts), 3 (sync
-    fields), and 4 (fault ops); the sort by ``(t_start, pe)`` is
-    stable, so each PE's program order — the order records were written
-    in — is preserved.
+    fields), 4 (fault ops), and 5 (failed-image ops); the sort by
+    ``(t_start, pe)`` is stable, so each PE's program order — the order
+    records were written in — is preserved.
     """
-    if doc.get("format") not in (1, 2, 3, FORMAT_VERSION):
+    if doc.get("format") not in (1, 2, 3, 4, FORMAT_VERSION):
         raise ValueError(f"unsupported trace format {doc.get('format')!r}")
     num_pes = doc["num_pes"]
     out = []
