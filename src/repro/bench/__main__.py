@@ -1,10 +1,10 @@
 """Command-line figure runner: ``python -m repro.bench [target ...]``.
 
-Targets: ``tables``, ``fig2`` ... ``fig10``, ``wallclock``, or ``all``.
-Add ``--full`` for the paper-scale sweeps (minutes of wall time)
-instead of the quick CI-sized ones.  Every target reports the host
-wall-clock seconds it took alongside its virtual-time results, so perf
-changes are measurable from one run.
+Targets: ``tables``, ``fig2`` ... ``fig10``, ``wallclock``,
+``kvservice``, or ``all``.  Add ``--full`` for the paper-scale sweeps
+(minutes of wall time) instead of the quick CI-sized ones.  Every
+target reports the host wall-clock seconds it took alongside its
+virtual-time results, so perf changes are measurable from one run.
 """
 
 from __future__ import annotations
@@ -15,7 +15,10 @@ import time
 
 from repro.bench import figures
 
-TARGETS = ("tables", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "wallclock")
+TARGETS = (
+    "tables", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "wallclock", "kvservice",
+)
 
 
 def _render(result) -> None:
@@ -76,6 +79,11 @@ def main(argv: list[str] | None = None) -> int:
             results = wallclock.run_suite(quick=quick)
             print(wallclock.render(results))
             print(f"\nwrote {wallclock.write_json(results, 'BENCH_wallclock.json')}")
+            print()
+        elif target == "kvservice":
+            from repro.bench import kvservice
+
+            kvservice.main(["--quick"] if quick else [])
             print()
         else:
             _render(getattr(figures, target)(quick=quick))

@@ -1,0 +1,160 @@
+"""Concurrent-history recording and linearizability checking for the
+KV service workload (`repro.bench.kvservice`).
+
+The recorder side is deliberately tiny: each PE appends one
+:class:`HistRecord` per completed operation — operation kind, key, the
+value written or observed, and the virtual-time invocation/response
+interval.  After the job completes the per-PE histories are merged and
+handed to :func:`check_linearizable`.
+
+The checker is a Wing–Gong style search specialised to a key-value map
+with per-key register semantics: operations on distinct keys commute,
+so the global history is linearizable iff every per-key sub-history is
+(the per-key projections inherit the real-time precedence order, and a
+per-key witness order interleaves into a global one precisely because
+cross-key operations never constrain each other's legal states).  Each
+per-key search is a memoised DFS over (set of linearised ops, current
+register value): pick any operation that is *minimal* — no other
+pending operation's response strictly precedes its invocation — apply
+it (a put sets the register, a get must observe it), and recurse.
+Histories here are small (tens of ops per key), so the bounded search
+is exact, not heuristic.
+
+A scan in the service workload is a non-atomic multi-get and is
+recorded as its individual ``get`` records — the service does not
+promise snapshot isolation across keys, only per-key linearizability.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class HistRecord:
+    """One completed operation in a PE's history.
+
+    ``value`` is the value written (put) or observed (get; ``None``
+    means the key was observed absent).  ``invoke``/``response`` are
+    virtual times; two operations are concurrent unless one's response
+    strictly precedes the other's invocation.  ``hit`` marks a get
+    served from the initiator's hot-key cache — the checker treats it
+    identically (a cache hit's version probe is its linearization
+    point, so a stale-beyond-invalidation hit shows up as an
+    unlinearizable read)."""
+
+    pe: int
+    op: str  # "get" | "put"
+    key: int
+    value: int | None
+    invoke: float
+    response: float
+    hit: bool = False
+
+
+class Recorder:
+    """Per-PE history recorder; append-only, merged after the job."""
+
+    def __init__(self, pe: int) -> None:
+        self.pe = pe
+        self.records: list[HistRecord] = []
+
+    def record(self, op: str, key: int, value: int | None,
+               invoke: float, response: float, hit: bool = False) -> None:
+        if response < invoke:
+            raise ValueError(f"response {response} precedes invoke {invoke}")
+        self.records.append(
+            HistRecord(self.pe, op, int(key), value, invoke, response, hit)
+        )
+
+
+def merge(histories) -> list[HistRecord]:
+    """Flatten per-PE record lists (e.g. ``caf.launch`` results) into
+    one history, ordered by invocation time for readability (the
+    checker only uses the intervals, not the list order)."""
+    out: list[HistRecord] = []
+    for h in histories:
+        if h:
+            out.extend(h)
+    return sorted(out, key=lambda r: (r.invoke, r.response, r.pe))
+
+
+@dataclass
+class LinReport:
+    """Outcome of a linearizability check.
+
+    ``ok`` is the verdict; on failure ``bad_key`` names the first key
+    whose sub-history admits no linearisation and ``bad_ops`` holds its
+    projected records.  On success ``witness`` maps each checked key to
+    one legal linearisation order (indices into the key's projection)."""
+
+    ok: bool
+    checked_keys: int = 0
+    total_ops: int = 0
+    bad_key: int | None = None
+    bad_ops: list[HistRecord] = field(default_factory=list)
+    witness: dict[int, list[int]] = field(default_factory=dict)
+
+
+def _check_key(ops: list[HistRecord]) -> list[int] | None:
+    """Wing–Gong search for one key's sub-history.  Returns a witness
+    linearisation (list of indices into ``ops``) or None."""
+    n = len(ops)
+    if n == 0:
+        return []
+    full = (1 << n) - 1
+    dead: set[tuple[int, int | None]] = set()
+    order: list[int] = []
+
+    def dfs(done: int, state: int | None) -> bool:
+        if done == full:
+            return True
+        if (done, state) in dead:
+            return False
+        for i in range(n):
+            if done >> i & 1:
+                continue
+            inv = ops[i].invoke
+            # Minimality: no pending op strictly precedes op i.
+            if any(
+                not (done >> j & 1) and ops[j].response < inv
+                for j in range(n)
+            ):
+                continue
+            if ops[i].op == "get":
+                if ops[i].value != state:
+                    continue
+                nxt_state = state
+            else:
+                nxt_state = ops[i].value
+            order.append(i)
+            if dfs(done | (1 << i), nxt_state):
+                return True
+            order.pop()
+        dead.add((done, state))
+        return False
+
+    return order if dfs(0, None) else None
+
+
+def check_linearizable(records: list[HistRecord]) -> LinReport:
+    """Check a merged history for per-key linearizability.
+
+    Keys are checked independently (register semantics; distinct keys
+    commute).  Returns a :class:`LinReport`; ``report.ok`` is the gate
+    the test corpus asserts on."""
+    by_key: dict[int, list[HistRecord]] = defaultdict(list)
+    for r in records:
+        by_key[r.key].append(r)
+    report = LinReport(ok=True, checked_keys=len(by_key), total_ops=len(records))
+    for key, ops in sorted(by_key.items()):
+        ops.sort(key=lambda r: (r.invoke, r.response, r.pe))
+        witness = _check_key(ops)
+        if witness is None:
+            report.ok = False
+            report.bad_key = key
+            report.bad_ops = ops
+            return report
+        report.witness[key] = witness
+    return report

@@ -9,6 +9,7 @@ is how EXPERIMENTS.md's measured numbers were produced.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable
 
 from repro.bench import figures
@@ -111,6 +112,26 @@ def generate_report(
             lines.append("```")
             lines.append(wallclock.render(wallclock.run_suite(quick=quick)))
             lines.append("```")
+            lines.append("")
+            continue
+        if target == "kvservice":
+            from repro.bench import kvservice
+
+            section = kvservice.run_suite(quick=quick)
+            lines.append("```")
+            lines.append(json.dumps(section, indent=1))
+            lines.append("```")
+            lines.append("")
+            cmp_ = section["cache_comparison"]
+            lines.append(
+                f"* hot-key caching cut open-loop p99 from "
+                f"{cmp_['uncached_p99_us']} us to {cmp_['cached_p99_us']} us "
+                f"({cmp_['p99_speedup']}x) on the skewed read-heavy mix"
+            )
+            lines.append(
+                f"* live reshard moved {section['reshard']['moved']} entries "
+                f"with {len(section['reshard']['lost'])} lost acked writes"
+            )
             lines.append("")
             continue
         if target == "tables":

@@ -60,7 +60,7 @@ STRUCTURED_CAUSES = (
 TARGETS = ("dht", "locks", "himeno", "collectives")
 
 #: Targets for the survivable (failed-images) gate.
-SURVIVABLE_TARGETS = ("rdht",)
+SURVIVABLE_TARGETS = ("rdht", "kvservice")
 
 #: Watchdog deadline for harness runs: far above any legitimate stall,
 #: far below CI patience.
@@ -287,6 +287,47 @@ def _run_rdht(images, machine, faults, deadline_s, quick, engine, seed):
     )
 
 
+def _run_kvservice(images, machine, faults, deadline_s, quick, engine, seed):
+    """KV service workload under the survivable gate: open-loop mixed
+    read/write streams over disjoint key ranges (exact acked-ledger
+    verification) with a mid-stream ring grow, so the crash can land
+    anywhere in the reshard window.  The kernel's result dicts carry
+    the same ``lost``/``acked``/``pairs``/``stat``/``failed`` contract
+    as the rdht kernel."""
+    from repro.bench.kvservice import WorkloadSpec
+    from repro.bench.kvservice import run_cell as kv_run_cell
+
+    spec = WorkloadSpec(
+        ops=8 if quick else 16,
+        keyspace=16,
+        zipf_s=1.0,
+        read_frac=0.5,
+        write_frac=0.5,
+        scan_frac=0.0,
+        mean_interarrival_us=2.0,
+        seed=seed,
+        disjoint=True,
+    )
+    return kv_run_cell(
+        spec,
+        images=images,
+        machine=machine,
+        ring_images=2,
+        grow_to=images,
+        grow_at=max(2, spec.ops // 3),
+        engine=engine,
+        survivable=True,
+        faults=faults,
+        watchdog_s=deadline_s,
+    )
+
+
+_SURVIVABLE_RUNNERS = {
+    "rdht": _run_rdht,
+    "kvservice": _run_kvservice,
+}
+
+
 def survivable_crash_plan(seed: int, victim: int = 1, at: int = 40) -> FaultPlan:
     """A schedule that kills one PE mid-run of a survivable job: the
     survivors must complete in degraded mode with zero lost acked
@@ -319,13 +360,17 @@ def run_survivable_cell(
     result on every engine (status ``identical``).
     """
     if target not in SURVIVABLE_TARGETS:
-        raise ValueError(f"unknown survivable target {target!r}")
+        raise ValueError(
+            f"unknown survivable target {target!r}; "
+            f"choose from {SURVIVABLE_TARGETS}"
+        )
+    runner = _SURVIVABLE_RUNNERS[target]
     digests: dict[str, str] = {}
     crashed: dict[str, int] = {}
     for engine in engines:
         inj = FaultInjector(plan, images)
         try:
-            results = _run_rdht(
+            results = runner(
                 images, machine, inj, deadline_s, quick, engine, plan.seed
             )
         except JobFailure as jf:

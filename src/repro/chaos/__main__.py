@@ -55,9 +55,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--survivable", action="store_true",
-        help="also run the failed-images gate: a survivable replicated-DHT "
-        "job per seed must complete degraded with zero lost acked writes "
+        help="also run the failed-images gate: a survivable job per seed "
+        "and target must complete degraded with zero lost acked writes "
         "and engine-identical survivor digests",
+    )
+    parser.add_argument(
+        "--survivable-targets", nargs="+", choices=SURVIVABLE_TARGETS,
+        default=list(SURVIVABLE_TARGETS), metavar="TARGET",
+        help=f"survivable targets to run (default: all of "
+        f"{' '.join(SURVIVABLE_TARGETS)})",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
     try:
@@ -83,7 +89,7 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.survivable:
-        for target in SURVIVABLE_TARGETS:
+        for target in args.survivable_targets:
             for seed in args.seeds:
                 cells.append(
                     run_survivable_cell(

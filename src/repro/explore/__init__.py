@@ -53,6 +53,7 @@ from repro.explore.scheduler import (
     ScheduleLimitError,
     Scheduler,
     Strategy,
+    VirtualTimeOrder,
     make_strategy,
     spin_hint,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "ScheduleOutcome",
     "Scheduler",
     "Strategy",
+    "VirtualTimeOrder",
     "explore",
     "get_program",
     "make_strategy",

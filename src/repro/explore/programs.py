@@ -16,6 +16,9 @@ Race-free corpus (digest must never vary):
 * ``himeno`` — the Fig-10 stencil, XS grid, 2 iterations.
 * ``locks``  — a lock-protected shared counter.
 * ``events`` — an event-ordered ping-pong.
+* ``kvservice`` — the open-loop KV service workload over disjoint
+  per-image key ranges (caches on; final acked state is pinned by each
+  image's own program order).
 
 Seeded racy corpus (some schedule must diverge — the PR-2 sanitizer
 negatives as executable programs):
@@ -319,6 +322,41 @@ def _run_unordered_conflict(
     return _digest(results), tracer
 
 
+def _run_kvservice(
+    scheduler: Any,
+    *,
+    images: int,
+    machine: str,
+    trace: bool = False,
+    faults: Any = None,
+) -> tuple[str, Any]:
+    """The KV service workload in its race-free configuration: every
+    initiator streams against its own disjoint key range, so each key's
+    final value is pinned by that image's own program order (its last
+    acked put) no matter how the schedule interleaves the bucket locks.
+    The digest covers the acked-ledger re-reads and op/ack counts only;
+    cache hit counts are deliberately excluded (version bumps from
+    bucket-colliding keys make them schedule-dependent, which is
+    incidental, not semantic)."""
+    from repro.bench.kvservice import WorkloadSpec
+    from repro.bench.kvservice import run_cell as kv_run_cell
+
+    spec = WorkloadSpec(
+        ops=10, keyspace=8, zipf_s=1.0, read_frac=0.6, write_frac=0.4,
+        scan_frac=0.0, mean_interarrival_us=2.0, seed=31, disjoint=True,
+    )
+    results = kv_run_cell(
+        spec, images=images, machine=machine, scheduler=scheduler,
+        engine="threaded", faults=faults,
+    )
+    canon = [
+        {"pairs": r["pairs"], "ops": r["ops"], "acked": r["acked"],
+         "lost": r["lost"]}
+        for r in results
+    ]
+    return _digest(canon), None
+
+
 PROGRAMS: dict[str, ExploreProgram] = {
     p.name: p
     for p in (
@@ -341,6 +379,11 @@ PROGRAMS: dict[str, ExploreProgram] = {
             "events", False, 2,
             "event-ordered ping-pong, 3 rounds",
             _run_events,
+        ),
+        ExploreProgram(
+            "kvservice", False, 3,
+            "open-loop KV service, disjoint key ranges, hot-key caches on",
+            _run_kvservice,
         ),
         ExploreProgram(
             "missing_quiet", True, 2,

@@ -106,6 +106,51 @@ class RandomWalk(Strategy):
         return {"strategy": self.name, "seed": self.seed}
 
 
+class VirtualTimeOrder(Strategy):
+    """Run the runnable PE whose virtual clock is smallest.
+
+    This is discrete-event execution order for code the event engine
+    cannot run (blocking CAF locks): every schedule decision picks the
+    PE furthest *behind* in virtual time, so shared-resource timestamps
+    are visited in (approximately) virtual-time order and the causality
+    lift never drags a PE's clock far ahead of its peers.  Open-loop
+    latency measurements need this — under an arbitrary interleaving, a
+    PE whose arrival process has run ahead leaves future timestamps on
+    shared buckets and other PEs' response times inherit them as
+    phantom queueing delay.
+
+    Pending network deliveries drain first (lowest PE), ties break by
+    PE index, and no randomness is involved: the strategy is
+    deterministic by construction, without a seed.  Livelock-free
+    because every scheduled quantum prices at least one operation on
+    the chosen PE, advancing its clock.
+    """
+
+    name = "vt"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)  # accepted for make_strategy symmetry
+        self._job: Any = None
+
+    def bind_job(self, job: Any) -> None:
+        self._job = job
+
+    def _clock(self, token: str) -> float:
+        if self._job is None:
+            return 0.0
+        ctx = self._job.pe_contexts.get(int(token[1:]))
+        return ctx.clock.now if ctx is not None else 0.0
+
+    def choose(self, step: int, choices: list[str]) -> str:
+        nets = [t for t in choices if t[0] == "n"]
+        if nets:
+            return min(nets, key=lambda t: int(t[1:]))
+        return min(choices, key=lambda t: (self._clock(t), int(t[1:])))
+
+    def describe(self) -> dict:
+        return {"strategy": self.name}
+
+
 class PCTStrategy(Strategy):
     """PCT-style priority scheduling [Burckhardt et al., ASPLOS'10].
 
@@ -265,6 +310,8 @@ def make_strategy(name: str, seed: int, **opts: Any) -> Strategy:
         return RandomWalk(seed)
     if name == "pct":
         return PCTStrategy(seed, **opts)
+    if name == "vt":
+        return VirtualTimeOrder(seed)
     raise ValueError(f"unknown strategy {name!r} (exhaustive runs via the explorer)")
 
 
@@ -307,6 +354,9 @@ class Scheduler:
         if self._job is not None:
             raise RuntimeError("a Scheduler is one-shot; build a fresh one per Job")
         self._job = job
+        bind_job = getattr(self.strategy, "bind_job", None)
+        if bind_job is not None:
+            bind_job(job)  # clock-aware strategies read PE clocks from it
         self.num_pes = job.num_pes
         self._lock = threading.Lock()
         self._events = [threading.Event() for _ in range(job.num_pes)]

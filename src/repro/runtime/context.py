@@ -34,6 +34,11 @@ class PEContext:
         self.pe = pe
         self.clock = VirtualClock()
         self._collective_seq = 0
+        # Registry for clock-aware schedule strategies; guarded for
+        # detached contexts built outside a Job (tests, tools).
+        registry = getattr(job, "pe_contexts", None)
+        if registry is not None:
+            registry[pe] = self
 
     def next_collective_seq(self) -> int:
         """Sequence number of this PE's next collective call.

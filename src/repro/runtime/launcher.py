@@ -161,6 +161,10 @@ class Job:
 
         self.groups = GroupRegistry(self)
         self.layers: dict[str, Any] = {}
+        #: Live per-PE contexts, registered by :class:`PEContext` as PE
+        #: tasks start — lets clock-aware schedule strategies
+        #: (``VirtualTimeOrder``) read every PE's virtual clock.
+        self.pe_contexts: dict[int, Any] = {}
         # Optional communication tracer (repro.trace.attach installs one).
         self.tracer = None
         # Optional deterministic fault injection (the engines gate all
